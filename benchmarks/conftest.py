@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Every benchmark in this directory regenerates one of the paper's tables
+or figures: it times the experiment driver with pytest-benchmark and then
+prints the same rows/series the paper reports (with the paper's headline
+number alongside), so
+
+    pytest benchmarks/ --benchmark-only -s
+
+doubles as the full results reproduction.  Printing happens through the
+``report`` fixture so the output survives pytest's capture when ``-s`` is
+not given (``--capture=no`` equivalents are not required; pytest shows
+the captured block for each benchmark at the end with ``-rA``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a formatted experiment report, bypassing capture."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report

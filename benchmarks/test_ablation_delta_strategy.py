@@ -1,0 +1,53 @@
+"""Ablation: δ-threshold strategy.
+
+Compares the paper's weekday/weekend split (0.2/0.1) against a single
+balanced δ (the Fig. 10(c) crossover region) and the impact-based
+strategy, on end-to-end energy and interrupt rate.
+"""
+
+from repro.core import NetMasterConfig
+from repro.baselines import NaivePolicy, NetMasterPolicy
+from repro.evaluation import run_policy_over_days, split_history
+from repro.habits import FixedDelta, ImpactBasedDelta, WeekdayWeekendDelta
+from repro.radio import wcdma_model
+from repro.traces import generate_volunteers
+
+
+def _sweep():
+    model = wcdma_model()
+    volunteers = generate_volunteers(14, seed=43)
+    split = [split_history(t, 10) for t in volunteers]
+    base_e = sum(
+        m.energy_j
+        for _, days in split
+        for m in run_policy_over_days(NaivePolicy(), days, model)
+    )
+    strategies = {
+        "paper-0.2/0.1": WeekdayWeekendDelta(),
+        "fixed-0.37": FixedDelta(0.37),
+        "impact-1%": ImpactBasedDelta(interrupt_budget=0.01),
+    }
+    results = {}
+    for name, strategy in strategies.items():
+        total = interrupts = interactions = 0.0
+        for history, days in split:
+            policy = NetMasterPolicy(history, NetMasterConfig(delta=strategy))
+            for day in days:
+                outcome = policy.execute_day(day)
+                total += outcome.energy(model).energy_j
+                interrupts += outcome.interrupts
+                interactions += outcome.user_interactions
+        results[name] = (1.0 - total / base_e, interrupts / interactions)
+    return results
+
+
+def test_ablation_delta_strategy(benchmark, report):
+    results = benchmark.pedantic(_sweep, rounds=2, iterations=1)
+    lines = ["Ablation — delta strategy"]
+    lines.append("  strategy        energy-saving  interrupt-ratio")
+    for name, (saving, ratio) in results.items():
+        lines.append(f"  {name:14s}  {saving:13.3f}  {ratio:15.4f}")
+    report("\n".join(lines))
+    for name, (saving, ratio) in results.items():
+        assert saving > 0.5, name
+        assert ratio < 0.01, name

@@ -1,0 +1,12 @@
+"""Lemma IV.1: empirical (1-eps)/2 approximation verification."""
+
+from repro.evaluation import approximation_ratio
+from repro.evaluation.reporting import format_approximation
+
+
+def test_approximation_ratio(benchmark, report):
+    result = benchmark.pedantic(
+        approximation_ratio, kwargs={"trials": 60}, rounds=2, iterations=1
+    )
+    report(format_approximation(result))
+    assert result.worst_ratio >= result.bound

@@ -1,0 +1,23 @@
+"""Extension: more volunteers (the paper's stated next step).
+
+Runs the NetMaster-vs-baseline comparison across a randomized cohort of
+personas to show the savings are a property of habit structure, not of
+the three hand-built volunteers.
+"""
+
+from repro.evaluation import cohort_scale
+
+
+def test_ext_cohort_scale(benchmark, report):
+    result = benchmark.pedantic(
+        cohort_scale, kwargs={"n_users": 10}, rounds=1, iterations=1
+    )
+    lines = [f"Extension — randomized cohort of {result.n_users} personas"]
+    lines.append("  savings: " + " ".join(f"{s:.3f}" for s in sorted(result.savings)))
+    lines.append(
+        f"  mean {result.mean_saving:.3f}  min {result.min_saving:.3f}  "
+        f"max {result.max_saving:.3f}"
+    )
+    report("\n".join(lines))
+    assert result.min_saving > 0.4
+    assert result.mean_saving > 0.55

@@ -1,0 +1,20 @@
+"""Extension: the Limitations section's "hidden impact", quantified.
+
+How long does NetMaster hold a screen-off push back?  The delay
+distribution is the user-experience cost the paper names but does not
+measure.
+"""
+
+from repro.evaluation import hidden_impact
+
+
+def test_ext_hidden_impact(benchmark, report):
+    result = benchmark.pedantic(hidden_impact, rounds=2, iterations=1)
+    lines = ["Extension — deferral latency of screen-off traffic"]
+    lines.append(f"  deferred (>1 s) fraction: {result.deferred_fraction:.1%}")
+    lines.append(f"  mean delay:  {result.mean_delay_s:8.1f} s")
+    lines.append(f"  p50 delay:   {result.p50_delay_s:8.1f} s")
+    lines.append(f"  p95 delay:   {result.p95_delay_s:8.1f} s")
+    lines.append(f"  max delay:   {result.max_delay_s:8.1f} s")
+    report("\n".join(lines))
+    assert result.p50_delay_s < 7200.0

@@ -1,0 +1,18 @@
+"""Extension: habit-model learning curve.
+
+How much history does the mining component need before its slot
+predictions are reliable?  (The paper trains on ~3 weeks; a week turns
+out to be enough on this substrate.)
+"""
+
+from repro.evaluation import learning_curve
+
+
+def test_ext_learning_curve(benchmark, report):
+    result = benchmark.pedantic(learning_curve, rounds=2, iterations=1)
+    lines = ["Extension — prediction accuracy vs training days"]
+    lines.append("  days  accuracy")
+    for days, acc in zip(result.history_days, result.accuracy):
+        lines.append(f"  {days:4d}  {acc:8.3f}")
+    report("\n".join(lines))
+    assert result.accuracy[-1] > 0.9

@@ -1,0 +1,13 @@
+"""Fig. 10(a): duty-cycle radio-on time vs wake-up count."""
+
+from repro.evaluation import fig10a
+from repro.evaluation.reporting import format_fig10a
+
+
+def test_fig10a_duty_cycle(benchmark, report):
+    result = benchmark(fig10a)
+    report(format_fig10a(result))
+    # Longer initial sleeps always give lower radio-on fractions.
+    for k_idx in range(len(result.wakeup_counts)):
+        column = [result.fractions[t][k_idx] for t in result.sleep_intervals_s]
+        assert column == sorted(column, reverse=True)

@@ -1,0 +1,11 @@
+"""Fig. 10(b): wake-up counts of exponential vs fixed vs random sleep."""
+
+from repro.evaluation import fig10b
+from repro.evaluation.reporting import format_fig10b
+
+
+def test_fig10b_sleep_schemes(benchmark, report):
+    result = benchmark(fig10b)
+    report(format_fig10b(result))
+    assert result.exponential[-1] < result.fixed[-1] / 5
+    assert result.exponential[-1] < result.random[-1] / 5

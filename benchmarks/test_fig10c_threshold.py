@@ -1,0 +1,12 @@
+"""Fig. 10(c): prediction accuracy vs energy saving over δ."""
+
+from repro.evaluation import fig10c
+from repro.evaluation.reporting import format_fig10c
+
+
+def test_fig10c_threshold(benchmark, report):
+    result = benchmark.pedantic(fig10c, rounds=2, iterations=1)
+    report(format_fig10c(result))
+    assert result.accuracy[0] >= result.accuracy[-1]
+    assert result.energy_saving[-1] >= result.energy_saving[0] - 0.02
+    assert 0.0 <= result.crossover <= 0.5  # paper: 0.37

@@ -1,0 +1,10 @@
+"""Fig. 1(a): network activity distribution (screen-on vs screen-off)."""
+
+from repro.evaluation import fig1a
+from repro.evaluation.reporting import format_fig1a
+
+
+def test_fig1a_traffic_split(benchmark, report):
+    result = benchmark(fig1a)
+    report(format_fig1a(result))
+    assert 0.3 < result.average_off_fraction < 0.55  # paper: 0.4098

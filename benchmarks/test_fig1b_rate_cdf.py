@@ -1,0 +1,11 @@
+"""Fig. 1(b): transfer-rate CDFs by screen state."""
+
+from repro.evaluation import fig1b
+from repro.evaluation.reporting import format_fig1b
+
+
+def test_fig1b_rate_cdf(benchmark, report):
+    result = benchmark(fig1b)
+    report(format_fig1b(result))
+    assert result.p90_off_kbps < 1.5  # paper: 90% below 1 kBps
+    assert result.p90_on_kbps < 6.0  # paper: 90% below 5 kBps

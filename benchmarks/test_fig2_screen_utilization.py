@@ -1,0 +1,10 @@
+"""Fig. 2: screen-on time utilization profiling."""
+
+from repro.evaluation import fig2
+from repro.evaluation.reporting import format_fig2
+
+
+def test_fig2_screen_utilization(benchmark, report):
+    result = benchmark(fig2)
+    report(format_fig2(result))
+    assert 0.3 < result.average_utilization < 0.6  # paper: 0.4514

@@ -1,0 +1,10 @@
+"""Fig. 3: Pearson parameters across all user pairs."""
+
+from repro.evaluation import fig3
+from repro.evaluation.reporting import format_fig3
+
+
+def test_fig3_cross_user_pearson(benchmark, report):
+    result = benchmark(fig3)
+    report(format_fig3(result))
+    assert result.average < 0.35  # paper: 0.1353 (weak correlation)

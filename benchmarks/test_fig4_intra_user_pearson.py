@@ -1,0 +1,11 @@
+"""Fig. 4: day-by-day Pearson parameters for one user."""
+
+from repro.evaluation import fig3, fig4
+from repro.evaluation.reporting import format_fig4
+
+
+def test_fig4_intra_user_pearson(benchmark, report):
+    result = benchmark(fig4)
+    report(format_fig4(result))
+    assert result.average > 0.35  # paper: 0.8171 (strong daily habit)
+    assert result.average > fig3().average + 0.2

@@ -1,0 +1,11 @@
+"""Fig. 5: one-week per-app usage pattern (Special Apps)."""
+
+from repro.evaluation import fig5
+from repro.evaluation.reporting import format_fig5
+
+
+def test_fig5_app_patterns(benchmark, report):
+    result = benchmark(fig5)
+    report(format_fig5(result))
+    assert 4 <= result.n_active <= 10  # paper: 8 of 23
+    assert result.top_share > 0.4  # paper: weChat at 59%

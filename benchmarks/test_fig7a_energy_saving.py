@@ -1,0 +1,12 @@
+"""Fig. 7(a): overall energy-saving comparison across policies."""
+
+from repro.evaluation import fig7
+from repro.evaluation.reporting import format_fig7
+
+
+def test_fig7a_energy_saving(benchmark, report):
+    result = benchmark.pedantic(fig7, rounds=3, iterations=1)
+    report(format_fig7(result))
+    assert result.netmaster_mean_saving > 0.55  # paper: 0.778
+    assert result.netmaster_mean_saving > 2 * result.delay_batch_mean_saving
+    assert result.worst_oracle_gap < 0.2  # paper worst case: 0.112

@@ -1,0 +1,20 @@
+"""Fig. 7(b): radio-on time under NetMaster vs default."""
+
+from repro.evaluation import fig7
+
+
+def test_fig7b_radio_time(benchmark, report):
+    result = benchmark.pedantic(fig7, rounds=3, iterations=1)
+    lines = ["Fig 7(b) — radio-on time (seconds over the test window)"]
+    for vol in result.volunteers:
+        lines.append(
+            f"  {vol.user_id}: power-on {vol.power_on_s:8.0f}  "
+            f"default {vol.radio_on_s['baseline']:8.0f}  "
+            f"netmaster {vol.radio_on_s['netmaster']:8.0f}"
+        )
+    lines.append(
+        f"  mean inefficient radio-on time saved: "
+        f"{result.mean_radio_time_saving:.3f}   (paper: 0.754)"
+    )
+    report("\n".join(lines))
+    assert 0.6 < result.mean_radio_time_saving < 0.9

@@ -1,0 +1,22 @@
+"""Fig. 7(c): bandwidth-utilization improvement ratios."""
+
+from repro.evaluation import fig7
+
+
+def test_fig7c_bandwidth(benchmark, report):
+    result = benchmark.pedantic(fig7, rounds=3, iterations=1)
+    lines = ["Fig 7(c) — bandwidth utilization improvement (NetMaster/baseline)"]
+    for vol in result.volunteers:
+        r = vol.bandwidth_ratio["netmaster_vs_baseline"]
+        lines.append(
+            f"  {vol.user_id}: down-avg {r['down_avg']:.2f}x  up-avg {r['up_avg']:.2f}x  "
+            f"down-peak {r['down_peak']:.2f}x  up-peak {r['up_peak']:.2f}x"
+        )
+    lines.append(
+        f"  means: down {result.mean_down_ratio:.2f}x (paper 3.84), "
+        f"up {result.mean_up_ratio:.2f}x (paper 2.63), "
+        f"peaks ~{result.mean_peak_down_ratio:.2f}x (paper ~1)"
+    )
+    report("\n".join(lines))
+    assert result.mean_down_ratio > 2.0
+    assert 0.8 < result.mean_peak_down_ratio < 1.3

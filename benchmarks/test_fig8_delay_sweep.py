@@ -1,0 +1,14 @@
+"""Figs. 8(a)-(c): off-line analysis of the pure delay method."""
+
+from repro.evaluation import fig8
+from repro.evaluation.reporting import format_fig8
+
+
+def test_fig8_delay_sweep(benchmark, report):
+    result = benchmark.pedantic(fig8, rounds=3, iterations=1)
+    report(format_fig8(result))
+    # Savings and user impact both grow with the interval; the gap
+    # between them never closes (the paper's conclusion).
+    assert result.energy_saving[-1] > result.energy_saving[5]
+    assert result.affected_ratio[-1] > result.affected_ratio[5]
+    assert result.energy_saving[-1] < 0.4

@@ -1,0 +1,13 @@
+"""Figs. 9(a)-(b): off-line analysis of the pure batch method."""
+
+from repro.evaluation import fig9
+from repro.evaluation.reporting import format_fig9
+
+
+def test_fig9_batch_sweep(benchmark, report):
+    result = benchmark.pedantic(fig9, rounds=3, iterations=1)
+    report(format_fig9(result))
+    idx5 = result.batch_sizes.index(5)
+    assert result.radio_time_saving[idx5] > 0.08  # paper: 0.177
+    # Saturation past 5 batched activities.
+    assert result.energy_saving[-1] - result.energy_saving[idx5] < 0.05

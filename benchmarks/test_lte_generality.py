@@ -1,0 +1,29 @@
+"""Generality: the Fig. 7 comparison on an LTE radio model.
+
+The paper claims "good generalizability"; the tail-energy structure that
+NetMaster exploits exists on LTE too (one long continuous-reception tail
+instead of the 3G DCH/FACH pair), so the ordering of policies should be
+preserved under the LTE constants of Huang et al.
+"""
+
+from repro.core import NetMasterConfig
+from repro.evaluation import fig7
+from repro.radio import lte_model
+
+
+def test_lte_generality(benchmark, report):
+    result = benchmark.pedantic(
+        fig7,
+        kwargs={"model": lte_model(), "config": NetMasterConfig(power=lte_model())},
+        rounds=2,
+        iterations=1,
+    )
+    lines = ["Generality — Fig. 7 comparison on the LTE power model"]
+    lines.append(f"  NetMaster mean saving: {result.netmaster_mean_saving:.3f}")
+    lines.append(f"  oracle mean saving:    {result.oracle_mean_saving:.3f}")
+    lines.append(f"  delay&batch saving:    {result.delay_batch_mean_saving:.3f}")
+    lines.append(f"  radio-on time saving:  {result.mean_radio_time_saving:.3f}")
+    report("\n".join(lines))
+    assert result.netmaster_mean_saving > 0.5
+    assert result.netmaster_mean_saving > 2 * result.delay_batch_mean_saving
+    assert result.netmaster_mean_saving <= result.oracle_mean_saving + 0.02

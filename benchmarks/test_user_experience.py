@@ -1,0 +1,10 @@
+"""Section VI-B: wrong-decision rate under NetMaster."""
+
+from repro.evaluation import user_experience
+from repro.evaluation.reporting import format_user_experience
+
+
+def test_user_experience(benchmark, report):
+    result = benchmark.pedantic(user_experience, rounds=3, iterations=1)
+    report(format_user_experience(result))
+    assert result.interrupt_ratio < 0.01  # paper: < 1%

@@ -1,0 +1,53 @@
+"""Device replay: close the monitor → mine → schedule loop on the DES.
+
+Replays a day on the simulated handset (screen model, RRC radio, 500 KB
+write-cached monitoring store), then feeds the *monitored* store back
+into the mining pipeline — demonstrating that NetMaster's components run
+end-to-end on the device substrate, exactly as Fig. 6 wires them.
+
+Run:  python examples/device_replay.py
+"""
+
+from __future__ import annotations
+
+from repro import NetMasterPolicy, SpecialAppRegistry, generate_volunteers, wcdma_model
+from repro.device import DeviceSimulator
+from repro.evaluation import split_history
+from repro.radio import TruncatedTail
+
+
+def main() -> None:
+    trace = generate_volunteers(14, seed=43)[1]
+    history, days = split_history(trace, 10)
+    day = days[0]
+
+    print("=== stock replay ===")
+    simulator = DeviceSimulator(model=wcdma_model())
+    stock = simulator.replay(day)
+    print(f"  transfers: {stock.transfers}, payload {stock.payload_bytes / 1000:.1f} kB")
+    print(f"  energy: {stock.energy.energy_j:.1f} J, radio-on {stock.energy.radio_on_s:.0f} s")
+    print(f"  monitor: {len(stock.store.screen_sessions)} sessions recorded, "
+          f"{stock.monitor_samples} byte-counter samples, "
+          f"{stock.store.cache.flush_count} flash flushes")
+
+    print("\n=== NetMaster schedule through the same device ===")
+    outcome = NetMasterPolicy(history).execute_day(day)
+    scheduled = simulator.replay(
+        day, schedule=outcome.activities, tail_policy=TruncatedTail(1.0)
+    )
+    saving = 1.0 - scheduled.energy.energy_j / stock.energy.energy_j
+    print(f"  energy: {scheduled.energy.energy_j:.1f} J ({saving:.1%} saving)")
+    print(f"  radio-on: {scheduled.energy.radio_on_s:.0f} s "
+          f"(was {stock.energy.radio_on_s:.0f} s)")
+
+    print("\n=== mining the monitored store (loop closed) ===")
+    store = stock.store
+    probs = store.screen_use_matrix().mean(axis=0)
+    active_hours = [h for h in range(24) if probs[h] >= 0.5]
+    print(f"  hours the monitor saw the user active: {active_hours}")
+    registry = SpecialAppRegistry.from_store(store)
+    print(f"  special apps detected on-device: {sorted(registry.special)}")
+
+
+if __name__ == "__main__":
+    main()

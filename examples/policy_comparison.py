@@ -1,0 +1,64 @@
+"""Policy comparison: the paper's Section VI evaluation scenario.
+
+Runs the full policy zoo — stock baseline, delay, batch, combined
+delay&batch, NetMaster, and the offline oracle — over the three
+evaluation volunteers' held-out days, and prints the energy / radio-time
+/ bandwidth / user-impact comparison of Figs. 7-9.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BatchPolicy,
+    DelayBatchPolicy,
+    DelayPolicy,
+    NaivePolicy,
+    NetMasterPolicy,
+    OraclePolicy,
+    generate_volunteers,
+    wcdma_model,
+)
+from repro.evaluation import run_policy_over_days, split_history
+
+
+def main() -> None:
+    model = wcdma_model()
+    volunteers = generate_volunteers(14, seed=43)
+
+    for trace in volunteers:
+        history, days = split_history(trace, 10)
+        policies = [
+            NaivePolicy(),
+            DelayPolicy(60.0),
+            BatchPolicy(5),
+            DelayBatchPolicy(60.0),
+            NetMasterPolicy(history),
+            OraclePolicy(),
+        ]
+        print(f"\n=== {trace.user_id} ({len(days)} test days) ===")
+        print(f"{'policy':18s} {'energy J':>10s} {'saving':>8s} {'radio s':>9s} "
+              f"{'down kBps':>10s} {'affected':>9s} {'interrupts':>10s}")
+        base_energy = base_radio = None
+        for policy in policies:
+            metrics = run_policy_over_days(policy, days, model)
+            energy = sum(m.energy_j for m in metrics)
+            radio = sum(m.radio_on_s for m in metrics)
+            if base_energy is None:
+                base_energy, base_radio = energy, radio
+            saving = 1.0 - energy / base_energy
+            down = sum(m.bandwidth.avg_down_bps * m.radio_on_s for m in metrics) / radio
+            affected = sum(m.affected_user_activities for m in metrics)
+            interactions = sum(m.user_interactions for m in metrics)
+            interrupts = sum(m.interrupts for m in metrics)
+            print(
+                f"{policy.name:18s} {energy:10.1f} {saving:8.1%} {radio:9.0f} "
+                f"{down / 1000:10.2f} {affected / interactions:9.1%} {interrupts:10d}"
+            )
+        print("  (paper: NetMaster saves 77.8% on average, within ~11% of the oracle;"
+              " delay&batch saves 22.5%)")
+
+
+if __name__ == "__main__":
+    main()

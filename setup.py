@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+The sandboxed environment ships setuptools 65.5 without the ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot build a
+wheel offline.  This shim lets ``python setup.py develop`` (and plain
+``pip install --no-build-isolation .``-style workflows that fall back to
+setup.py) work; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,150 @@
+"""NetMaster reproduction: habit-driven scheduling of smartphone network
+activities for energy saving (Zhang et al., ICPP 2014).
+
+Public API tour
+---------------
+
+Trace substrate (replaces the paper's on-phone collection)::
+
+    from repro import generate_cohort, generate_volunteers
+    cohort = generate_cohort(21, seed=2014)     # the 8 profiling users
+
+Habit mining::
+
+    from repro import HabitModel
+    model = HabitModel.fit(cohort[0])
+    slots = model.user_slots(weekend=False)     # predicted user-active slots
+
+The middleware itself::
+
+    from repro import NetMaster, NetMasterConfig
+    nm = NetMaster(NetMasterConfig())
+    nm.train(history_trace)
+    execution = nm.execute_day(held_out_day)
+
+Policy comparison and paper experiments::
+
+    from repro.evaluation import fig7
+    from repro.evaluation.reporting import format_fig7
+    print(format_fig7(fig7()))
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md``
+for paper-vs-measured numbers.
+"""
+
+from repro.baselines import (
+    BatchPolicy,
+    DelayBatchPolicy,
+    DelayPolicy,
+    NaivePolicy,
+    NetMasterPolicy,
+    OraclePolicy,
+    PolicyOutcome,
+    SchedulingPolicy,
+)
+from repro.core import (
+    DayExecution,
+    DayPlan,
+    ExponentialSleep,
+    FixedSleep,
+    NetMaster,
+    NetMasterConfig,
+    NetMasterScheduler,
+    ProfitParams,
+    RandomSleep,
+    knapsack_exact,
+    knapsack_fptas,
+    knapsack_greedy,
+    solve_overlapped,
+)
+from repro.habits import (
+    FixedDelta,
+    HabitModel,
+    ImpactBasedDelta,
+    SlotPrediction,
+    SpecialAppRegistry,
+    WeekdayWeekendDelta,
+    pearson,
+    prediction_accuracy,
+)
+from repro.radio import (
+    FullTail,
+    LinkModel,
+    RadioPowerModel,
+    TruncatedTail,
+    lte_model,
+    simulate,
+    wcdma_model,
+)
+from repro.traces import (
+    AppCatalog,
+    AppModel,
+    AppUsage,
+    NetworkActivity,
+    ScreenSession,
+    Trace,
+    TraceGenerator,
+    TraceStore,
+    UserProfile,
+    default_catalog,
+    default_profiles,
+    generate_cohort,
+    generate_volunteers,
+    volunteer_profiles,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppCatalog",
+    "AppModel",
+    "AppUsage",
+    "BatchPolicy",
+    "DayExecution",
+    "DayPlan",
+    "DelayBatchPolicy",
+    "DelayPolicy",
+    "ExponentialSleep",
+    "FixedDelta",
+    "FixedSleep",
+    "FullTail",
+    "HabitModel",
+    "ImpactBasedDelta",
+    "LinkModel",
+    "NaivePolicy",
+    "NetMaster",
+    "NetMasterConfig",
+    "NetMasterPolicy",
+    "NetMasterScheduler",
+    "NetworkActivity",
+    "OraclePolicy",
+    "PolicyOutcome",
+    "ProfitParams",
+    "RadioPowerModel",
+    "RandomSleep",
+    "SchedulingPolicy",
+    "ScreenSession",
+    "SlotPrediction",
+    "SpecialAppRegistry",
+    "Trace",
+    "TraceGenerator",
+    "TraceStore",
+    "TruncatedTail",
+    "UserProfile",
+    "WeekdayWeekendDelta",
+    "default_catalog",
+    "default_profiles",
+    "generate_cohort",
+    "generate_volunteers",
+    "knapsack_exact",
+    "knapsack_fptas",
+    "knapsack_greedy",
+    "lte_model",
+    "pearson",
+    "prediction_accuracy",
+    "simulate",
+    "solve_overlapped",
+    "volunteer_profiles",
+    "wcdma_model",
+    "__version__",
+]

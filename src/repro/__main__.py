@@ -1,0 +1,118 @@
+"""Command-line entry point: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro fig7                 # one experiment
+    python -m repro fig1a fig3 fig10b    # several
+    python -m repro all                  # everything
+    python -m repro fig7 --seed 7        # alternative volunteer seed
+
+Each experiment prints the same rows/series as the paper's figure, with
+the paper's headline number alongside (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.evaluation import experiments as ex
+from repro.evaluation import reporting as rpt
+
+#: experiment name -> (driver kwargs-aware runner, formatter)
+_REGISTRY: dict[str, tuple[Callable, Callable]] = {
+    "fig1a": (ex.fig1a, rpt.format_fig1a),
+    "fig1b": (ex.fig1b, rpt.format_fig1b),
+    "fig2": (ex.fig2, rpt.format_fig2),
+    "fig3": (ex.fig3, rpt.format_fig3),
+    "fig4": (ex.fig4, rpt.format_fig4),
+    "fig5": (ex.fig5, rpt.format_fig5),
+    "fig7": (ex.fig7, rpt.format_fig7),
+    "fig8": (ex.fig8, rpt.format_fig8),
+    "fig9": (ex.fig9, rpt.format_fig9),
+    "fig10a": (ex.fig10a, rpt.format_fig10a),
+    "fig10b": (ex.fig10b, rpt.format_fig10b),
+    "fig10c": (ex.fig10c, rpt.format_fig10c),
+    "ux": (ex.user_experience, rpt.format_user_experience),
+    "approx": (ex.approximation_ratio, rpt.format_approximation),
+}
+
+#: Experiments whose drivers accept a ``seed`` keyword.
+_SEEDABLE = {
+    "fig1a",
+    "fig1b",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10c",
+    "ux",
+    "approx",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the NetMaster paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help=f"one of: {', '.join(sorted(_REGISTRY))}, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the experiment's default RNG seed",
+    )
+    return parser
+
+
+def run(names: list[str], seed: int | None = None, *, out=sys.stdout) -> int:
+    """Run the named experiments; returns a process exit code."""
+    if "list" in names:
+        print("available experiments:", file=out)
+        for name in sorted(_REGISTRY):
+            driver, _ = _REGISTRY[name]
+            doc = (driver.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:8s} {doc}", file=out)
+        return 0
+    if "all" in names:
+        names = sorted(_REGISTRY)
+    unknown = [n for n in names if n not in _REGISTRY]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(_REGISTRY))})",
+            file=sys.stderr,
+        )
+        return 2
+    for i, name in enumerate(names):
+        driver, formatter = _REGISTRY[name]
+        kwargs = {}
+        if seed is not None and name in _SEEDABLE:
+            kwargs["seed"] = seed
+        result = driver(**kwargs)
+        if i:
+            print(file=out)
+        print(formatter(result), file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return run(args.experiments, args.seed)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

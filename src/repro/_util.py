@@ -1,0 +1,142 @@
+"""Shared small utilities used across the :mod:`repro` packages.
+
+The helpers here are deliberately tiny: argument validation with uniform
+error messages, seeded random-generator coercion, and a couple of time
+constants used by every subsystem.  Keeping them in one module avoids the
+slightly-different-everywhere drift that otherwise creeps into large
+simulation codebases.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+#: Seconds per hour.
+HOUR: float = 3600.0
+
+#: Seconds per day.
+DAY: float = 86400.0
+
+#: Number of hour bins used by every hour-level habit analysis.
+HOURS_PER_DAY: int = 24
+
+#: Weekday indices (Monday=0) that count as the weekend.
+WEEKEND_DAYS: frozenset[int] = frozenset({5, 6})
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` for fresh OS entropy.  All stochastic components in the library
+    accept the same union so experiments can be made reproducible by passing
+    a single integer at the top level.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative).
+
+    Raises :class:`ValueError` with a uniform message otherwise; returns the
+    value so it can be used inline in constructors.
+    """
+    value = float(value)
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_interval(start: float, end: float, *, name: str = "interval") -> None:
+    """Validate that ``start <= end``."""
+    if start > end:
+        raise ValueError(f"{name} must have start <= end, got [{start}, {end}]")
+
+
+def weekday_of(day_index: int, start_weekday: int) -> int:
+    """Weekday (Monday=0 .. Sunday=6) of trace day ``day_index``."""
+    if day_index < 0:
+        raise ValueError(f"day_index must be >= 0, got {day_index}")
+    if not 0 <= start_weekday < 7:
+        raise ValueError(f"start_weekday must be in [0, 7), got {start_weekday}")
+    return (start_weekday + day_index) % 7
+
+
+def is_weekend(day_index: int, start_weekday: int) -> bool:
+    """Whether trace day ``day_index`` falls on a weekend."""
+    return weekday_of(day_index, start_weekday) in WEEKEND_DAYS
+
+
+def hour_of(time_s: float) -> int:
+    """Hour-of-day bin (0..23) for an absolute trace time in seconds."""
+    return int((time_s % DAY) // HOUR)
+
+
+def day_of(time_s: float) -> int:
+    """Trace day index for an absolute trace time in seconds."""
+    return int(time_s // DAY)
+
+
+def merge_intervals(
+    intervals: Sequence[tuple[float, float]], *, gap: float = 0.0
+) -> list[tuple[float, float]]:
+    """Merge overlapping (or near-touching, within ``gap``) intervals.
+
+    Returns a sorted list of disjoint ``(start, end)`` tuples.  Used by the
+    radio state machine (coalescing transfer windows) and by slot-set
+    construction in the habit miner.
+    """
+    if gap < 0:
+        raise ValueError(f"gap must be >= 0, got {gap}")
+    cleaned = []
+    for start, end in intervals:
+        check_interval(start, end)
+        cleaned.append((float(start), float(end)))
+    if not cleaned:
+        return []
+    cleaned.sort()
+    merged = [cleaned[0]]
+    for start, end in cleaned[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end + gap:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def total_length(intervals: Sequence[tuple[float, float]]) -> float:
+    """Total covered length of *disjoint* intervals."""
+    return float(sum(end - start for start, end in intervals))
+
+
+def intersect_length(
+    a: Sequence[tuple[float, float]], b: Sequence[tuple[float, float]]
+) -> float:
+    """Total overlap length between two lists of disjoint sorted intervals."""
+    total = 0.0
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total

@@ -1,0 +1,20 @@
+"""Scheduling policies: stock baseline, delay, batch, oracle, NetMaster."""
+
+from repro.baselines.batch import BatchPolicy
+from repro.baselines.delay import DelayPolicy
+from repro.baselines.delay_batch import DelayBatchPolicy
+from repro.baselines.naive import NaivePolicy
+from repro.baselines.netmaster_policy import NetMasterPolicy
+from repro.baselines.oracle import OraclePolicy
+from repro.baselines.policy import PolicyOutcome, SchedulingPolicy
+
+__all__ = [
+    "BatchPolicy",
+    "DelayBatchPolicy",
+    "DelayPolicy",
+    "NaivePolicy",
+    "NetMasterPolicy",
+    "OraclePolicy",
+    "PolicyOutcome",
+    "SchedulingPolicy",
+]

@@ -1,0 +1,44 @@
+"""Adapter exposing the NetMaster middleware as a SchedulingPolicy.
+
+Lets the evaluation harness run NetMaster side-by-side with the naive,
+delay, batch and oracle baselines under identical accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.policy import PolicyOutcome
+from repro.core.netmaster import NetMaster, NetMasterConfig
+from repro.traces.events import Trace
+
+
+@dataclass
+class NetMasterPolicy:
+    """NetMaster trained on a history trace, replayed day by day."""
+
+    history: Trace
+    config: NetMasterConfig = field(default_factory=NetMasterConfig)
+    name: str = "netmaster"
+
+    def __post_init__(self) -> None:
+        self._middleware = NetMaster(self.config)
+        self._middleware.train(self.history)
+
+    @property
+    def middleware(self) -> NetMaster:
+        """The trained middleware (for plan introspection in tests)."""
+        return self._middleware
+
+    def execute_day(self, day: Trace) -> PolicyOutcome:
+        """Run the full middleware pipeline over one held-out day."""
+        execution = self._middleware.execute_day(day)
+        return PolicyOutcome(
+            policy=self.name,
+            activities=execution.activities,
+            activity_tails=execution.activity_tails,
+            extra_windows=execution.wake_windows,
+            interrupts=execution.interrupts,
+            user_interactions=execution.user_interactions,
+            deferred=execution.deferred_to_slots + execution.duty_serviced,
+        )

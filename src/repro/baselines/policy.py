@@ -1,0 +1,137 @@
+"""The scheduling-policy protocol shared by NetMaster and the baselines.
+
+A policy takes one held-out day (plus optional training history) and
+produces a :class:`PolicyOutcome`: the transfer schedule that actually
+executed, the radio tail behaviour, any extra radio-on windows (duty-cycle
+wake-ups), and the user-impact accounting.  The evaluation harness then
+prices every outcome with the same RRC machine, which is what makes the
+Fig. 7-9 comparisons apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.radio.power import RadioPowerModel
+from repro.radio.rrc import EnergyReport, FullTail, TailPolicy, radio_on_intervals, simulate
+from repro.traces.events import NetworkActivity, Trace
+
+
+@dataclass
+class PolicyOutcome:
+    """Everything a day under one policy produced."""
+
+    policy: str
+    activities: list[NetworkActivity]
+    tail_policy: TailPolicy = field(default_factory=FullTail)
+    extra_windows: list[tuple[float, float]] = field(default_factory=list)
+    #: Optional per-activity tail allowances (fast dormancy): parallel to
+    #: ``activities``; extra windows always get a zero tail when set.
+    activity_tails: list[float] | None = None
+    interrupts: int = 0
+    user_interactions: int = 0
+    affected_user_activities: int = 0
+    deferred: int = 0
+
+    def transfer_windows(self) -> list[tuple[float, float]]:
+        """Transfer intervals only (idle wake-ups are priced separately)."""
+        return [a.interval for a in self.activities]
+
+    def _window_tails(self) -> list[float] | None:
+        if self.activity_tails is None:
+            return None
+        if len(self.activity_tails) != len(self.activities):
+            raise ValueError(
+                f"activity_tails length {len(self.activity_tails)} does not match "
+                f"{len(self.activities)} activities"
+            )
+        return list(self.activity_tails)
+
+    def wake_energy_j(self, model: RadioPowerModel) -> float:
+        """Cost of the idle duty-cycle wake-ups in ``extra_windows``.
+
+        A wake-up with pending traffic is already priced through the
+        transfer it services; an *idle* wake-up enables data briefly and
+        exchanges control signalling without a data promotion — modelled
+        as a FACH-level window (FACH promotion + FACH power).
+        """
+        return sum(
+            model.promo_fach_energy_j + model.p_fach_w * (hi - lo)
+            for lo, hi in self.extra_windows
+        )
+
+    def energy(self, model: RadioPowerModel) -> EnergyReport:
+        """RRC energy of this outcome under ``model`` (incl. wake-ups)."""
+        base = simulate(
+            self.transfer_windows(),
+            model,
+            self.tail_policy if self.activity_tails is None else None,
+            window_tails=self._window_tails(),
+        )
+        wake_e = self.wake_energy_j(model)
+        if wake_e == 0.0:
+            return base
+        wake_s = sum(hi - lo for lo, hi in self.extra_windows)
+        state = dict(base.state_energy_j)
+        state["wake"] = wake_e
+        return EnergyReport(
+            energy_j=base.energy_j + wake_e,
+            radio_on_s=base.radio_on_s + wake_s,
+            transfer_s=base.transfer_s,
+            tail_s=base.tail_s,
+            promo_idle_count=base.promo_idle_count,
+            promo_fach_count=base.promo_fach_count + len(self.extra_windows),
+            window_count=base.window_count,
+            state_energy_j=state,
+        )
+
+    def radio_on(self, model: RadioPowerModel) -> list[tuple[float, float]]:
+        """Radio-on intervals of this outcome under ``model``.
+
+        Includes the idle wake windows — the radio is enabled there even
+        though no data moves.
+        """
+        intervals = radio_on_intervals(
+            self.transfer_windows(),
+            model,
+            self.tail_policy if self.activity_tails is None else None,
+            window_tails=self._window_tails(),
+        )
+        from repro._util import merge_intervals
+
+        return merge_intervals(list(intervals) + list(self.extra_windows))
+
+    @property
+    def interrupt_ratio(self) -> float:
+        """Wrong decisions per user interaction."""
+        if self.user_interactions == 0:
+            return 0.0
+        return self.interrupts / self.user_interactions
+
+    @property
+    def affected_ratio(self) -> float:
+        """Fraction of user interactions falling in deferral windows."""
+        if self.user_interactions == 0:
+            return 0.0
+        return self.affected_user_activities / self.user_interactions
+
+    def validate_payload(self, day: Trace) -> None:
+        """Check payload conservation against the source day."""
+        src = sum(a.total_bytes for a in day.activities)
+        out = sum(a.total_bytes for a in self.activities)
+        if abs(src - out) > 1e-6 * max(src, 1.0):
+            raise ValueError(
+                f"{self.policy}: payload not conserved ({src} -> {out} bytes)"
+            )
+
+
+@runtime_checkable
+class SchedulingPolicy(Protocol):
+    """A day-level network-activity scheduler."""
+
+    name: str
+
+    def execute_day(self, day: Trace) -> PolicyOutcome:
+        """Replay one single-day trace under this policy."""
+        ...

@@ -1,0 +1,139 @@
+"""Channel-aware batch placement (the paper's future-work extension).
+
+NetMaster's planner packs each slot's deferred batch at the slot start,
+blind to channel state — which is why it cannot improve peak rates
+(Section VI-A).  This module adds the Bartendr-style refinement the
+authors defer to future work: inside each user-active slot, place the
+batch in the sub-window of best predicted signal quality, so the same
+bytes move faster *and* at a lower per-byte energy cost.
+
+The comparison experiment (``benchmarks/test_ext_channel_aware.py``)
+quantifies both effects against the channel-blind packer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive
+from repro.habits.prediction import Slot
+from repro.radio.bandwidth import LinkModel
+from repro.radio.channel import ChannelModel, best_window, transfer_energy_multiplier
+
+
+@dataclass(frozen=True, slots=True)
+class PlacedBatch:
+    """One batch placed inside a slot."""
+
+    slot: Slot
+    start: float
+    duration_s: float
+    payload_bytes: float
+    energy_multiplier: float
+    effective_rate_bps: float
+
+
+def _batch_duration(
+    payload_bytes: float, link: LinkModel, quality: float, min_duration_s: float
+) -> float:
+    return max(min_duration_s, payload_bytes / (link.bandwidth_bps * quality))
+
+
+def place_blind(
+    slot: Slot,
+    payload_bytes: float,
+    link: LinkModel,
+    channel: ChannelModel,
+    *,
+    min_duration_s: float = 0.5,
+) -> PlacedBatch:
+    """Channel-blind placement: pack at the slot start (stock NetMaster)."""
+    check_positive("payload_bytes", payload_bytes)
+    quality = channel.mean_quality(slot.start, min(slot.end, slot.start + 60.0))
+    duration = _batch_duration(payload_bytes, link, quality, min_duration_s)
+    return PlacedBatch(
+        slot=slot,
+        start=slot.start,
+        duration_s=duration,
+        payload_bytes=payload_bytes,
+        energy_multiplier=transfer_energy_multiplier(channel, slot.start, duration),
+        effective_rate_bps=payload_bytes / duration,
+    )
+
+
+def place_channel_aware(
+    slot: Slot,
+    payload_bytes: float,
+    link: LinkModel,
+    channel: ChannelModel,
+    *,
+    min_duration_s: float = 0.5,
+) -> PlacedBatch:
+    """Channel-aware placement: pack in the slot's best-quality window.
+
+    The window length is sized for the batch at nominal bandwidth, then
+    the batch transfers at the window's actual quality.
+    """
+    check_positive("payload_bytes", payload_bytes)
+    probe = max(
+        min_duration_s, min(payload_bytes / link.bandwidth_bps, slot.duration)
+    )
+    start, _ = best_window(channel, probe, within=(slot.start, slot.end))
+    quality = channel.mean_quality(start, start + probe)
+    duration = _batch_duration(payload_bytes, link, quality, min_duration_s)
+    return PlacedBatch(
+        slot=slot,
+        start=start,
+        duration_s=duration,
+        payload_bytes=payload_bytes,
+        energy_multiplier=transfer_energy_multiplier(channel, start, duration),
+        effective_rate_bps=payload_bytes / duration,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelComparison:
+    """Blind vs channel-aware placement over a set of slot batches."""
+
+    blind: tuple[PlacedBatch, ...]
+    aware: tuple[PlacedBatch, ...]
+
+    @property
+    def energy_multiplier_gain(self) -> float:
+        """Mean per-byte energy multiplier reduction (blind − aware)."""
+        if not self.blind:
+            return 0.0
+        blind = sum(b.energy_multiplier for b in self.blind) / len(self.blind)
+        aware = sum(b.energy_multiplier for b in self.aware) / len(self.aware)
+        return blind - aware
+
+    @property
+    def rate_gain(self) -> float:
+        """Mean effective-rate improvement ratio (aware / blind)."""
+        if not self.blind:
+            return 1.0
+        blind = sum(b.effective_rate_bps for b in self.blind) / len(self.blind)
+        aware = sum(b.effective_rate_bps for b in self.aware) / len(self.aware)
+        return aware / blind if blind > 0 else 1.0
+
+
+def compare_placements(
+    slots: list[Slot],
+    payloads: list[float],
+    link: LinkModel,
+    channel: ChannelModel,
+) -> ChannelComparison:
+    """Place each payload in its slot both ways and compare."""
+    if len(slots) != len(payloads):
+        raise ValueError(
+            f"slots and payloads must pair up: {len(slots)} vs {len(payloads)}"
+        )
+    blind = tuple(
+        place_blind(slot, payload, link, channel)
+        for slot, payload in zip(slots, payloads)
+    )
+    aware = tuple(
+        place_channel_aware(slot, payload, link, channel)
+        for slot, payload in zip(slots, payloads)
+    )
+    return ChannelComparison(blind=blind, aware=aware)

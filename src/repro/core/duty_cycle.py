@@ -1,0 +1,164 @@
+"""Duty-cycle sleep schemes for the real-time adjustment layer.
+
+When the screen is off, NetMaster keeps the radio down and wakes it
+periodically so "Special Apps" can use the network (Section IV-C2,
+borrowing the low-power-listening idea of B-MAC).  To cut the cost of
+fruitless wake-ups it sleeps exponentially longer after each idle wake:
+``T, 2T, 4T, …`` — the paper uses ``T = 30 s`` and compares against fixed
+and random sleeping in Fig. 10(b), and sweeps the radio-on-time cost per
+wake-up count in Fig. 10(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro._util import as_rng, check_positive
+
+
+class SleepScheme(Protocol):
+    """Produces the sleep interval before each successive wake-up."""
+
+    def reset(self) -> None:
+        """Return to the initial interval (on detected activity)."""
+        ...
+
+    def next_sleep_s(self) -> float:
+        """The sleep interval preceding the next wake-up."""
+        ...
+
+
+@dataclass
+class ExponentialSleep:
+    """The paper's scheme: ``T, 2T, 4T, …`` capped at ``max_s``."""
+
+    initial_s: float = 30.0
+    factor: float = 2.0
+    max_s: float = 3600.0
+    _current: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        check_positive("initial_s", self.initial_s)
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        check_positive("max_s", self.max_s)
+        self.reset()
+
+    def reset(self) -> None:
+        """Back to the initial interval."""
+        self._current = self.initial_s
+
+    def next_sleep_s(self) -> float:
+        """Current interval, then double (up to the cap)."""
+        interval = min(self._current, self.max_s)
+        self._current = min(self._current * self.factor, self.max_s)
+        return interval
+
+
+@dataclass
+class FixedSleep:
+    """Constant-interval sleeping (the Fig. 10(b) baseline)."""
+
+    interval_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        check_positive("interval_s", self.interval_s)
+
+    def reset(self) -> None:
+        """Stateless; nothing to reset."""
+
+    def next_sleep_s(self) -> float:
+        """Always the fixed interval."""
+        return self.interval_s
+
+
+@dataclass
+class RandomSleep:
+    """Uniform-random intervals in ``[lo_s, hi_s]`` (Fig. 10(b) baseline)."""
+
+    lo_s: float = 5.0
+    hi_s: float = 60.0
+    seed: int | np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        check_positive("lo_s", self.lo_s)
+        if self.hi_s < self.lo_s:
+            raise ValueError(f"hi_s must be >= lo_s, got [{self.lo_s}, {self.hi_s}]")
+        self._rng = as_rng(self.seed)
+
+    def reset(self) -> None:
+        """Stateless; nothing to reset."""
+
+    def next_sleep_s(self) -> float:
+        """A fresh uniform draw."""
+        return float(self._rng.uniform(self.lo_s, self.hi_s))
+
+
+@dataclass
+class DutyCycleController:
+    """Generates wake-up times across an idle period.
+
+    Each wake-up keeps the radio on for ``wake_window_s`` so Special Apps
+    can push pending traffic.  The scheme resets at the start of every
+    idle period (activity was just seen) and whenever the caller reports
+    traffic at a wake-up.
+    """
+
+    scheme: SleepScheme
+    wake_window_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("wake_window_s", self.wake_window_s)
+
+    def wakeups(self, start: float, end: float) -> list[float]:
+        """Wake-up times strictly inside the idle period ``[start, end)``."""
+        if end < start:
+            raise ValueError(f"need start <= end, got [{start}, {end}]")
+        self.scheme.reset()
+        times: list[float] = []
+        t = start
+        while True:
+            t += self.scheme.next_sleep_s()
+            if t >= end:
+                return times
+            times.append(t)
+            t += self.wake_window_s
+
+    def wake_windows(self, start: float, end: float) -> list[tuple[float, float]]:
+        """Radio-on windows of the wake-ups in ``[start, end)``."""
+        return [
+            (t, min(t + self.wake_window_s, end)) for t in self.wakeups(start, end)
+        ]
+
+
+def wakeup_count(scheme: SleepScheme, horizon_s: float, *, wake_window_s: float = 1.0) -> int:
+    """Number of wake-ups an idle period of ``horizon_s`` incurs (Fig. 10(b))."""
+    controller = DutyCycleController(scheme, wake_window_s=wake_window_s)
+    return len(controller.wakeups(0.0, horizon_s))
+
+
+def wakeup_times(scheme: SleepScheme, horizon_s: float, *, wake_window_s: float = 1.0) -> list[float]:
+    """The wake-up time sequence over one idle period."""
+    controller = DutyCycleController(scheme, wake_window_s=wake_window_s)
+    return controller.wakeups(0.0, horizon_s)
+
+
+def radio_on_fraction_after(
+    scheme: SleepScheme, n_wakeups: int, *, wake_window_s: float = 1.0
+) -> float:
+    """Fraction of elapsed time the radio was on after ``n_wakeups``.
+
+    This is the y-axis of Fig. 10(a): longer sleep intervals drive the
+    fraction down for the same number of wake-ups.
+    """
+    if n_wakeups <= 0:
+        raise ValueError(f"n_wakeups must be > 0, got {n_wakeups}")
+    check_positive("wake_window_s", wake_window_s)
+    scheme.reset()
+    elapsed = 0.0
+    for _ in range(n_wakeups):
+        elapsed += scheme.next_sleep_s() + wake_window_s
+    return n_wakeups * wake_window_s / elapsed

@@ -1,0 +1,224 @@
+"""Single-knapsack solvers: exact DP, Ibarra–Kim FPTAS, greedy.
+
+The paper's Algorithm 1 rests on ``SinKnap`` — the fully-polynomial
+approximation scheme of Ibarra & Kim (JACM 1975) — applied per user-active
+slot.  This module provides:
+
+* :func:`knapsack_fptas` — profit-scaled dynamic programming with a
+  ``(1-ε)`` guarantee in ``O(n²/ε)`` time (vectorized DP rows);
+* :func:`knapsack_exact` — the same DP without scaling for integer
+  profits (exact; used as ground truth in tests);
+* :func:`knapsack_bruteforce` — exhaustive search for tiny instances;
+* :func:`knapsack_greedy` — density-ordered greedy with the classic
+  best-single-item fix-up (``1/2`` guarantee), used by ``GreedyAdd``.
+
+Profits and weights are non-negative floats; capacities are floats.
+All solvers return a :class:`KnapsackSolution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro._util import check_fraction, check_positive
+
+
+@dataclass(frozen=True, slots=True)
+class KnapsackSolution:
+    """A feasible knapsack packing: chosen indices plus totals."""
+
+    indices: tuple[int, ...]
+    profit: float
+    weight: float
+
+    def __post_init__(self) -> None:
+        if len(set(self.indices)) != len(self.indices):
+            raise ValueError("solution contains duplicate indices")
+
+
+def _validate(profits: np.ndarray, weights: np.ndarray, capacity: float) -> None:
+    if profits.ndim != 1 or weights.ndim != 1:
+        raise ValueError("profits and weights must be 1-D")
+    if profits.shape != weights.shape:
+        raise ValueError(
+            f"profits and weights must have equal length, got {profits.size} vs {weights.size}"
+        )
+    if (profits < 0).any():
+        raise ValueError("profits must be non-negative")
+    if (weights < 0).any():
+        raise ValueError("weights must be non-negative")
+    check_positive("capacity", capacity, strict=False)
+
+
+def _solution(indices: list[int], profits: np.ndarray, weights: np.ndarray) -> KnapsackSolution:
+    idx = tuple(sorted(indices))
+    return KnapsackSolution(
+        indices=idx,
+        profit=float(profits[list(idx)].sum()) if idx else 0.0,
+        weight=float(weights[list(idx)].sum()) if idx else 0.0,
+    )
+
+
+def _profit_dp(
+    int_profits: np.ndarray, weights: np.ndarray, capacity: float
+) -> list[int]:
+    """Min-weight-per-profit DP; returns chosen item indices.
+
+    ``int_profits`` must be non-negative integers.  Runs in
+    ``O(n · Σprofit)`` with NumPy-vectorized row updates and a boolean
+    take-table for O(n · Σprofit) reconstruction.
+    """
+    n = int_profits.size
+    total = int(int_profits.sum())
+    if total == 0:
+        return []
+    if n * (total + 1) > 200_000_000:
+        raise ValueError(
+            f"DP table would need {n * (total + 1)} cells; "
+            "increase eps or split the instance"
+        )
+    # dp[q] = minimal weight achieving scaled profit exactly q
+    dp = np.full(total + 1, np.inf)
+    dp[0] = 0.0
+    take = np.zeros((n, total + 1), dtype=bool)
+    for i in range(n):
+        q = int(int_profits[i])
+        w = float(weights[i])
+        if q == 0:
+            # Zero-profit items never improve the objective; skip.
+            continue
+        cand = dp[:-q] + w if q else dp
+        better = cand < dp[q:]
+        if better.any():
+            dp[q:][better] = cand[better]
+            take[i, q:][better] = True
+    feasible = np.nonzero(dp <= capacity)[0]
+    best_q = int(feasible.max())
+    # Reconstruct by walking items backwards.
+    chosen: list[int] = []
+    q = best_q
+    for i in range(n - 1, -1, -1):
+        if q > 0 and take[i, q]:
+            chosen.append(i)
+            q -= int(int_profits[i])
+    if q != 0:
+        raise AssertionError("DP reconstruction failed to reach profit 0")
+    return chosen
+
+
+def knapsack_exact(
+    profits: np.ndarray | list[float],
+    weights: np.ndarray | list[float],
+    capacity: float,
+) -> KnapsackSolution:
+    """Exact 0/1 knapsack for integer-valued profits.
+
+    Raises :class:`ValueError` when profits are not (near-)integers —
+    use :func:`knapsack_fptas` for general floats.
+    """
+    profits = np.asarray(profits, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    _validate(profits, weights, capacity)
+    rounded = np.rint(profits)
+    if not np.allclose(profits, rounded, atol=1e-9):
+        raise ValueError("knapsack_exact requires integer profits")
+    usable = weights <= capacity
+    sub_idx = np.nonzero(usable)[0]
+    chosen_sub = _profit_dp(rounded[usable].astype(np.int64), weights[usable], capacity)
+    return _solution([int(sub_idx[i]) for i in chosen_sub], profits, weights)
+
+
+def knapsack_fptas(
+    profits: np.ndarray | list[float],
+    weights: np.ndarray | list[float],
+    capacity: float,
+    eps: float = 0.1,
+) -> KnapsackSolution:
+    """Ibarra–Kim ``(1-ε)``-approximate knapsack (the paper's ``SinKnap``).
+
+    Profits are scaled by ``K = ε · P_max / n`` and floored to integers;
+    the min-weight DP then runs over at most ``n²/ε`` scaled-profit cells.
+    The returned packing is feasible and its profit is at least
+    ``(1-ε) · OPT``.
+    """
+    profits = np.asarray(profits, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    _validate(profits, weights, capacity)
+    check_fraction("eps", eps)
+    if eps == 0.0:
+        raise ValueError("eps must be > 0 for the FPTAS; use knapsack_exact instead")
+
+    usable = weights <= capacity
+    sub_idx = np.nonzero(usable)[0]
+    sub_profits = profits[usable]
+    sub_weights = weights[usable]
+    if sub_profits.size == 0 or sub_profits.max() == 0.0:
+        return _solution([], profits, weights)
+
+    scale = eps * float(sub_profits.max()) / sub_profits.size
+    scaled = np.floor(sub_profits / scale).astype(np.int64)
+    chosen_sub = _profit_dp(scaled, sub_weights, capacity)
+    return _solution([int(sub_idx[i]) for i in chosen_sub], profits, weights)
+
+
+def knapsack_greedy(
+    profits: np.ndarray | list[float],
+    weights: np.ndarray | list[float],
+    capacity: float,
+) -> KnapsackSolution:
+    """Density-greedy packing with the best-single-item fix-up.
+
+    Sorting by profit/weight and taking the better of (greedy prefix,
+    best single item) guarantees half the optimum; this is the cheap
+    workhorse behind Algorithm 1's ``GreedyAdd`` step.
+    """
+    profits = np.asarray(profits, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    _validate(profits, weights, capacity)
+
+    usable = np.nonzero(weights <= capacity)[0]
+    if usable.size == 0:
+        return _solution([], profits, weights)
+
+    with np.errstate(divide="ignore"):
+        density = np.where(weights[usable] > 0, profits[usable] / weights[usable], np.inf)
+    order = usable[np.argsort(-density, kind="stable")]
+
+    chosen: list[int] = []
+    remaining = capacity
+    for i in order:
+        if weights[i] <= remaining:
+            chosen.append(int(i))
+            remaining -= weights[i]
+    greedy_sol = _solution(chosen, profits, weights)
+
+    best_single = int(usable[np.argmax(profits[usable])])
+    single_sol = _solution([best_single], profits, weights)
+    return greedy_sol if greedy_sol.profit >= single_sol.profit else single_sol
+
+
+def knapsack_bruteforce(
+    profits: np.ndarray | list[float],
+    weights: np.ndarray | list[float],
+    capacity: float,
+) -> KnapsackSolution:
+    """Exhaustive optimum for tiny instances (n ≤ 22); test ground truth."""
+    profits = np.asarray(profits, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    _validate(profits, weights, capacity)
+    n = profits.size
+    if n > 22:
+        raise ValueError(f"bruteforce limited to n <= 22 items, got {n}")
+    best: KnapsackSolution = _solution([], profits, weights)
+    for r in range(1, n + 1):
+        for combo in combinations(range(n), r):
+            w = float(weights[list(combo)].sum())
+            if w > capacity:
+                continue
+            p = float(profits[list(combo)].sum())
+            if p > best.profit:
+                best = _solution(list(combo), profits, weights)
+    return best

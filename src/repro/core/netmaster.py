@@ -1,0 +1,309 @@
+"""The NetMaster middleware facade (paper Section V).
+
+:class:`NetMaster` wires the three components together exactly as the
+architecture figure (Fig. 6) draws them:
+
+* **monitoring** — a :class:`~repro.traces.store.TraceStore` fed with the
+  history trace (on a phone this is the event/time-triggered recorder);
+* **mining** — :class:`~repro.habits.prediction.HabitModel` fitted from
+  the store's matrices, plus the Special-App registry;
+* **scheduling** — :class:`~repro.core.scheduler.NetMasterScheduler`
+  (decision making) and :class:`~repro.core.adjustment.RealTimeAdjustment`
+  (duty cycle + Special Apps).
+
+:meth:`NetMaster.execute_day` replays one held-out day through the full
+pipeline and returns everything the evaluation needs: the executed
+transfer schedule, the duty-cycle wake windows, and the interrupt
+accounting of Section VI-B.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro._util import DAY, check_fraction, check_positive, hour_of, merge_intervals
+from repro.core.adjustment import GapServicer, RealTimeAdjustment
+from repro.core.profit import DEFAULT_ET, ProfitParams
+from repro.core.scheduler import DayPlan, NetMasterScheduler
+from repro.habits.prediction import HabitModel
+from repro.habits.threshold import DeltaStrategy
+from repro.radio.bandwidth import LinkModel
+from repro.radio.power import RadioPowerModel, wcdma_model
+from repro.radio.rrc import TruncatedTail
+from repro.traces.events import NetworkActivity, Trace
+from repro.traces.store import TraceStore
+
+
+@dataclass(frozen=True, slots=True)
+class NetMasterConfig:
+    """All tunables of the middleware, with the paper's defaults."""
+
+    power: RadioPowerModel = field(default_factory=wcdma_model)
+    link: LinkModel = field(default_factory=LinkModel)
+    et_w: float = DEFAULT_ET
+    eps: float = 0.1
+    delta: DeltaStrategy | None = None  # None → paper's 0.2/0.1 split
+    duty_initial_s: float = 30.0
+    duty_factor: float = 2.0
+    duty_max_s: float = 3600.0
+    wake_window_s: float = 1.0
+    guard_s: float = 1.0
+    #: When True (deployment behaviour), screen-off traffic arriving
+    #: inside predicted user-active slots is held briefly and flushed on
+    #: the next real session at carrier speed.  When False (the paper's
+    #: offline δ-sweep semantics, Eq. (3)), traffic inside U runs with
+    #: stock radio behaviour and only T_n (outside U) is optimized —
+    #: this is what makes energy saving grow with δ in Fig. 10(c).
+    optimize_in_slot_traffic: bool = True
+
+    def __post_init__(self) -> None:
+        check_fraction("eps", self.eps)
+        check_positive("duty_initial_s", self.duty_initial_s)
+        check_positive("wake_window_s", self.wake_window_s)
+        check_positive("guard_s", self.guard_s, strict=False)
+
+    def tail_policy(self) -> TruncatedTail:
+        """NetMaster's radio-off policy: tails truncated at the guard."""
+        return TruncatedTail(self.guard_s)
+
+
+@dataclass
+class DayExecution:
+    """Outcome of replaying one day under NetMaster."""
+
+    weekend: bool
+    plan: DayPlan
+    activities: list[NetworkActivity]
+    #: Per-activity tail allowance (seconds), parallel to ``activities``:
+    #: the guard for traffic NetMaster controls, the full carrier timers
+    #: (inf) for traffic it leaves alone.
+    activity_tails: list[float]
+    wake_windows: list[tuple[float, float]]
+    user_interactions: int
+    interrupts: int
+    immediate: int
+    deferred_to_slots: int
+    duty_serviced: int
+    carried_to_gap_end: int
+
+    @property
+    def interrupt_ratio(self) -> float:
+        """Wrong decisions per user interaction (Section VI-B metric)."""
+        if self.user_interactions == 0:
+            return 0.0
+        return self.interrupts / self.user_interactions
+
+    def transfer_windows(self) -> list[tuple[float, float]]:
+        """All radio-demanding windows: transfers plus duty wake-ups."""
+        windows = [a.interval for a in self.activities]
+        windows.extend(self.wake_windows)
+        return windows
+
+
+class NetMaster:
+    """The middleware service: train on history, execute held-out days."""
+
+    def __init__(self, config: NetMasterConfig | None = None) -> None:
+        self.config = config or NetMasterConfig()
+        self.store = TraceStore()
+        self.habit: HabitModel | None = None
+        self.scheduler: NetMasterScheduler | None = None
+        self.adjustment: RealTimeAdjustment | None = None
+
+    # ------------------------------------------------------------------
+    # training (monitoring + mining)
+    # ------------------------------------------------------------------
+    def train(self, history: Trace) -> HabitModel:
+        """Ingest a history trace and fit the habit model."""
+        self.store.ingest_trace(history)
+        self.habit = HabitModel.fit(history)
+        params = ProfitParams(
+            power=self.config.power, link=self.config.link, et_w=self.config.et_w
+        )
+        self.scheduler = NetMasterScheduler(
+            habit=self.habit, params=params, eps=self.config.eps, delta=self.config.delta
+        )
+        self.adjustment = RealTimeAdjustment(
+            special_apps=self.habit.special_apps,
+            servicer=GapServicer(
+                initial_s=self.config.duty_initial_s,
+                factor=self.config.duty_factor,
+                max_s=self.config.duty_max_s,
+                wake_window_s=self.config.wake_window_s,
+            ),
+        )
+        return self.habit
+
+    def _require_trained(self) -> None:
+        if self.habit is None or self.scheduler is None or self.adjustment is None:
+            raise RuntimeError("NetMaster.train(history) must be called first")
+
+    # ------------------------------------------------------------------
+    # planning (scheduling component: decision making)
+    # ------------------------------------------------------------------
+    def plan_day(self, *, weekend: bool) -> DayPlan:
+        """Build a fresh day plan for the given day type."""
+        self._require_trained()
+        assert self.scheduler is not None
+        return self.scheduler.plan(weekend=weekend)
+
+    # ------------------------------------------------------------------
+    # execution (scheduling component: real-time adjustment)
+    # ------------------------------------------------------------------
+    def execute_day(self, day: Trace) -> DayExecution:
+        """Replay a single-day trace through the full middleware.
+
+        ``day`` must be a single-day trace (times in ``[0, DAY)``), e.g.
+        from :meth:`repro.traces.events.Trace.day_view`.
+        """
+        self._require_trained()
+        assert self.adjustment is not None
+        if day.n_days != 1:
+            raise ValueError("execute_day expects a single-day trace")
+        weekend = day.is_weekend_day(0)
+        plan = self.plan_day(weekend=weekend)
+        prediction = plan.prediction
+        special = self.adjustment.special_apps
+
+        bandwidth = self.config.link.bandwidth_bps
+        guard = self.config.guard_s
+        executed: list[tuple[NetworkActivity, float]] = []
+        pending: list[NetworkActivity] = []
+        immediate = deferred = 0
+        interrupts = 0
+        # Per-session packing cursor for piggybacked transfers.
+        session_cursor: dict[int, float] = {}
+        session_starts = [s.start for s in day.screen_sessions]
+
+        for activity in day.activities:
+            if activity.screen_on:
+                # Foreground / in-session traffic runs as recorded.  A
+                # use outside the predicted slots whose app is neither
+                # special nor newly installed would find the radio down:
+                # that is the "wrong decision" of Section VI-B.
+                executed.append((activity, guard))
+                if not prediction.covers(activity.time) and not special.is_special(
+                    activity.app
+                ):
+                    interrupts += 1
+                continue
+            compressed = activity.compressed(bandwidth)
+            if prediction.covers(activity.time):
+                if not self.config.optimize_in_slot_traffic:
+                    # Offline δ-sweep semantics (Eq. (3)): traffic inside
+                    # U is not NetMaster's to touch — stock timers apply.
+                    executed.append((activity, float("inf")))
+                    immediate += 1
+                    continue
+                # Screen-off traffic inside U: hold it until the radio
+                # comes up for the user anyway — the next real session in
+                # the slot — and flush it at carrier speed (real-time
+                # adjustment piggybacking).  No session left in the slot:
+                # fall through to planning/duty-cycle handling.
+                target = _next_session_start(
+                    session_starts, activity.time, prediction, day
+                )
+                if target is not None:
+                    idx, start = target
+                    cursor = session_cursor.get(idx, start)
+                    cursor = min(cursor, DAY - compressed.duration)
+                    executed.append((compressed.moved_to(cursor), guard))
+                    session_cursor[idx] = cursor + compressed.duration + 0.2
+                    immediate += 1
+                    continue
+            slot_id = plan.admit(hour_of(activity.time), activity.total_bytes)
+            if slot_id is not None:
+                start = plan.execution_time(slot_id, compressed.duration)
+                start = min(start, DAY - compressed.duration)
+                executed.append((compressed.moved_to(max(0.0, start)), guard))
+                deferred += 1
+            else:
+                pending.append(compressed)
+
+        # Duty-cycle the idle gaps (screen off AND outside predicted slots).
+        busy = [(s.start, s.end) for s in day.screen_sessions]
+        busy.extend((slot.start, slot.end) for slot in prediction.slots)
+        busy = merge_intervals(busy)
+        gaps = _complement(busy, 0.0, DAY)
+
+        wake_windows: list[tuple[float, float]] = []
+        duty_serviced = carried = 0
+        gap_handled: set[int] = set()
+        for gap_start, gap_end in gaps:
+            in_gap = []
+            for i, a in enumerate(pending):
+                if gap_start <= a.time < gap_end:
+                    in_gap.append(a)
+                    gap_handled.add(i)
+            if not in_gap and gap_end - gap_start < self.config.duty_initial_s:
+                continue
+            result = self.adjustment.servicer.service(gap_start, gap_end, in_gap)
+            executed.extend(
+                (a.moved_to(min(a.time, DAY - a.duration)), guard)
+                for a in result.executed
+            )
+            wake_windows.extend(result.wake_windows)
+            duty_serviced += result.serviced
+            carried += result.carried_to_end
+        # Anything still pending sits inside a busy period (e.g. a slot
+        # whose plan capacity ran out): the radio is reachable there, so
+        # it simply executes in place.
+        for i, activity in enumerate(pending):
+            if i not in gap_handled:
+                executed.append(
+                    (activity.moved_to(min(activity.time, DAY - activity.duration)), guard)
+                )
+                immediate += 1
+
+        executed.sort(key=lambda pair: pair[0].time)
+        return DayExecution(
+            weekend=weekend,
+            plan=plan,
+            activities=[a for a, _ in executed],
+            activity_tails=[t for _, t in executed],
+            wake_windows=wake_windows,
+            user_interactions=len(day.usages),
+            interrupts=interrupts,
+            immediate=immediate,
+            deferred_to_slots=deferred,
+            duty_serviced=duty_serviced,
+            carried_to_gap_end=carried,
+        )
+
+
+def _next_session_start(
+    session_starts: list[float],
+    time_s: float,
+    prediction,
+    day: Trace,
+) -> tuple[int, float] | None:
+    """The next screen session starting within the slot covering ``time_s``.
+
+    Returns ``(session_index, session_start)`` or ``None`` when the
+    covering slot runs out before the user shows up again.
+    """
+    covering = next((s for s in prediction.slots if s.contains(time_s)), None)
+    if covering is None:
+        return None
+    idx = bisect.bisect_left(session_starts, time_s)
+    if idx < len(session_starts) and session_starts[idx] < covering.end:
+        return idx, session_starts[idx]
+    return None
+
+
+def _complement(
+    busy: list[tuple[float, float]], start: float, end: float
+) -> list[tuple[float, float]]:
+    """Gaps of ``[start, end]`` not covered by sorted disjoint ``busy``."""
+    gaps: list[tuple[float, float]] = []
+    cursor = start
+    for lo, hi in busy:
+        if lo > cursor:
+            gaps.append((cursor, min(lo, end)))
+        cursor = max(cursor, hi)
+        if cursor >= end:
+            break
+    if cursor < end:
+        gaps.append((cursor, end))
+    return gaps

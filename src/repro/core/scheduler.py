@@ -1,0 +1,142 @@
+"""The NetMaster scheduling component: plan construction and admission.
+
+Glues the mining outputs to Algorithm 1 (Section V-C "decision making"):
+
+1. predict the user-active slot set ``U`` for the day type;
+2. build the overlapped-MKP instance from expected screen-off traffic
+   (:mod:`repro.core.profit`);
+3. solve it with the ``(1-ε)/2`` algorithm (ε = 0.1 in the paper);
+4. expose the result as a :class:`DayPlan` that the runtime queries
+   activity-by-activity: *which slot does an hour-``h`` background
+   transfer go to, and is there capacity left?*
+
+Scheduled transfers are packed back-to-back from the start of their slot
+so they coalesce into a single radio-on window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_fraction
+from repro.core.overlapped import MKPSolution, solve_overlapped
+from repro.core.profit import ProfitParams, ScheduleInstance, build_instance
+from repro.habits.prediction import HabitModel, Slot, SlotPrediction
+from repro.habits.threshold import DeltaStrategy
+
+#: Gap inserted between packed transfers inside a slot; small enough that
+#: the RRC machine keeps the radio in DCH across the whole burst.
+PACK_GAP_S = 0.2
+
+
+@dataclass
+class DayPlan:
+    """The executable outcome of one day's planning.
+
+    Stateful at runtime: :meth:`admit` consumes slot capacity and
+    :meth:`execution_time` advances per-slot packing cursors, so create a
+    fresh plan (or call :meth:`reset`) per simulated day.
+    """
+
+    weekend: bool
+    prediction: SlotPrediction
+    instance: ScheduleInstance
+    solution: MKPSolution
+    hour_slots: dict[int, list[int]]
+    capacity_left: dict[int, float] = field(default_factory=dict)
+    _cursor: dict[int, float] = field(default_factory=dict)
+    _rotation: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore full capacities and packing cursors."""
+        self.capacity_left = {s.slot_id: s.capacity for s in self.instance.slots}
+        self._cursor = {
+            slot_id: slot.start for slot_id, slot in self.instance.slot_info.items()
+        }
+        self._rotation = {}
+
+    # ------------------------------------------------------------------
+    # plan queries
+    # ------------------------------------------------------------------
+    def slot(self, slot_id: int) -> Slot:
+        """The wall-clock slot behind a knapsack id."""
+        return self.instance.slot_info[slot_id]
+
+    @property
+    def planned_hours(self) -> list[int]:
+        """Hours of ``T_n`` with at least one scheduled pseudo-activity."""
+        return sorted(self.hour_slots)
+
+    @property
+    def scheduled_fraction(self) -> float:
+        """Fraction of planned pseudo-activities that got a slot."""
+        total = len(self.instance.items) + len(self.instance.unplaced)
+        if total == 0:
+            return 1.0
+        return len(self.solution.assignment) / total
+
+    # ------------------------------------------------------------------
+    # runtime admission
+    # ------------------------------------------------------------------
+    def admit(self, hour: int, payload_bytes: float) -> int | None:
+        """Admit a real activity of hour ``hour`` into a planned slot.
+
+        Rotates through the slots the hour's pseudo-activities were
+        assigned to, skipping slots whose remaining capacity cannot take
+        the payload.  Returns the chosen slot id, or ``None`` when the
+        activity must fall back to the duty-cycle path.
+        """
+        assigned = self.hour_slots.get(hour)
+        if not assigned:
+            return None
+        start = self._rotation.get(hour, 0)
+        for offset in range(len(assigned)):
+            slot_id = assigned[(start + offset) % len(assigned)]
+            if self.capacity_left[slot_id] >= payload_bytes:
+                self._rotation[hour] = (start + offset + 1) % len(assigned)
+                self.capacity_left[slot_id] -= payload_bytes
+                return slot_id
+        return None
+
+    def execution_time(self, slot_id: int, duration_s: float) -> float:
+        """Packed execution start time (second-of-day) within a slot."""
+        t = self._cursor[slot_id]
+        self._cursor[slot_id] = t + duration_s + PACK_GAP_S
+        return t
+
+
+@dataclass
+class NetMasterScheduler:
+    """Builds :class:`DayPlan` objects from a fitted habit model."""
+
+    habit: HabitModel
+    params: ProfitParams
+    eps: float = 0.1
+    delta: DeltaStrategy | None = None
+
+    def __post_init__(self) -> None:
+        check_fraction("eps", self.eps)
+        if self.eps == 0.0:
+            raise ValueError("eps must be > 0 (the FPTAS needs a positive ε)")
+
+    def plan(self, *, weekend: bool) -> DayPlan:
+        """Produce the day's scheduling scheme ``S`` (Eq. (6))."""
+        prediction = self.habit.user_slots(weekend=weekend, strategy=self.delta)
+        instance = build_instance(self.habit, prediction, self.params, weekend=weekend)
+        solution = solve_overlapped(instance.slots, instance.items, eps=self.eps)
+        hour_slots: dict[int, list[int]] = {}
+        for item_id in sorted(solution.assignment):
+            activity = instance.activity_info[item_id]
+            hour_slots.setdefault(activity.hour, []).append(
+                solution.assignment[item_id]
+            )
+        return DayPlan(
+            weekend=weekend,
+            prediction=prediction,
+            instance=instance,
+            solution=solution,
+            hour_slots=hour_slots,
+        )

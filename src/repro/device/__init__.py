@@ -1,0 +1,25 @@
+"""Device simulator substrate: DES kernel, screen, interface, monitor."""
+
+from repro.device.interface import NetworkInterface, TransferRecord
+from repro.device.kernel import EventHandle, SimulationError, Simulator
+from repro.device.monitoring import (
+    SCREEN_OFF_SAMPLE_S,
+    SCREEN_ON_SAMPLE_S,
+    MonitoringComponent,
+)
+from repro.device.screen import ScreenModel
+from repro.device.simulator import DeviceRunReport, DeviceSimulator
+
+__all__ = [
+    "SCREEN_OFF_SAMPLE_S",
+    "SCREEN_ON_SAMPLE_S",
+    "DeviceRunReport",
+    "DeviceSimulator",
+    "EventHandle",
+    "MonitoringComponent",
+    "NetworkInterface",
+    "ScreenModel",
+    "SimulationError",
+    "Simulator",
+    "TransferRecord",
+]

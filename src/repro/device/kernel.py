@@ -1,0 +1,168 @@
+"""A small discrete-event simulation kernel.
+
+The device simulator replays traces as streams of timestamped events
+(screen flips, app launches, transfers, duty-cycle timers).  This kernel
+provides the usual DES machinery: a monotonic clock, a binary-heap event
+queue with stable FIFO ordering for simultaneous events, one-shot and
+periodic timers, and cancellation.
+
+It is deliberately minimal — callbacks, not coroutines — because every
+process in this system is short and reactive; the HPC guides' advice
+("make it work, profile before optimizing") applies: the heap operations
+are nowhere near the profile's hot spots, which live in the NumPy energy
+accounting.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (scheduling in the past, etc.)."""
+
+
+@dataclass(frozen=True, slots=True)
+class EventHandle:
+    """Opaque handle returned by the ``schedule_*`` methods; cancellable."""
+
+    seq: int
+    time: float
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """Event-driven simulator with a float-seconds clock."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[_QueuedEvent] = []
+        self._handles: dict[int, _QueuedEvent] = {}
+        self._seq = itertools.count()
+        self._events_run = 0
+        self._periodic_chains: dict[int, dict] = {}
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        """Total callbacks executed so far."""
+        return self._events_run
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) queued events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at absolute ``time`` (must not be in the past)."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at t={time} < now={self._now}")
+        event = _QueuedEvent(time=float(time), seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        self._handles[event.seq] = event
+        return EventHandle(seq=event.seq, time=event.time)
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        start_in: float | None = None,
+        until: float = math.inf,
+    ) -> EventHandle:
+        """Run ``callback`` every ``interval`` seconds until ``until``.
+
+        Returns a handle representing the whole periodic chain; passing it
+        to :meth:`cancel` stops future occurrences.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be > 0, got {interval}")
+        state: dict = {"cancelled": False, "handle": None}
+
+        def tick() -> None:
+            if state["cancelled"]:
+                return
+            callback()
+            next_time = self._now + interval
+            if next_time < until:
+                state["handle"] = self.schedule_at(next_time, tick)
+
+        first = self.schedule_in(interval if start_in is None else start_in, tick)
+        state["handle"] = first
+        self._periodic_chains[first.seq] = state
+        return first
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a pending event or periodic chain.
+
+        Returns ``False`` when the event already ran or was cancelled.
+        """
+        chain = self._periodic_chains.pop(handle.seq, None)
+        if chain is not None:
+            chain["cancelled"] = True
+            inner = chain.get("handle")
+            if isinstance(inner, EventHandle):
+                handle = inner
+        event = self._handles.get(handle.seq)
+        if event is None or event.cancelled:
+            return False
+        event.cancelled = True
+        return True
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next live event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            self._handles.pop(event.seq, None)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_run += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: float = math.inf) -> None:
+        """Run until the queue drains or the clock would pass ``until``.
+
+        With a finite ``until`` the clock is advanced to exactly ``until``
+        afterwards (events scheduled at ``until`` itself still run).
+        """
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                self._handles.pop(head.seq, None)
+                continue
+            if head.time > until:
+                break
+            self.step()
+        if until is not math.inf and self._now < until:
+            self._now = until

@@ -1,0 +1,100 @@
+"""The monitoring component running on the simulated device.
+
+Implements the hybrid recording model of paper Section V-A on the DES:
+
+* **event triggers** — broadcast receivers for screen transitions and app
+  launches record state changes the moment they happen;
+* **time triggers** — byte counters are sampled by a 1 s timer while the
+  screen is on and a 30 s timer while it is off (user intensity is heavy
+  when the screen is on, so the sampling rate follows);
+* records pass through the 500 KB in-memory :class:`WriteCache` so flash
+  writes are batched.
+
+The component's output is a :class:`~repro.traces.store.TraceStore`, the
+database the mining component reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.device.interface import NetworkInterface
+from repro.device.kernel import EventHandle, Simulator
+from repro.device.screen import ScreenModel
+from repro.traces.events import AppUsage, NetworkActivity, ScreenSession
+from repro.traces.store import TraceStore
+
+#: Sampling period of the byte counters while the screen is on.
+SCREEN_ON_SAMPLE_S = 1.0
+
+#: Sampling period while the screen is off.
+SCREEN_OFF_SAMPLE_S = 30.0
+
+
+@dataclass
+class MonitoringComponent:
+    """Event/time-triggered recorder feeding the on-device store."""
+
+    simulator: Simulator
+    screen: ScreenModel
+    interface: NetworkInterface
+    store: TraceStore = field(default_factory=TraceStore)
+    samples_taken: int = 0
+    _session_start: float | None = field(init=False, default=None)
+    _sample_timer: EventHandle | None = field(init=False, default=None)
+    _sampled_transfers: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.screen.subscribe(self._on_screen)
+        self._arm_timer(self.screen.is_on)
+
+    # ------------------------------------------------------------------
+    # event triggers
+    # ------------------------------------------------------------------
+    def _on_screen(self, time: float, on: bool) -> None:
+        if on:
+            self._session_start = time
+        else:
+            if self._session_start is not None:
+                self.store.record_screen(ScreenSession(self._session_start, time))
+                self._session_start = None
+        # The sampling timer follows the screen state.
+        self._arm_timer(on)
+
+    def record_app_launch(self, usage: AppUsage) -> None:
+        """Event trigger: a foreground app came up."""
+        self.store.record_usage(usage)
+
+    def record_network_activity(self, activity: NetworkActivity) -> None:
+        """Event trigger: the interface admitted a transfer."""
+        self.store.record_network(activity)
+
+    # ------------------------------------------------------------------
+    # time triggers
+    # ------------------------------------------------------------------
+    def _arm_timer(self, screen_on: bool) -> None:
+        if self._sample_timer is not None:
+            self.simulator.cancel(self._sample_timer)
+        period = SCREEN_ON_SAMPLE_S if screen_on else SCREEN_OFF_SAMPLE_S
+        self._sample_timer = self.simulator.schedule_every(period, self._sample)
+
+    def _sample(self) -> None:
+        """Sample the interface byte counters (non-state variables)."""
+        self.samples_taken += 1
+        self._sampled_transfers = len(self.interface.transfers)
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def finalize(self, at: float | None = None) -> TraceStore:
+        """Close any open session, flush the cache, return the store."""
+        if self._session_start is not None:
+            end = self.simulator.now if at is None else at
+            if end > self._session_start:
+                self.store.record_screen(ScreenSession(self._session_start, end))
+            self._session_start = None
+        if self._sample_timer is not None:
+            self.simulator.cancel(self._sample_timer)
+            self._sample_timer = None
+        self.store.checkpoint()
+        return self.store

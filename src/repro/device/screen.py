@@ -1,0 +1,63 @@
+"""Screen state model for the device simulator.
+
+Replays a trace's screen sessions on the DES clock and notifies
+registered listeners on every transition — the same role the
+``SCREEN_ON``/``SCREEN_OFF`` broadcast receivers play in NetMaster's
+monitoring component on a real handset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.device.kernel import Simulator
+from repro.traces.events import ScreenSession
+
+ScreenListener = Callable[[float, bool], None]
+
+
+@dataclass
+class ScreenModel:
+    """Drives screen on/off events and answers state queries."""
+
+    simulator: Simulator
+    sessions: list[ScreenSession] = field(default_factory=list)
+    _on: bool = field(init=False, default=False)
+    _listeners: list[ScreenListener] = field(default_factory=list, init=False)
+    _transitions: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.sessions = sorted(self.sessions, key=lambda s: s.start)
+        for session in self.sessions:
+            self.simulator.schedule_at(session.start, self._make_flip(True))
+            self.simulator.schedule_at(session.end, self._make_flip(False))
+
+    def _make_flip(self, on: bool) -> Callable[[], None]:
+        def flip() -> None:
+            if self._on == on:
+                return
+            self._on = on
+            self._transitions += 1
+            for listener in list(self._listeners):
+                listener(self.simulator.now, on)
+
+        return flip
+
+    @property
+    def is_on(self) -> bool:
+        """Current screen state."""
+        return self._on
+
+    @property
+    def transitions(self) -> int:
+        """Number of on/off flips fired so far."""
+        return self._transitions
+
+    def subscribe(self, listener: ScreenListener) -> None:
+        """Register a ``(time, is_on)`` transition callback."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: ScreenListener) -> None:
+        """Remove a previously registered callback."""
+        self._listeners.remove(listener)

@@ -1,0 +1,100 @@
+"""Evaluation metrics shared by all experiments (Section VI).
+
+Every policy outcome is priced by the same RRC machine; the metrics here
+wrap that accounting into the three dimensions the paper reports —
+energy saving, radio-on time, and bandwidth utilization — plus the user-
+experience counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import total_length
+from repro.baselines.policy import PolicyOutcome, SchedulingPolicy
+from repro.radio.bandwidth import UtilizationStats, utilization
+from repro.radio.power import RadioPowerModel
+from repro.traces.events import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyDayMetrics:
+    """One policy's full metric set over one day."""
+
+    policy: str
+    energy_j: float
+    radio_on_s: float
+    transfer_s: float
+    bandwidth: UtilizationStats
+    interrupts: int
+    user_interactions: int
+    affected_user_activities: int
+    deferred: int
+
+    @property
+    def interrupt_ratio(self) -> float:
+        """Wrong decisions per user interaction."""
+        if self.user_interactions == 0:
+            return 0.0
+        return self.interrupts / self.user_interactions
+
+    @property
+    def affected_ratio(self) -> float:
+        """Fraction of interactions falling in deferral windows."""
+        if self.user_interactions == 0:
+            return 0.0
+        return self.affected_user_activities / self.user_interactions
+
+
+def measure_outcome(
+    outcome: PolicyOutcome, model: RadioPowerModel, day: Trace
+) -> PolicyDayMetrics:
+    """Price a policy outcome with the shared RRC accounting."""
+    outcome.validate_payload(day)
+    report = outcome.energy(model)
+    radio_on = outcome.radio_on(model)
+    return PolicyDayMetrics(
+        policy=outcome.policy,
+        energy_j=report.energy_j,
+        radio_on_s=total_length(radio_on),
+        transfer_s=report.transfer_s,
+        bandwidth=utilization(outcome.activities, radio_on),
+        interrupts=outcome.interrupts,
+        user_interactions=outcome.user_interactions,
+        affected_user_activities=outcome.affected_user_activities,
+        deferred=outcome.deferred,
+    )
+
+
+def run_policy_over_days(
+    policy: SchedulingPolicy,
+    days: list[Trace],
+    model: RadioPowerModel,
+) -> list[PolicyDayMetrics]:
+    """Execute and measure a policy over several held-out days."""
+    return [measure_outcome(policy.execute_day(day), model, day) for day in days]
+
+
+def energy_saving(metrics: PolicyDayMetrics, baseline: PolicyDayMetrics) -> float:
+    """Relative energy saving of ``metrics`` against ``baseline``."""
+    if baseline.energy_j == 0:
+        return 0.0
+    return 1.0 - metrics.energy_j / baseline.energy_j
+
+
+def radio_time_saving(metrics: PolicyDayMetrics, baseline: PolicyDayMetrics) -> float:
+    """Relative radio-on-time saving against ``baseline``."""
+    if baseline.radio_on_s == 0:
+        return 0.0
+    return 1.0 - metrics.radio_on_s / baseline.radio_on_s
+
+
+def aggregate_energy_saving(
+    metrics: list[PolicyDayMetrics], baselines: list[PolicyDayMetrics]
+) -> float:
+    """Total-energy saving over a multi-day test window."""
+    total_base = sum(m.energy_j for m in baselines)
+    total = sum(m.energy_j for m in metrics)
+    if total_base == 0:
+        return 0.0
+    return 1.0 - total / total_base

@@ -1,0 +1,213 @@
+"""Plain-text reporting of experiment results.
+
+Each ``print_*`` / ``format_*`` pair renders one experiment's result in
+the same rows/series layout as the paper's figure, with the paper's
+headline number alongside for comparison.  The benchmark suite calls
+these after timing the drivers so ``pytest benchmarks/ --benchmark-only``
+doubles as the full results reproduction.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import experiments as ex
+
+PAPER = {
+    "fig1a_avg_off": 0.4098,
+    "fig1b_p90_off": 1.0,
+    "fig1b_p90_on": 5.0,
+    "fig2_util": 0.4514,
+    "fig3_avg": 0.1353,
+    "fig4_avg": 0.8171,
+    "fig5_active": 8,
+    "fig5_top_share": 0.59,
+    "fig7_netmaster": 0.778,
+    "fig7_delay_batch": 0.2254,
+    "fig7_within5": 0.816,
+    "fig7_worst_gap": 0.112,
+    "fig7_radio": 0.7539,
+    "fig7_down": 3.84,
+    "fig7_up": 2.63,
+    "fig8_energy_600": 0.092,
+    "fig8_radio_600": 0.367,
+    "fig8_bw_600": 0.3305,
+    "fig8_affected_600": 0.40,
+    "fig8_gap100": 0.17,
+    "fig9_radio": 0.177,
+    "fig9_bw": 0.176,
+    "fig10c_crossover": 0.37,
+    "ux_ratio": 0.01,
+}
+
+
+def _row(label: str, measured: float, paper: float | None = None, fmt: str = ".3f") -> str:
+    base = f"  {label:<42s} {measured:{fmt}}"
+    if paper is not None:
+        base += f"   (paper: {paper:{fmt}})"
+    return base
+
+
+def format_fig1a(result: ex.Fig1aResult) -> str:
+    """Fig. 1(a): per-user screen-off traffic fractions."""
+    lines = ["Fig 1(a) — network activity distribution (screen-off fraction)"]
+    for user, frac in zip(result.user_ids, result.off_fractions):
+        lines.append(_row(user, frac))
+    lines.append(_row("average", result.average_off_fraction, PAPER["fig1a_avg_off"]))
+    return "\n".join(lines)
+
+
+def format_fig1b(result: ex.Fig1bResult) -> str:
+    """Fig. 1(b): transfer-rate CDF summary."""
+    lines = ["Fig 1(b) — bandwidth utilization (kBps at 90th pct)"]
+    lines.append(_row("p90 screen-off", result.p90_off_kbps, PAPER["fig1b_p90_off"]))
+    lines.append(_row("p90 screen-on", result.p90_on_kbps, PAPER["fig1b_p90_on"]))
+    return "\n".join(lines)
+
+
+def format_fig2(result: ex.Fig2Result) -> str:
+    """Fig. 2: screen-on time utilization."""
+    lines = ["Fig 2 — screen-on time utilization (avg s / utilized s)"]
+    for user, total, used in zip(
+        result.user_ids, result.avg_session_s, result.avg_utilized_s
+    ):
+        lines.append(f"  {user:<42s} {total:6.1f} / {used:5.1f}")
+    lines.append(_row("average utilization ratio", result.average_utilization, PAPER["fig2_util"]))
+    return "\n".join(lines)
+
+
+def format_fig3(result: ex.Fig3Result) -> str:
+    """Fig. 3: cross-user Pearson parameters."""
+    lines = ["Fig 3 — cross-user Pearson matrix"]
+    for row in result.matrix:
+        lines.append("  " + " ".join(f"{v:6.2f}" for v in row))
+    lines.append(_row("average (off-diagonal)", result.average, PAPER["fig3_avg"]))
+    return "\n".join(lines)
+
+
+def format_fig4(result: ex.Fig4Result) -> str:
+    """Fig. 4: one user's day-to-day Pearson parameters."""
+    lines = [f"Fig 4 — day-by-day Pearson matrix ({result.user_id})"]
+    for row in result.matrix:
+        lines.append("  " + " ".join(f"{v:6.2f}" for v in row))
+    lines.append(_row("average (off-diagonal)", result.average, PAPER["fig4_avg"]))
+    return "\n".join(lines)
+
+
+def format_fig5(result: ex.Fig5Result) -> str:
+    """Fig. 5: one-week program pattern."""
+    lines = [f"Fig 5 — weekly app pattern ({result.user_id})"]
+    lines.append(
+        _row("active apps / installed", result.n_active, float(PAPER["fig5_active"]), fmt=".0f")
+    )
+    lines.append(_row(f"top app share ({result.top_app})", result.top_share, PAPER["fig5_top_share"]))
+    for app, vec in sorted(result.hourly_intensity.items()):
+        lines.append(f"  {app:<34s} total {vec.sum():6.0f}  peak hour {int(vec.argmax()):2d}")
+    return "\n".join(lines)
+
+
+def format_fig7(result: ex.Fig7Result) -> str:
+    """Figs. 7(a)-(c): the policy comparison."""
+    lines = ["Fig 7 — overall performance (energy saving vs baseline)"]
+    for vol in result.volunteers:
+        parts = ", ".join(f"{k}={v:.3f}" for k, v in sorted(vol.energy_saving.items()))
+        lines.append(f"  {vol.user_id}: {parts}")
+    lines.append(_row("NetMaster mean saving", result.netmaster_mean_saving, PAPER["fig7_netmaster"]))
+    lines.append(_row("oracle mean saving", result.oracle_mean_saving))
+    lines.append(
+        _row("delay&batch mean saving", result.delay_batch_mean_saving, PAPER["fig7_delay_batch"])
+    )
+    lines.append(_row("tests within 5% of oracle", result.within_5pct_of_oracle, PAPER["fig7_within5"]))
+    lines.append(_row("worst oracle gap", result.worst_oracle_gap, PAPER["fig7_worst_gap"]))
+    lines.append(_row("radio-on time saving", result.mean_radio_time_saving, PAPER["fig7_radio"]))
+    lines.append(_row("download avg-rate ratio", result.mean_down_ratio, PAPER["fig7_down"], fmt=".2f"))
+    lines.append(_row("upload avg-rate ratio", result.mean_up_ratio, PAPER["fig7_up"], fmt=".2f"))
+    lines.append(_row("download peak-rate ratio", result.mean_peak_down_ratio, 1.0, fmt=".2f"))
+    lines.append(_row("upload peak-rate ratio", result.mean_peak_up_ratio, 1.0, fmt=".2f"))
+    return "\n".join(lines)
+
+
+def format_fig8(result: ex.Fig8Result) -> str:
+    """Figs. 8(a)-(c): the delay sweep."""
+    lines = ["Fig 8 — delay-method sweep"]
+    lines.append("  delay_s  energy  radio   bw+     affected")
+    for d, e, r, b, a in zip(
+        result.delays_s,
+        result.energy_saving,
+        result.radio_time_saving,
+        result.bandwidth_increase,
+        result.affected_ratio,
+    ):
+        lines.append(f"  {d:7.0f}  {e:6.3f}  {r:6.3f}  {b:6.3f}  {a:6.3f}")
+    lines.append(
+        _row(
+            "interactions within 100s gaps",
+            result.interactions_within_100s_gaps,
+            PAPER["fig8_gap100"],
+        )
+    )
+    return "\n".join(lines)
+
+
+def format_fig9(result: ex.Fig9Result) -> str:
+    """Figs. 9(a)-(b): the batch sweep."""
+    lines = ["Fig 9 — batch-method sweep"]
+    lines.append("  batch   energy  radio   bw+     affected")
+    for n, e, r, b, a in zip(
+        result.batch_sizes,
+        result.energy_saving,
+        result.radio_time_saving,
+        result.bandwidth_increase,
+        result.affected_ratio,
+    ):
+        lines.append(f"  {n:5d}   {e:6.3f}  {r:6.3f}  {b:6.3f}  {a:6.3f}")
+    return "\n".join(lines)
+
+
+def format_fig10a(result: ex.Fig10aResult) -> str:
+    """Fig. 10(a): duty-cycle radio-on fraction curves."""
+    lines = ["Fig 10(a) — radio-on fraction vs wake-up count"]
+    header = "  wakeups " + " ".join(f"T={t:.0f}s".rjust(9) for t in result.sleep_intervals_s)
+    lines.append(header)
+    for i, k in enumerate(result.wakeup_counts):
+        row = f"  {k:7d} " + " ".join(
+            f"{result.fractions[t][i]:9.4f}" for t in result.sleep_intervals_s
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_fig10b(result: ex.Fig10bResult) -> str:
+    """Fig. 10(b): wake-up counts per sleep scheme."""
+    lines = ["Fig 10(b) — cumulative wake-ups over 30 minutes"]
+    lines.append("  minute  exponential  fixed  random")
+    for i, m in enumerate(result.minutes):
+        lines.append(
+            f"  {m:6.0f}  {result.exponential[i]:11d}  {result.fixed[i]:5d}  {result.random[i]:6d}"
+        )
+    return "\n".join(lines)
+
+
+def format_fig10c(result: ex.Fig10cResult) -> str:
+    """Fig. 10(c): δ sweep."""
+    lines = ["Fig 10(c) — prediction threshold sweep"]
+    lines.append("  delta   accuracy  energy-saving(ratio-to-oracle)")
+    for d, a, s in zip(result.thresholds, result.accuracy, result.energy_saving):
+        lines.append(f"  {d:5.2f}   {a:8.3f}  {s:8.3f}")
+    lines.append(_row("crossover delta", result.crossover, PAPER["fig10c_crossover"]))
+    return "\n".join(lines)
+
+
+def format_user_experience(result: ex.UserExperienceResult) -> str:
+    """Section VI-B: wrong-decision rate."""
+    lines = ["User experience — wrong decisions"]
+    lines.append(f"  interrupts / interactions: {result.interrupts} / {result.user_interactions}")
+    lines.append(_row("interrupt ratio", result.interrupt_ratio, PAPER["ux_ratio"]))
+    return "\n".join(lines)
+
+
+def format_approximation(result: ex.ApproximationResult) -> str:
+    """Lemma IV.1: empirical approximation ratios."""
+    lines = [f"Lemma IV.1 — approximation ratio over {result.trials} instances (eps={result.eps})"]
+    lines.append(_row("worst ratio", result.worst_ratio))
+    lines.append(_row("mean ratio", result.mean_ratio))
+    lines.append(_row("(1-eps)/2 bound", result.bound))
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Habit mining: intensity vectors, Pearson analysis, slot prediction."""
+
+from repro.habits.intensity import (
+    network_bytes_matrix,
+    network_intensity_matrix,
+    screen_use_matrix,
+    split_by_daytype,
+    usage_intensity_matrix,
+    usage_intensity_vector,
+)
+from repro.habits.pearson import (
+    cohort_cross_user_average,
+    cross_user_matrix,
+    day_matrix,
+    intra_user_average,
+    mean_offdiagonal,
+    pairwise_matrix,
+    pearson,
+)
+from repro.habits.prediction import (
+    HabitModel,
+    Slot,
+    SlotPrediction,
+    prediction_accuracy,
+)
+from repro.habits.special_apps import SpecialAppRegistry
+from repro.habits.threshold import (
+    DeltaStrategy,
+    FixedDelta,
+    ImpactBasedDelta,
+    WeekdayWeekendDelta,
+)
+
+__all__ = [
+    "DeltaStrategy",
+    "FixedDelta",
+    "HabitModel",
+    "ImpactBasedDelta",
+    "Slot",
+    "SlotPrediction",
+    "SpecialAppRegistry",
+    "WeekdayWeekendDelta",
+    "cohort_cross_user_average",
+    "cross_user_matrix",
+    "day_matrix",
+    "intra_user_average",
+    "mean_offdiagonal",
+    "network_bytes_matrix",
+    "network_intensity_matrix",
+    "pairwise_matrix",
+    "pearson",
+    "prediction_accuracy",
+    "screen_use_matrix",
+    "split_by_daytype",
+    "usage_intensity_matrix",
+    "usage_intensity_vector",
+]

@@ -1,0 +1,340 @@
+"""Hour-level habit prediction (paper Section IV, steps 1-2).
+
+:class:`HabitModel` is the mining component's brain: fitted on ``k`` days
+of history it yields
+
+* ``Pr[u(t_i)]`` — per-hour probabilities of phone use (Eq. (2)),
+  separately for weekdays and weekends;
+* the **user active slot set** ``U`` for a δ threshold — merged hour
+  slots where ``Pr[u(t_i)] ≥ δ``;
+* the **screen-off network active slot set** ``T_n`` (Eq. (3)) with the
+  expected per-hour activity counts and payloads the scheduler sizes its
+  knapsacks with;
+* the usage-probability integral ``∫ Pr[u(t)] dt`` that prices the
+  penalty ΔP of Eq. (4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import DAY, HOUR, HOURS_PER_DAY, check_fraction
+from repro.habits.intensity import (
+    network_bytes_matrix,
+    network_intensity_matrix,
+    screen_use_matrix,
+    split_by_daytype,
+)
+from repro.habits.special_apps import SpecialAppRegistry
+from repro.habits.threshold import DeltaStrategy, FixedDelta, ImpactBasedDelta
+from repro.traces.events import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class Slot:
+    """A predicted slot, in seconds within one day ``[start, end)``."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start < self.end <= DAY:
+            raise ValueError(f"slot must satisfy 0 <= start < end <= {DAY}")
+
+    @property
+    def duration(self) -> float:
+        """Slot length in seconds."""
+        return self.end - self.start
+
+    def contains(self, time_of_day: float) -> bool:
+        """Whether a second-of-day falls inside this slot."""
+        return self.start <= time_of_day < self.end
+
+
+@dataclass(frozen=True, slots=True)
+class SlotPrediction:
+    """User-active-slot prediction for one day type."""
+
+    hour_probs: np.ndarray
+    delta: float
+    slots: tuple[Slot, ...]
+
+    @property
+    def active_hours(self) -> np.ndarray:
+        """Boolean mask of the hours covered by the predicted slots."""
+        mask = np.zeros(HOURS_PER_DAY, dtype=bool)
+        for slot in self.slots:
+            first = int(slot.start // HOUR)
+            last = int((slot.end - 1e-9) // HOUR)
+            mask[first : last + 1] = True
+        return mask
+
+    def covers(self, time_of_day: float) -> bool:
+        """Whether a second-of-day falls inside any predicted slot."""
+        return any(s.contains(time_of_day) for s in self.slots)
+
+
+def _merge_hours(active: np.ndarray) -> tuple[Slot, ...]:
+    """Merge consecutive active hours into slots (paper: ``t_i`` has no
+    fixed length — adjacent qualifying hours form one slot)."""
+    slots: list[Slot] = []
+    start: int | None = None
+    for hour in range(HOURS_PER_DAY):
+        if active[hour] and start is None:
+            start = hour
+        elif not active[hour] and start is not None:
+            slots.append(Slot(start * HOUR, hour * HOUR))
+            start = None
+    if start is not None:
+        slots.append(Slot(start * HOUR, DAY))
+    return tuple(slots)
+
+
+@dataclass
+class HabitModel:
+    """Fitted hour-level habit statistics for one user."""
+
+    user_id: str
+    n_weekdays: int
+    n_weekends: int
+    weekday_user_probs: np.ndarray
+    weekend_user_probs: np.ndarray
+    weekday_net_counts: np.ndarray
+    weekend_net_counts: np.ndarray
+    weekday_net_bytes: np.ndarray
+    weekend_net_bytes: np.ndarray
+    weekday_net_seconds: np.ndarray
+    weekend_net_seconds: np.ndarray
+    weekday_screen_seconds: np.ndarray
+    weekend_screen_seconds: np.ndarray
+    special_apps: SpecialAppRegistry = field(default_factory=SpecialAppRegistry)
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(cls, history: Trace) -> "HabitModel":
+        """Fit from ``k`` days of monitoring history (Eqs. (2)-(3))."""
+        use = screen_use_matrix(history)
+        net = network_intensity_matrix(history, screen_off_only=True)
+        net_bytes = network_bytes_matrix(history, screen_off_only=True)
+        net_secs = _net_seconds_matrix(history)
+        screen_secs = _screen_seconds_matrix(history)
+
+        use_wd, use_we = split_by_daytype(use, history)
+        net_wd, net_we = split_by_daytype(net, history)
+        bytes_wd, bytes_we = split_by_daytype(net_bytes, history)
+        nsecs_wd, nsecs_we = split_by_daytype(net_secs, history)
+        secs_wd, secs_we = split_by_daytype(screen_secs, history)
+
+        def mean(rows: np.ndarray) -> np.ndarray:
+            return rows.mean(axis=0) if rows.shape[0] else np.zeros(HOURS_PER_DAY)
+
+        return cls(
+            user_id=history.user_id,
+            n_weekdays=use_wd.shape[0],
+            n_weekends=use_we.shape[0],
+            weekday_user_probs=mean(use_wd),
+            weekend_user_probs=mean(use_we),
+            weekday_net_counts=mean(net_wd),
+            weekend_net_counts=mean(net_we),
+            weekday_net_bytes=mean(bytes_wd),
+            weekend_net_bytes=mean(bytes_we),
+            weekday_net_seconds=mean(nsecs_wd),
+            weekend_net_seconds=mean(nsecs_we),
+            weekday_screen_seconds=mean(secs_wd),
+            weekend_screen_seconds=mean(secs_we),
+            special_apps=SpecialAppRegistry.from_trace(history),
+        )
+
+    # ------------------------------------------------------------------
+    # incremental updates (the phone keeps monitoring after training)
+    # ------------------------------------------------------------------
+    def updated_with(self, day: Trace) -> "HabitModel":
+        """A new model with one more observed day folded in.
+
+        On a handset the monitoring component never stops; rather than
+        refitting over the whole store every night, the hour-level
+        statistics are all per-day means and can be updated in O(24).
+        ``day`` must be a single-day trace.
+        """
+        if day.n_days != 1:
+            raise ValueError("updated_with expects a single-day trace")
+        fresh = HabitModel.fit(day)
+        weekend = day.is_weekend_day(0)
+
+        def merge(old: np.ndarray, new: np.ndarray, k: int) -> np.ndarray:
+            return (old * k + new) / (k + 1)
+
+        if weekend:
+            k = self.n_weekends
+            kwargs = dict(
+                n_weekdays=self.n_weekdays,
+                n_weekends=k + 1,
+                weekday_user_probs=self.weekday_user_probs,
+                weekend_user_probs=merge(self.weekend_user_probs, fresh.weekend_user_probs, k),
+                weekday_net_counts=self.weekday_net_counts,
+                weekend_net_counts=merge(self.weekend_net_counts, fresh.weekend_net_counts, k),
+                weekday_net_bytes=self.weekday_net_bytes,
+                weekend_net_bytes=merge(self.weekend_net_bytes, fresh.weekend_net_bytes, k),
+                weekday_net_seconds=self.weekday_net_seconds,
+                weekend_net_seconds=merge(
+                    self.weekend_net_seconds, fresh.weekend_net_seconds, k
+                ),
+                weekday_screen_seconds=self.weekday_screen_seconds,
+                weekend_screen_seconds=merge(
+                    self.weekend_screen_seconds, fresh.weekend_screen_seconds, k
+                ),
+            )
+        else:
+            k = self.n_weekdays
+            kwargs = dict(
+                n_weekdays=k + 1,
+                n_weekends=self.n_weekends,
+                weekday_user_probs=merge(self.weekday_user_probs, fresh.weekday_user_probs, k),
+                weekend_user_probs=self.weekend_user_probs,
+                weekday_net_counts=merge(self.weekday_net_counts, fresh.weekday_net_counts, k),
+                weekend_net_counts=self.weekend_net_counts,
+                weekday_net_bytes=merge(self.weekday_net_bytes, fresh.weekday_net_bytes, k),
+                weekend_net_bytes=self.weekend_net_bytes,
+                weekday_net_seconds=merge(
+                    self.weekday_net_seconds, fresh.weekday_net_seconds, k
+                ),
+                weekend_net_seconds=self.weekend_net_seconds,
+                weekday_screen_seconds=merge(
+                    self.weekday_screen_seconds, fresh.weekday_screen_seconds, k
+                ),
+                weekend_screen_seconds=self.weekend_screen_seconds,
+            )
+
+        special = SpecialAppRegistry(
+            special=set(self.special_apps.special),
+            seen=set(self.special_apps.seen),
+            usage_counts=dict(self.special_apps.usage_counts),
+        )
+        networked = {a.app for a in day.activities}
+        for usage in day.usages:
+            special.observe(
+                usage.app, used=True, networked=usage.app in networked
+            )
+        for app in networked:
+            special.observe(app, used=False, networked=True)
+
+        return HabitModel(user_id=self.user_id, special_apps=special, **kwargs)
+
+    # ------------------------------------------------------------------
+    # per-day-type accessors
+    # ------------------------------------------------------------------
+    def user_probs(self, *, weekend: bool) -> np.ndarray:
+        """``Pr[u(t_i)]`` for the 24 hour slots of a day type."""
+        return self.weekend_user_probs if weekend else self.weekday_user_probs
+
+    def net_counts(self, *, weekend: bool) -> np.ndarray:
+        """Expected screen-off network activities per hour slot."""
+        return self.weekend_net_counts if weekend else self.weekday_net_counts
+
+    def net_bytes(self, *, weekend: bool) -> np.ndarray:
+        """Expected screen-off payload (bytes) per hour slot."""
+        return self.weekend_net_bytes if weekend else self.weekday_net_bytes
+
+    def net_seconds(self, *, weekend: bool) -> np.ndarray:
+        """Expected screen-off transfer seconds per hour slot."""
+        return self.weekend_net_seconds if weekend else self.weekday_net_seconds
+
+    def screen_seconds(self, *, weekend: bool) -> np.ndarray:
+        """Expected screen-on seconds per hour slot (capacity evidence)."""
+        return self.weekend_screen_seconds if weekend else self.weekday_screen_seconds
+
+    # ------------------------------------------------------------------
+    # predictions
+    # ------------------------------------------------------------------
+    def user_slots(
+        self, *, weekend: bool, strategy: DeltaStrategy | None = None
+    ) -> SlotPrediction:
+        """Step 1: the user active slot set ``U`` for one day type.
+
+        ``strategy`` defaults to the paper's fixed weekday/weekend deltas;
+        an :class:`ImpactBasedDelta` resolves its data-dependent δ against
+        this model's probability vector.
+        """
+        probs = self.user_probs(weekend=weekend)
+        if strategy is None:
+            strategy = FixedDelta(0.1 if weekend else 0.2)
+        if isinstance(strategy, ImpactBasedDelta):
+            delta = strategy.choose(probs)
+        else:
+            delta = strategy.delta_for(weekend=weekend)
+        check_fraction("delta", delta)
+        active = probs >= delta if delta > 0 else probs > 0
+        return SlotPrediction(hour_probs=probs, delta=delta, slots=_merge_hours(active))
+
+    def network_hours(self, *, weekend: bool, user_slots: SlotPrediction) -> list[int]:
+        """Step 2: hours in ``T_n`` — expected screen-off traffic outside U."""
+        counts = self.net_counts(weekend=weekend)
+        active = user_slots.active_hours
+        return [h for h in range(HOURS_PER_DAY) if counts[h] > 0 and not active[h]]
+
+    def usage_prob_integral(self, t0: float, t1: float, *, weekend: bool) -> float:
+        """``∫_{t0}^{t1} Pr[u(t)] dt`` over seconds-of-day (Eq. (4)).
+
+        The probability is the hour-level step function; ``t0 <= t1`` must
+        lie within one day.
+        """
+        if not 0.0 <= t0 <= t1 <= DAY:
+            raise ValueError(f"need 0 <= t0 <= t1 <= {DAY}, got [{t0}, {t1}]")
+        probs = self.user_probs(weekend=weekend)
+        total = 0.0
+        for hour in range(HOURS_PER_DAY):
+            lo, hi = hour * HOUR, (hour + 1) * HOUR
+            overlap = min(t1, hi) - max(t0, lo)
+            if overlap > 0:
+                total += probs[hour] * overlap
+        return total
+
+
+def _net_seconds_matrix(trace: Trace) -> np.ndarray:
+    """``(n_days, 24)`` screen-off transfer seconds per day-hour cell.
+
+    Durations are binned at the activity's start hour — background syncs
+    are seconds long, so sub-hour spill-over is negligible for planning.
+    """
+    matrix = np.zeros((trace.n_days, HOURS_PER_DAY), dtype=np.float64)
+    for activity in trace.activities:
+        if activity.screen_on:
+            continue
+        day = int(activity.time // DAY)
+        if day < trace.n_days:
+            matrix[day, int((activity.time % DAY) // HOUR)] += activity.duration
+    return matrix
+
+
+def _screen_seconds_matrix(trace: Trace) -> np.ndarray:
+    """``(n_days, 24)`` screen-on seconds per day-hour cell."""
+    matrix = np.zeros((trace.n_days, HOURS_PER_DAY), dtype=np.float64)
+    for session in trace.screen_sessions:
+        t = session.start
+        while t < session.end:
+            day = int(t // DAY)
+            hour = int((t % DAY) // HOUR)
+            bin_end = (np.floor(t / HOUR) + 1.0) * HOUR
+            seg_end = min(session.end, bin_end)
+            if day < trace.n_days:
+                matrix[day, hour] += seg_end - t
+            t = seg_end
+    return matrix
+
+
+def prediction_accuracy(prediction: SlotPrediction, day: Trace) -> float:
+    """Fraction of the day's usages falling inside the predicted slots.
+
+    This is Fig. 10(c)'s "prediction accuracy" metric; ``day`` must be a
+    single-day trace (e.g. from :meth:`repro.traces.events.Trace.day_view`).
+    """
+    if day.n_days != 1:
+        raise ValueError("prediction_accuracy expects a single-day trace")
+    if not day.usages:
+        return 1.0
+    inside = sum(1 for u in day.usages if prediction.covers(u.time % DAY))
+    return inside / len(day.usages)

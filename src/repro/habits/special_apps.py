@@ -1,0 +1,106 @@
+"""“Special Apps” detection (paper Section IV-C2, Fig. 5).
+
+A Special App is one "used at least once along with network activities".
+Tracking only these apps lets the real-time adjustment layer detect
+meaningful user interactions cheaply: in the paper's traces just 8 of the
+23 installed apps qualify, and the top one (weChat) covers 59% of usage.
+
+Newly-installed (never-before-seen) apps are conservatively treated as
+special to avoid false radio denials — the registry therefore remembers
+which apps it has *seen* at all, not just which qualified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.traces.events import Trace
+from repro.traces.store import TraceStore
+
+
+@dataclass
+class SpecialAppRegistry:
+    """Registry of Special Apps with conservative unknown-app handling."""
+
+    special: set[str] = field(default_factory=set)
+    seen: set[str] = field(default_factory=set)
+    usage_counts: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "SpecialAppRegistry":
+        """Fit from a history trace."""
+        used = {u.app for u in trace.usages}
+        networked = {a.app for a in trace.activities}
+        counts: dict[str, int] = {}
+        for usage in trace.usages:
+            counts[usage.app] = counts.get(usage.app, 0) + 1
+        return cls(
+            special=used & networked,
+            seen=used | networked | set(),
+            usage_counts=counts,
+        )
+
+    @classmethod
+    def from_store(cls, store: TraceStore) -> "SpecialAppRegistry":
+        """Fit from the monitoring component's database."""
+        used = set(store.app_usage_counts())
+        networked = set(store.app_network_counts())
+        return cls(
+            special=used & networked,
+            seen=store.apps_seen(),
+            usage_counts=store.app_usage_counts(),
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_special(self, app: str) -> bool:
+        """Whether ``app`` gets the radio on demand.
+
+        Known non-special apps are denied; unknown (newly installed) apps
+        are allowed, per the paper's "recognize it as Special Apps to
+        avoid making false operation" rule.
+        """
+        if app not in self.seen:
+            return True
+        return app in self.special
+
+    def observe(self, app: str, *, used: bool, networked: bool) -> None:
+        """Online update when the monitoring component sees ``app``.
+
+        An app becomes special the first time it has shown both a
+        foreground use and a network activity (in any order, across calls).
+        """
+        first_sight = app not in self.seen
+        self.seen.add(app)
+        if used:
+            self.usage_counts[app] = self.usage_counts.get(app, 0) + 1
+        if used and networked:
+            self.special.add(app)
+        elif first_sight and networked:
+            # Network traffic from an app never used in the foreground does
+            # not qualify it; it stays merely "seen".
+            pass
+
+    def usage_share(self) -> dict[str, float]:
+        """Fraction of all foreground usage per special app (Fig. 5)."""
+        total = sum(
+            count for app, count in self.usage_counts.items() if app in self.special
+        )
+        if total == 0:
+            return {}
+        return {
+            app: self.usage_counts.get(app, 0) / total
+            for app in sorted(self.special)
+        }
+
+    def dominant_app(self) -> tuple[str, float] | None:
+        """The most-used special app and its usage share, if any."""
+        share = self.usage_share()
+        if not share:
+            return None
+        app = max(share, key=share.__getitem__)
+        return app, share[app]

@@ -1,0 +1,103 @@
+"""δ-threshold strategies for user-active-slot prediction.
+
+The prediction threshold ``thr(u)`` (Eq. (2)) controls the energy-saving /
+user-experience trade-off (Section IV-C1, Fig. 10(c)): a large δ predicts
+few active slots (more energy saved, more interrupts); a small δ predicts
+many (safe but little saving).  The paper picks δ = 0.2 on weekdays and
+δ = 0.1 on weekends to keep expected interrupts under 1%; the balanced
+crossover in their traces sits near δ = 0.37.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro._util import check_fraction
+
+
+class DeltaStrategy(Protocol):
+    """Maps a day type to the prediction threshold δ."""
+
+    def delta_for(self, *, weekend: bool) -> float:
+        """The δ used when predicting a weekday or weekend day."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class FixedDelta:
+    """One δ for every day (used for the Fig. 10(c) sweep)."""
+
+    delta: float
+
+    def __post_init__(self) -> None:
+        check_fraction("delta", self.delta)
+
+    def delta_for(self, *, weekend: bool) -> float:
+        """δ independent of day type."""
+        return self.delta
+
+
+@dataclass(frozen=True, slots=True)
+class WeekdayWeekendDelta:
+    """The paper's deployed strategy: δ=0.2 weekdays, δ=0.1 weekends."""
+
+    weekday: float = 0.2
+    weekend: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_fraction("weekday", self.weekday)
+        check_fraction("weekend", self.weekend)
+
+    def delta_for(self, *, weekend: bool) -> float:
+        """δ chosen per day type."""
+        return self.weekend if weekend else self.weekday
+
+
+@dataclass(frozen=True, slots=True)
+class ImpactBasedDelta:
+    """Impact-based δ: the largest δ keeping expected interrupts bounded.
+
+    Following Section IV-C1, δ is "the max probability of interrupts":
+    given the hour-level usage probabilities, pick the largest threshold
+    such that the usage mass falling in slots predicted *inactive* stays
+    below ``interrupt_budget`` of total usage mass.  Both day types use
+    their own probability vector at fit time.
+    """
+
+    interrupt_budget: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_fraction("interrupt_budget", self.interrupt_budget)
+
+    def choose(self, hour_probs: np.ndarray) -> float:
+        """δ for one probability vector (24 hourly ``Pr[u(t_i)]`` values)."""
+        probs = np.asarray(hour_probs, dtype=np.float64)
+        if probs.ndim != 1 or probs.size == 0:
+            raise ValueError("hour_probs must be a non-empty 1-D array")
+        if (probs < 0).any() or (probs > 1).any():
+            raise ValueError("hour_probs must lie in [0, 1]")
+        total = probs.sum()
+        if total == 0.0:
+            return 1.0  # phone never used: every slot may be inactive
+        candidates = np.unique(np.concatenate([probs, [0.0]]))
+        best = 0.0
+        for delta in candidates:
+            missed = probs[probs < delta].sum() / total
+            if missed <= self.interrupt_budget:
+                best = max(best, float(delta))
+        return best
+
+    def delta_for(self, *, weekend: bool) -> float:
+        """Impact-based δ has no fixed value; it is data dependent.
+
+        Use :meth:`choose` with the fitted probability vector instead.
+        Raising here keeps the protocol honest: callers holding only a
+        day type must resolve the data-dependent value via the habit
+        model (see :meth:`repro.habits.prediction.HabitModel.user_slots`).
+        """
+        raise NotImplementedError(
+            "ImpactBasedDelta is data dependent; resolve it via choose(hour_probs)"
+        )

@@ -1,0 +1,61 @@
+"""Radio substrate: RRC state machine, power models, energy accounting."""
+
+from repro.radio.bandwidth import (
+    DEFAULT_BANDWIDTH_BPS,
+    LinkModel,
+    UtilizationStats,
+    utilization,
+)
+from repro.radio.channel import (
+    ChannelModel,
+    best_window,
+    transfer_energy_multiplier,
+)
+from repro.radio.energy import (
+    EnergyComparison,
+    activities_energy,
+    activities_radio_intervals,
+    activity_windows,
+    compare_schedules,
+    delta_e,
+    isolated_activity_energy,
+    trace_energy,
+)
+from repro.radio.power import RadioPowerModel, RRCState, lte_model, model_by_name, wcdma_model
+from repro.radio.rrc import (
+    EnergyReport,
+    FullTail,
+    TailPolicy,
+    TruncatedTail,
+    radio_on_intervals,
+    simulate,
+)
+
+__all__ = [
+    "DEFAULT_BANDWIDTH_BPS",
+    "ChannelModel",
+    "EnergyComparison",
+    "EnergyReport",
+    "FullTail",
+    "LinkModel",
+    "RRCState",
+    "RadioPowerModel",
+    "TailPolicy",
+    "TruncatedTail",
+    "UtilizationStats",
+    "activities_energy",
+    "best_window",
+    "activities_radio_intervals",
+    "activity_windows",
+    "compare_schedules",
+    "delta_e",
+    "isolated_activity_energy",
+    "lte_model",
+    "model_by_name",
+    "radio_on_intervals",
+    "simulate",
+    "trace_energy",
+    "transfer_energy_multiplier",
+    "utilization",
+    "wcdma_model",
+]

@@ -1,0 +1,281 @@
+"""RRC state-machine simulation over transfer schedules.
+
+Given a set of transfer windows (absolute ``(start, end)`` intervals) and a
+:class:`~repro.radio.power.RadioPowerModel`, :func:`simulate` walks the
+radio through DCH transfers, inactivity tails, demotions and promotions,
+and returns an :class:`EnergyReport` with the total network energy and
+radio-on time.
+
+Two simplifications (both standard in trace-driven RRC studies, and shared
+by the paper's model-based accounting):
+
+* promotion energy/latency is charged at the start of a transfer without
+  shifting the transfer window itself;
+* IDLE baseline power is excluded from ``energy_j`` — the paper reports
+  "energy consumption of network activities", not whole-device drain.
+
+Tail handling is pluggable via :class:`TailPolicy`: the default
+:class:`FullTail` follows the carrier's inactivity timers (what a stock
+Android radio does), while :class:`TruncatedTail` models software that
+force-disables the radio some seconds after the last byte — exactly
+NetMaster's "turn off radio whenever necessary" behaviour (`svc data
+disable`, Section V-C).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro._util import check_interval, check_positive, merge_intervals
+from repro.radio.power import RadioPowerModel
+
+
+class TailPolicy(Protocol):
+    """Decides how much inactivity tail the radio keeps after a transfer."""
+
+    def max_tail_s(self) -> float:
+        """Upper bound on post-transfer tail time before a forced IDLE."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class FullTail:
+    """Stock behaviour: carrier inactivity timers run to completion."""
+
+    def max_tail_s(self) -> float:
+        """No software cutoff — tails are bounded only by the timers."""
+        return math.inf
+
+
+@dataclass(frozen=True, slots=True)
+class TruncatedTail:
+    """Force the radio to IDLE ``guard_s`` seconds after the last byte.
+
+    ``guard_s = 0`` is the aggressive ideal; a small positive guard models
+    the detection delay of polling ``TELEPHONY_SERVICE`` for ongoing
+    transfers before dropping the connection.
+    """
+
+    guard_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("guard_s", self.guard_s, strict=False)
+
+    def max_tail_s(self) -> float:
+        """Tail time is capped at the guard interval."""
+        return self.guard_s
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyReport:
+    """Outcome of one RRC simulation.
+
+    ``energy_j`` excludes IDLE baseline; ``radio_on_s`` counts every
+    non-IDLE second (transfers, promotions, tails).
+    """
+
+    energy_j: float
+    radio_on_s: float
+    transfer_s: float
+    tail_s: float
+    promo_idle_count: int
+    promo_fach_count: int
+    window_count: int
+    state_energy_j: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def tail_energy_j(self) -> float:
+        """Energy spent in inactivity tails."""
+        return self.state_energy_j.get("tail", 0.0)
+
+    @property
+    def promo_energy_j(self) -> float:
+        """Energy spent in promotions."""
+        return self.state_energy_j.get("promo", 0.0)
+
+    @property
+    def transfer_energy_j(self) -> float:
+        """Energy spent actually moving bytes (DCH)."""
+        return self.state_energy_j.get("transfer", 0.0)
+
+
+def simulate(
+    windows: Sequence[tuple[float, float]],
+    model: RadioPowerModel,
+    tail_policy: TailPolicy | None = None,
+    *,
+    window_tails: Sequence[float] | None = None,
+) -> EnergyReport:
+    """Run the RRC machine over (possibly overlapping) transfer windows.
+
+    Windows are merged first; energy then decomposes into per-window DCH
+    transfer energy, inter-window gap handling (stay-DCH, partial tail with
+    FACH→DCH re-promotion, or full demotion with IDLE→DCH re-promotion),
+    and the final tail.
+
+    ``window_tails`` optionally assigns each *input* window its own tail
+    allowance (seconds) — the fast-dormancy hook: a batching scheme can
+    release its aggregated screen-off transfers with a near-zero tail
+    while foreground traffic keeps the carrier timers.  When windows merge,
+    the merged window inherits the allowance of the member that ends last
+    (the tail follows the final transfer).  Mutually exclusive with a
+    non-default ``tail_policy``.
+    """
+    if tail_policy is None:
+        tail_policy = FullTail()
+    if window_tails is not None:
+        if len(window_tails) != len(windows):
+            raise ValueError(
+                f"window_tails must match windows: {len(window_tails)} vs {len(windows)}"
+            )
+        if not isinstance(tail_policy, FullTail):
+            raise ValueError("window_tails cannot be combined with a custom tail_policy")
+        return _simulate_per_window(windows, model, window_tails)
+    merged = merge_intervals(windows)
+    allowances = [tail_policy.max_tail_s()] * len(merged)
+    return _run_machine(merged, model, allowances)
+
+
+def _merge_with_allowances(
+    windows: Sequence[tuple[float, float]], window_tails: Sequence[float]
+) -> tuple[list[tuple[float, float]], list[float]]:
+    """Merge overlapping windows, carrying each merged window's tail
+    allowance: the allowance of the member that ends last (ties take the
+    larger allowance — the most permissive holder keeps the radio up)."""
+    order = sorted(range(len(windows)), key=lambda i: windows[i][0])
+    merged: list[tuple[float, float]] = []
+    allowances: list[float] = []
+    for i in order:
+        start, end = float(windows[i][0]), float(windows[i][1])
+        check_interval(start, end)
+        tail = float(window_tails[i])
+        if tail < 0:
+            raise ValueError(f"window tail allowance must be >= 0, got {tail}")
+        if merged and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            if end > last_end:
+                merged[-1] = (last_start, end)
+                allowances[-1] = tail
+            elif end == last_end:
+                allowances[-1] = max(allowances[-1], tail)
+        else:
+            merged.append((start, end))
+            allowances.append(tail)
+    return merged, allowances
+
+
+def _simulate_per_window(
+    windows: Sequence[tuple[float, float]],
+    model: RadioPowerModel,
+    window_tails: Sequence[float],
+) -> EnergyReport:
+    """Fast-dormancy path: each window carries its own tail allowance."""
+    merged, allowances = _merge_with_allowances(windows, window_tails)
+    return _run_machine(merged, model, allowances)
+
+
+def _run_machine(
+    merged: list[tuple[float, float]],
+    model: RadioPowerModel,
+    allowances: list[float],
+) -> EnergyReport:
+    """Core RRC walk over disjoint sorted windows with per-window tails."""
+    if not merged:
+        return EnergyReport(
+            energy_j=0.0,
+            radio_on_s=0.0,
+            transfer_s=0.0,
+            tail_s=0.0,
+            promo_idle_count=0,
+            promo_fach_count=0,
+            window_count=0,
+            state_energy_j={"transfer": 0.0, "tail": 0.0, "promo": 0.0},
+        )
+
+    transfer_e = tail_e = promo_e = 0.0
+    transfer_s = tail_s = 0.0
+    promo_idle = promo_fach = 0
+
+    # First window always promotes from IDLE.
+    promo_idle += 1
+    promo_e += model.promo_idle_energy_j
+    promo_s_total = model.promo_idle_dch_s
+
+    for i, (start, end) in enumerate(merged):
+        allowance = allowances[i]
+        transfer_s += end - start
+        transfer_e += (end - start) * model.p_dch_w
+
+        gap = merged[i + 1][0] - end if i + 1 < len(merged) else math.inf
+        budget = min(gap, allowance, model.tail_s)
+        dch_part = min(budget, model.dch_tail_s)
+        fach_part = budget - dch_part
+        tail_s += budget
+        tail_e += dch_part * model.p_dch_w + fach_part * model.p_fach_w
+
+        if i + 1 < len(merged):
+            if gap <= min(allowance, model.dch_tail_s):
+                # Radio never left DCH: the whole gap was charged as tail,
+                # no re-promotion needed.
+                pass
+            elif gap <= min(allowance, model.tail_s):
+                # Demoted to FACH but not to IDLE.
+                promo_fach += 1
+                promo_e += model.promo_fach_energy_j
+                promo_s_total += model.promo_fach_dch_s
+            else:
+                # Fully idle (either timers expired or the policy cut the
+                # connection): promote from IDLE again.
+                promo_idle += 1
+                promo_e += model.promo_idle_energy_j
+                promo_s_total += model.promo_idle_dch_s
+
+    radio_on = transfer_s + tail_s + promo_s_total
+    return EnergyReport(
+        energy_j=transfer_e + tail_e + promo_e,
+        radio_on_s=radio_on,
+        transfer_s=transfer_s,
+        tail_s=tail_s,
+        promo_idle_count=promo_idle,
+        promo_fach_count=promo_fach,
+        window_count=len(merged),
+        state_energy_j={"transfer": transfer_e, "tail": tail_e, "promo": promo_e},
+    )
+
+
+def radio_on_intervals(
+    windows: Sequence[tuple[float, float]],
+    model: RadioPowerModel,
+    tail_policy: TailPolicy | None = None,
+    *,
+    window_tails: Sequence[float] | None = None,
+) -> list[tuple[float, float]]:
+    """The absolute intervals during which the radio is non-IDLE.
+
+    Each merged transfer window is extended by its (possibly truncated)
+    tail; windows whose gaps stay within the tail budget fuse into one
+    radio-on interval.  Promotion latency is not laid on the timeline, in
+    keeping with :func:`simulate`.  ``window_tails`` follows the same
+    fast-dormancy semantics as in :func:`simulate`.
+    """
+    if tail_policy is None:
+        tail_policy = FullTail()
+    if window_tails is not None:
+        if len(window_tails) != len(windows):
+            raise ValueError(
+                f"window_tails must match windows: {len(window_tails)} vs {len(windows)}"
+            )
+        if not isinstance(tail_policy, FullTail):
+            raise ValueError("window_tails cannot be combined with a custom tail_policy")
+        merged, allowances = _merge_with_allowances(windows, window_tails)
+    else:
+        merged = merge_intervals(windows)
+        allowances = [tail_policy.max_tail_s()] * len(merged)
+    extended = []
+    for i, (start, end) in enumerate(merged):
+        gap = merged[i + 1][0] - end if i + 1 < len(merged) else math.inf
+        budget = min(gap, allowances[i], model.tail_s)
+        extended.append((start, end + budget))
+    return merge_intervals(extended)

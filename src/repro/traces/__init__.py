@@ -1,0 +1,74 @@
+"""Trace substrate: event model, personas, generator, store, I/O, analysis.
+
+This package replaces the paper's on-phone trace collection.  See
+``DESIGN.md`` for the substitution rationale.
+"""
+
+from repro.traces.analysis import (
+    ScreenUtilization,
+    TrafficSplit,
+    active_app_share,
+    app_intensity,
+    cohort_traffic_split,
+    cohort_utilization,
+    rate_cdf,
+    rate_percentile,
+    rate_values,
+    screen_utilization,
+    traffic_split,
+)
+from repro.traces.apps import AppCatalog, AppModel, default_catalog
+from repro.traces.events import AppUsage, NetworkActivity, ScreenSession, Trace
+from repro.traces.generator import TraceGenerator, generate_cohort, generate_volunteers
+from repro.traces.io import (
+    cohort_from_dir,
+    cohort_to_dir,
+    trace_from_csv,
+    trace_from_jsonl,
+    trace_to_csv,
+    trace_to_jsonl,
+)
+from repro.traces.store import TraceStore, WriteCache
+from repro.traces.users import (
+    UserProfile,
+    default_profiles,
+    intensity_profile,
+    profile_by_id,
+    volunteer_profiles,
+)
+
+__all__ = [
+    "AppCatalog",
+    "AppModel",
+    "AppUsage",
+    "NetworkActivity",
+    "ScreenSession",
+    "ScreenUtilization",
+    "Trace",
+    "TraceGenerator",
+    "TraceStore",
+    "TrafficSplit",
+    "UserProfile",
+    "WriteCache",
+    "active_app_share",
+    "app_intensity",
+    "cohort_from_dir",
+    "cohort_to_dir",
+    "cohort_traffic_split",
+    "cohort_utilization",
+    "default_catalog",
+    "default_profiles",
+    "generate_cohort",
+    "generate_volunteers",
+    "intensity_profile",
+    "profile_by_id",
+    "rate_cdf",
+    "rate_percentile",
+    "rate_values",
+    "screen_utilization",
+    "trace_from_csv",
+    "trace_from_jsonl",
+    "trace_to_csv",
+    "trace_to_jsonl",
+    "traffic_split",
+]

@@ -1,0 +1,205 @@
+"""Trace serialization: JSONL and CSV round-tripping.
+
+Generated cohorts can be persisted and re-loaded so experiments need not
+regenerate traces, and so external traces in the same schema can be fed to
+the library.  JSONL keeps one event per line with a ``kind`` tag; CSV
+writes three sibling files (``*_sessions.csv``, ``*_usages.csv``,
+``*_activities.csv``).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.traces.events import AppUsage, NetworkActivity, ScreenSession, Trace
+
+_FORMAT_VERSION = 1
+
+
+def trace_to_jsonl(trace: Trace, path: str | Path) -> None:
+    """Write a trace as JSON-lines (header line + one line per event)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        header = {
+            "kind": "header",
+            "version": _FORMAT_VERSION,
+            "user_id": trace.user_id,
+            "n_days": trace.n_days,
+            "start_weekday": trace.start_weekday,
+        }
+        fh.write(json.dumps(header) + "\n")
+        for s in trace.screen_sessions:
+            fh.write(json.dumps({"kind": "screen", "start": s.start, "end": s.end}) + "\n")
+        for u in trace.usages:
+            fh.write(
+                json.dumps(
+                    {"kind": "usage", "time": u.time, "app": u.app, "duration": u.duration}
+                )
+                + "\n"
+            )
+        for a in trace.activities:
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "network",
+                        "time": a.time,
+                        "app": a.app,
+                        "down_bytes": a.down_bytes,
+                        "up_bytes": a.up_bytes,
+                        "duration": a.duration,
+                        "screen_on": a.screen_on,
+                    }
+                )
+                + "\n"
+            )
+
+
+def trace_from_jsonl(path: str | Path) -> Trace:
+    """Load a trace previously written by :func:`trace_to_jsonl`."""
+    path = Path(path)
+    header = None
+    sessions: list[ScreenSession] = []
+    usages: list[AppUsage] = []
+    activities: list[NetworkActivity] = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            kind = obj.pop("kind")
+            if kind == "header":
+                if obj.get("version") != _FORMAT_VERSION:
+                    raise ValueError(f"unsupported trace format version: {obj.get('version')}")
+                header = obj
+            elif kind == "screen":
+                sessions.append(ScreenSession(obj["start"], obj["end"]))
+            elif kind == "usage":
+                usages.append(AppUsage(obj["time"], obj["app"], obj["duration"]))
+            elif kind == "network":
+                activities.append(NetworkActivity(**obj))
+            else:
+                raise ValueError(f"unknown record kind: {kind!r}")
+    if header is None:
+        raise ValueError(f"{path} has no header line")
+    return Trace(
+        user_id=header["user_id"],
+        n_days=header["n_days"],
+        start_weekday=header["start_weekday"],
+        screen_sessions=sessions,
+        usages=usages,
+        activities=activities,
+    )
+
+
+def trace_to_csv(trace: Trace, prefix: str | Path) -> list[Path]:
+    """Write a trace as three CSV files sharing ``prefix``.
+
+    Returns the paths written: ``<prefix>_meta.csv``,
+    ``<prefix>_sessions.csv``, ``<prefix>_usages.csv``,
+    ``<prefix>_activities.csv``.
+    """
+    prefix = Path(prefix)
+    paths = []
+
+    meta_path = prefix.with_name(prefix.name + "_meta.csv")
+    with meta_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["user_id", "n_days", "start_weekday", "version"])
+        writer.writerow([trace.user_id, trace.n_days, trace.start_weekday, _FORMAT_VERSION])
+    paths.append(meta_path)
+
+    sessions_path = prefix.with_name(prefix.name + "_sessions.csv")
+    with sessions_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["start", "end"])
+        for s in trace.screen_sessions:
+            writer.writerow([s.start, s.end])
+    paths.append(sessions_path)
+
+    usages_path = prefix.with_name(prefix.name + "_usages.csv")
+    with usages_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time", "app", "duration"])
+        for u in trace.usages:
+            writer.writerow([u.time, u.app, u.duration])
+    paths.append(usages_path)
+
+    activities_path = prefix.with_name(prefix.name + "_activities.csv")
+    with activities_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time", "app", "down_bytes", "up_bytes", "duration", "screen_on"])
+        for a in trace.activities:
+            writer.writerow(
+                [a.time, a.app, a.down_bytes, a.up_bytes, a.duration, int(a.screen_on)]
+            )
+    paths.append(activities_path)
+    return paths
+
+
+def trace_from_csv(prefix: str | Path) -> Trace:
+    """Load a trace previously written by :func:`trace_to_csv`."""
+    prefix = Path(prefix)
+
+    meta_path = prefix.with_name(prefix.name + "_meta.csv")
+    with meta_path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    if len(rows) != 1:
+        raise ValueError(f"{meta_path} must contain exactly one metadata row")
+    meta = rows[0]
+
+    sessions_path = prefix.with_name(prefix.name + "_sessions.csv")
+    with sessions_path.open() as fh:
+        sessions = [
+            ScreenSession(float(r["start"]), float(r["end"])) for r in csv.DictReader(fh)
+        ]
+
+    usages_path = prefix.with_name(prefix.name + "_usages.csv")
+    with usages_path.open() as fh:
+        usages = [
+            AppUsage(float(r["time"]), r["app"], float(r["duration"]))
+            for r in csv.DictReader(fh)
+        ]
+
+    activities_path = prefix.with_name(prefix.name + "_activities.csv")
+    with activities_path.open() as fh:
+        activities = [
+            NetworkActivity(
+                time=float(r["time"]),
+                app=r["app"],
+                down_bytes=float(r["down_bytes"]),
+                up_bytes=float(r["up_bytes"]),
+                duration=float(r["duration"]),
+                screen_on=bool(int(r["screen_on"])),
+            )
+            for r in csv.DictReader(fh)
+        ]
+
+    return Trace(
+        user_id=meta["user_id"],
+        n_days=int(meta["n_days"]),
+        start_weekday=int(meta["start_weekday"]),
+        screen_sessions=sessions,
+        usages=usages,
+        activities=activities,
+    )
+
+
+def cohort_to_dir(traces: list[Trace], directory: str | Path) -> list[Path]:
+    """Persist a cohort as one JSONL file per user under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for trace in traces:
+        path = directory / f"{trace.user_id}.jsonl"
+        trace_to_jsonl(trace, path)
+        paths.append(path)
+    return paths
+
+
+def cohort_from_dir(directory: str | Path) -> list[Trace]:
+    """Load every ``*.jsonl`` trace under ``directory`` (sorted by name)."""
+    directory = Path(directory)
+    return [trace_from_jsonl(p) for p in sorted(directory.glob("*.jsonl"))]

@@ -1,0 +1,86 @@
+"""Tests for the policy protocol and the stock baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import NaivePolicy, PolicyOutcome, SchedulingPolicy
+from repro.radio import FullTail, wcdma_model
+from repro.traces import NetworkActivity
+
+
+class TestNaivePolicy:
+    def test_identity_schedule(self, test_day):
+        outcome = NaivePolicy().execute_day(test_day)
+        assert outcome.activities == list(test_day.activities)
+        assert isinstance(outcome.tail_policy, FullTail)
+        assert outcome.interrupts == 0
+
+    def test_energy_matches_trace_energy(self, test_day, wcdma):
+        from repro.radio import trace_energy
+
+        outcome = NaivePolicy().execute_day(test_day)
+        assert outcome.energy(wcdma).energy_j == pytest.approx(
+            trace_energy(test_day, wcdma).energy_j
+        )
+
+    def test_rejects_multiday(self, volunteer):
+        with pytest.raises(ValueError, match="single-day"):
+            NaivePolicy().execute_day(volunteer)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(NaivePolicy(), SchedulingPolicy)
+
+
+class TestPolicyOutcome:
+    def _outcome(self, **kw):
+        acts = [NetworkActivity(0.0, "a", 1000.0, 100.0, 5.0, True)]
+        defaults = dict(policy="x", activities=acts)
+        defaults.update(kw)
+        return PolicyOutcome(**defaults)
+
+    def test_transfer_windows(self):
+        outcome = self._outcome()
+        assert outcome.transfer_windows() == [(0.0, 5.0)]
+
+    def test_interrupt_ratio(self):
+        outcome = self._outcome(interrupts=1, user_interactions=100)
+        assert outcome.interrupt_ratio == 0.01
+        assert self._outcome().interrupt_ratio == 0.0
+
+    def test_affected_ratio(self):
+        outcome = self._outcome(affected_user_activities=5, user_interactions=50)
+        assert outcome.affected_ratio == 0.1
+
+    def test_payload_validation(self, tiny_trace):
+        outcome = self._outcome()
+        with pytest.raises(ValueError, match="payload"):
+            outcome.validate_payload(tiny_trace)
+
+    def test_wake_energy(self, wcdma):
+        outcome = self._outcome(extra_windows=[(100.0, 101.0), (200.0, 201.0)])
+        expected = 2 * (wcdma.promo_fach_energy_j + wcdma.p_fach_w * 1.0)
+        assert outcome.wake_energy_j(wcdma) == pytest.approx(expected)
+
+    def test_wake_energy_added_to_report(self, wcdma):
+        plain = self._outcome().energy(wcdma)
+        with_wakes = self._outcome(extra_windows=[(100.0, 101.0)]).energy(wcdma)
+        assert with_wakes.energy_j > plain.energy_j
+        assert "wake" in with_wakes.state_energy_j
+
+    def test_radio_on_includes_wakes(self, wcdma):
+        outcome = self._outcome(extra_windows=[(1000.0, 1001.0)])
+        intervals = outcome.radio_on(wcdma)
+        assert any(lo <= 1000.0 < hi for lo, hi in intervals)
+
+    def test_activity_tails_length_checked(self, wcdma):
+        outcome = self._outcome(activity_tails=[1.0, 2.0])
+        with pytest.raises(ValueError, match="length"):
+            outcome.energy(wcdma)
+
+    def test_activity_tails_priced(self, wcdma):
+        import math
+
+        full = self._outcome(activity_tails=[math.inf]).energy(wcdma)
+        cut = self._outcome(activity_tails=[0.0]).energy(wcdma)
+        assert cut.energy_j < full.energy_j

@@ -1,0 +1,64 @@
+"""Tests for channel-aware batch placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import HOUR
+from repro.core import compare_placements, place_blind, place_channel_aware
+from repro.habits.prediction import Slot
+from repro.radio import ChannelModel, LinkModel
+
+
+@pytest.fixture
+def channel():
+    return ChannelModel(seed=5)
+
+
+@pytest.fixture
+def link():
+    return LinkModel(bandwidth_bps=24000.0)
+
+
+class TestPlacement:
+    def test_blind_packs_at_slot_start(self, channel, link):
+        slot = Slot(9 * HOUR, 11 * HOUR)
+        batch = place_blind(slot, 48000.0, link, channel)
+        assert batch.start == slot.start
+        assert batch.payload_bytes == 48000.0
+
+    def test_aware_stays_inside_slot(self, channel, link):
+        slot = Slot(9 * HOUR, 11 * HOUR)
+        batch = place_channel_aware(slot, 48000.0, link, channel)
+        assert slot.start <= batch.start
+        assert batch.start + batch.duration_s <= slot.end + channel.resolution_s
+
+    def test_aware_never_worse_quality(self, channel, link):
+        slot = Slot(6 * HOUR, 12 * HOUR)
+        blind = place_blind(slot, 480000.0, link, channel)
+        aware = place_channel_aware(slot, 480000.0, link, channel)
+        assert aware.energy_multiplier <= blind.energy_multiplier + 1e-9
+        assert aware.effective_rate_bps >= blind.effective_rate_bps - 1e-9
+
+    def test_rejects_zero_payload(self, channel, link):
+        slot = Slot(0.0, HOUR)
+        with pytest.raises(ValueError):
+            place_blind(slot, 0.0, link, channel)
+
+
+class TestComparison:
+    def test_gains_non_negative(self, channel, link):
+        slots = [Slot(h * HOUR, (h + 3) * HOUR) for h in (0, 6, 12, 18)]
+        payloads = [100_000.0] * 4
+        comparison = compare_placements(slots, payloads, link, channel)
+        assert comparison.energy_multiplier_gain >= -1e-9
+        assert comparison.rate_gain >= 1.0 - 1e-9
+
+    def test_empty(self, channel, link):
+        comparison = compare_placements([], [], link, channel)
+        assert comparison.energy_multiplier_gain == 0.0
+        assert comparison.rate_gain == 1.0
+
+    def test_length_mismatch(self, channel, link):
+        with pytest.raises(ValueError, match="pair up"):
+            compare_placements([Slot(0.0, HOUR)], [], link, channel)

@@ -1,0 +1,124 @@
+"""Tests for duty-cycle sleep schemes and the controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DutyCycleController,
+    ExponentialSleep,
+    FixedSleep,
+    RandomSleep,
+    radio_on_fraction_after,
+    wakeup_count,
+    wakeup_times,
+)
+
+
+class TestExponentialSleep:
+    def test_doubling_sequence(self):
+        scheme = ExponentialSleep(initial_s=30.0)
+        assert [scheme.next_sleep_s() for _ in range(4)] == [30.0, 60.0, 120.0, 240.0]
+
+    def test_cap(self):
+        scheme = ExponentialSleep(initial_s=30.0, max_s=100.0)
+        intervals = [scheme.next_sleep_s() for _ in range(5)]
+        assert intervals == [30.0, 60.0, 100.0, 100.0, 100.0]
+
+    def test_reset(self):
+        scheme = ExponentialSleep(initial_s=30.0)
+        scheme.next_sleep_s()
+        scheme.next_sleep_s()
+        scheme.reset()
+        assert scheme.next_sleep_s() == 30.0
+
+    def test_custom_factor(self):
+        scheme = ExponentialSleep(initial_s=10.0, factor=3.0)
+        assert [scheme.next_sleep_s() for _ in range(3)] == [10.0, 30.0, 90.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialSleep(initial_s=0.0)
+        with pytest.raises(ValueError):
+            ExponentialSleep(factor=0.5)
+
+
+class TestFixedAndRandom:
+    def test_fixed_constant(self):
+        scheme = FixedSleep(interval_s=12.0)
+        assert [scheme.next_sleep_s() for _ in range(3)] == [12.0, 12.0, 12.0]
+
+    def test_random_in_range(self):
+        scheme = RandomSleep(lo_s=5.0, hi_s=10.0, seed=0)
+        for _ in range(50):
+            assert 5.0 <= scheme.next_sleep_s() <= 10.0
+
+    def test_random_reproducible(self):
+        a = RandomSleep(lo_s=1.0, hi_s=9.0, seed=3)
+        b = RandomSleep(lo_s=1.0, hi_s=9.0, seed=3)
+        assert [a.next_sleep_s() for _ in range(5)] == [b.next_sleep_s() for _ in range(5)]
+
+    def test_random_validation(self):
+        with pytest.raises(ValueError):
+            RandomSleep(lo_s=10.0, hi_s=5.0)
+
+
+class TestController:
+    def test_wakeups_inside_period(self):
+        controller = DutyCycleController(ExponentialSleep(initial_s=30.0))
+        times = controller.wakeups(0.0, 300.0)
+        assert times == [30.0, 91.0, 212.0]
+
+    def test_empty_period(self):
+        controller = DutyCycleController(FixedSleep(30.0))
+        assert controller.wakeups(100.0, 100.0) == []
+
+    def test_rejects_inverted_period(self):
+        controller = DutyCycleController(FixedSleep(30.0))
+        with pytest.raises(ValueError):
+            controller.wakeups(100.0, 50.0)
+
+    def test_wake_windows_clipped(self):
+        controller = DutyCycleController(FixedSleep(30.0), wake_window_s=5.0)
+        windows = controller.wake_windows(0.0, 32.0)
+        assert windows == [(30.0, 32.0)]
+
+    def test_scheme_reset_per_period(self):
+        controller = DutyCycleController(ExponentialSleep(initial_s=10.0))
+        first = controller.wakeups(0.0, 100.0)
+        second = controller.wakeups(1000.0, 1100.0)
+        assert [t - 1000.0 for t in second] == first
+
+
+class TestFig10Helpers:
+    def test_wakeup_count_fixed(self):
+        # 30 min at ~5 s period + 1 s window -> ~300 wakeups.
+        count = wakeup_count(FixedSleep(5.0), 1800.0)
+        assert 295 <= count <= 300
+
+    def test_exponential_far_fewer(self):
+        exp = wakeup_count(ExponentialSleep(initial_s=5.0), 1800.0)
+        fixed = wakeup_count(FixedSleep(5.0), 1800.0)
+        assert exp < fixed / 10  # Fig. 10(b)'s separation
+
+    def test_wakeup_times_monotone(self):
+        times = wakeup_times(ExponentialSleep(initial_s=5.0), 1800.0)
+        assert times == sorted(times)
+
+    def test_radio_on_fraction_decreases_with_interval(self):
+        """Fig. 10(a): longer sleeps -> lower radio-on fraction."""
+        fractions = [
+            radio_on_fraction_after(ExponentialSleep(initial_s=t), 10)
+            for t in (5.0, 30.0, 120.0, 360.0)
+        ]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_radio_on_fraction_decreases_with_wakeups(self):
+        """Exponential backoff: later wake-ups are ever sparser."""
+        scheme = ExponentialSleep(initial_s=5.0)
+        fractions = [radio_on_fraction_after(scheme, k) for k in (2, 6, 10)]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_radio_on_fraction_validation(self):
+        with pytest.raises(ValueError):
+            radio_on_fraction_after(FixedSleep(5.0), 0)

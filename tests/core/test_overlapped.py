@@ -1,0 +1,182 @@
+"""Tests for Algorithm 1 (overlapped multiple knapsack)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MKPItem, MKPSlot, solve_exact_bruteforce, solve_overlapped
+
+
+def _slot(i, cap=10.0):
+    return MKPSlot(i, cap)
+
+
+class TestValidation:
+    def test_item_needs_candidates(self):
+        with pytest.raises(ValueError, match="candidate"):
+            MKPItem(0, 1.0, {})
+
+    def test_item_max_two_candidates(self):
+        with pytest.raises(ValueError, match="at most"):
+            MKPItem(0, 1.0, {0: 1.0, 1: 1.0, 2: 1.0})
+
+    def test_negative_profit_rejected(self):
+        with pytest.raises(ValueError, match="negative profit"):
+            MKPItem(0, 1.0, {0: -1.0})
+
+    def test_duplicate_slot_ids(self):
+        with pytest.raises(ValueError, match="duplicate slot"):
+            solve_overlapped([_slot(0), _slot(0)], [MKPItem(0, 1.0, {0: 1.0})])
+
+    def test_duplicate_item_ids(self):
+        with pytest.raises(ValueError, match="duplicate item"):
+            solve_overlapped(
+                [_slot(0)], [MKPItem(0, 1.0, {0: 1.0}), MKPItem(0, 1.0, {0: 1.0})]
+            )
+
+    def test_unknown_slot_reference(self):
+        with pytest.raises(ValueError, match="unknown slots"):
+            solve_overlapped([_slot(0)], [MKPItem(0, 1.0, {7: 1.0})])
+
+
+class TestSmallInstances:
+    def test_single_slot_single_item(self):
+        sol = solve_overlapped([_slot(0, 5.0)], [MKPItem(0, 3.0, {0: 2.0})])
+        assert sol.assignment == {0: 0}
+        assert sol.total_profit == 2.0
+
+    def test_item_too_heavy_everywhere(self):
+        sol = solve_overlapped([_slot(0, 1.0)], [MKPItem(0, 3.0, {0: 2.0})])
+        assert sol.assignment == {}
+
+    def test_overlapped_item_assigned_once(self):
+        slots = [_slot(0, 5.0), _slot(1, 5.0)]
+        items = [MKPItem(0, 3.0, {0: 2.0, 1: 2.0})]
+        sol = solve_overlapped(slots, items)
+        assert len(sol.assignment) == 1
+
+    def test_filtering_prefers_higher_profit(self):
+        slots = [_slot(0, 5.0), _slot(1, 5.0)]
+        items = [MKPItem(0, 3.0, {0: 1.0, 1: 9.0})]
+        sol = solve_overlapped(slots, items)
+        assert sol.assignment[0] == 1
+
+    def test_filtering_tie_breaks_by_residual(self):
+        # Equal profits: keep the tighter slot (smaller C - V).
+        slots = [_slot(0, 100.0), _slot(1, 5.0)]
+        items = [MKPItem(0, 3.0, {0: 2.0, 1: 2.0})]
+        sol = solve_overlapped(slots, items)
+        assert sol.assignment[0] == 1
+
+    def test_greedy_add_fills_leftovers(self):
+        # Slot 0 can only hold one item via the DP; the other must be
+        # greedily added to slot 1.
+        slots = [_slot(0, 3.0), _slot(1, 3.0)]
+        items = [
+            MKPItem(0, 3.0, {0: 5.0, 1: 5.0}),
+            MKPItem(1, 3.0, {0: 4.0, 1: 4.0}),
+        ]
+        sol = solve_overlapped(slots, items)
+        assert len(sol.assignment) == 2
+        assert set(sol.assignment.values()) == {0, 1}
+
+    def test_capacity_respected(self):
+        slots = [_slot(0, 4.0)]
+        items = [MKPItem(i, 3.0, {0: 1.0}) for i in range(5)]
+        sol = solve_overlapped(slots, items)
+        assert sol.slot_loads[0] <= 4.0
+        assert len(sol.assignment) == 1
+
+    def test_empty_items(self):
+        sol = solve_overlapped([_slot(0)], [])
+        assert sol.assignment == {} and sol.total_profit == 0.0
+
+
+class TestBruteforce:
+    def test_matches_hand_computed(self):
+        slots = [_slot(0, 4.0), _slot(1, 4.0)]
+        items = [
+            MKPItem(0, 4.0, {0: 10.0}),
+            MKPItem(1, 4.0, {0: 3.0, 1: 6.0}),
+            MKPItem(2, 4.0, {1: 5.0}),
+        ]
+        sol = solve_exact_bruteforce(slots, items)
+        # Best: item0->slot0 (10), item1 or item2 -> slot1 (6).
+        assert sol.total_profit == 16.0
+
+    def test_size_limit(self):
+        items = [MKPItem(i, 1.0, {0: 1.0}) for i in range(15)]
+        with pytest.raises(ValueError, match="14"):
+            solve_exact_bruteforce([_slot(0)], items)
+
+
+@st.composite
+def mkp_instances(draw):
+    n_slots = draw(st.integers(min_value=1, max_value=4))
+    slots = [
+        MKPSlot(i, draw(st.floats(min_value=1.0, max_value=20.0)))
+        for i in range(n_slots)
+    ]
+    n_items = draw(st.integers(min_value=1, max_value=8))
+    items = []
+    for j in range(n_items):
+        first = draw(st.integers(min_value=0, max_value=n_slots - 1))
+        two = draw(st.booleans()) and n_slots > 1
+        cands = [first, (first + 1) % n_slots] if two else [first]
+        profits = {
+            s: draw(st.floats(min_value=0.1, max_value=10.0)) for s in cands
+        }
+        items.append(MKPItem(j, draw(st.floats(min_value=0.1, max_value=10.0)), profits))
+    return slots, items
+
+
+class TestLemmaIV1:
+    @given(instance=mkp_instances(), eps=st.sampled_from([0.1, 0.3]))
+    @settings(max_examples=60, deadline=None)
+    def test_approximation_bound(self, instance, eps):
+        """Algorithm 1 achieves at least (1-ε)/2 of the optimum."""
+        slots, items = instance
+        approx = solve_overlapped(slots, items, eps=eps)
+        exact = solve_exact_bruteforce(slots, items)
+        if exact.total_profit > 0:
+            ratio = approx.total_profit / exact.total_profit
+            assert ratio >= (1.0 - eps) / 2.0 - 1e-9
+
+    @given(instance=mkp_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_feasibility(self, instance):
+        slots, items = instance
+        sol = solve_overlapped(slots, items, eps=0.1)
+        sol.validate(slots, items)  # raises on violation
+        # Each item at most once, only into candidate slots.
+        for item_id, slot_id in sol.assignment.items():
+            item = next(i for i in items if i.item_id == item_id)
+            assert slot_id in item.profits
+
+    @given(instance=mkp_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_profit_totals_consistent(self, instance):
+        slots, items = instance
+        sol = solve_overlapped(slots, items, eps=0.1)
+        by_id = {i.item_id: i for i in items}
+        expected = sum(
+            by_id[item_id].profits[slot_id]
+            for item_id, slot_id in sol.assignment.items()
+        )
+        assert sol.total_profit == pytest.approx(expected)
+
+
+class TestDeterminism:
+    def test_same_instance_same_solution(self):
+        rng = np.random.default_rng(4)
+        slots = [MKPSlot(i, float(rng.uniform(5, 20))) for i in range(3)]
+        items = [
+            MKPItem(j, float(rng.uniform(1, 5)), {j % 3: float(rng.uniform(1, 9))})
+            for j in range(10)
+        ]
+        a = solve_overlapped(slots, items)
+        b = solve_overlapped(slots, items)
+        assert a.assignment == b.assignment

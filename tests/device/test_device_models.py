@@ -1,0 +1,147 @@
+"""Tests for screen model, network interface, and monitoring component."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import (
+    MonitoringComponent,
+    NetworkInterface,
+    ScreenModel,
+    Simulator,
+)
+from repro.radio import TruncatedTail, wcdma_model
+from repro.traces import AppUsage, NetworkActivity, ScreenSession
+
+MODEL = wcdma_model()
+
+
+def _sessions():
+    return [ScreenSession(100.0, 160.0), ScreenSession(500.0, 520.0)]
+
+
+class TestScreenModel:
+    def test_transitions_fire_in_order(self):
+        sim = Simulator()
+        screen = ScreenModel(sim, _sessions())
+        log = []
+        screen.subscribe(lambda t, on: log.append((t, on)))
+        sim.run()
+        assert log == [(100.0, True), (160.0, False), (500.0, True), (520.0, False)]
+        assert screen.transitions == 4
+
+    def test_is_on_tracks_state(self):
+        sim = Simulator()
+        screen = ScreenModel(sim, _sessions())
+        states = []
+        sim.schedule_at(130.0, lambda: states.append(screen.is_on))
+        sim.schedule_at(300.0, lambda: states.append(screen.is_on))
+        sim.run()
+        assert states == [True, False]
+
+    def test_unsubscribe(self):
+        sim = Simulator()
+        screen = ScreenModel(sim, _sessions())
+        log = []
+        listener = lambda t, on: log.append(t)  # noqa: E731
+        screen.subscribe(listener)
+        screen.unsubscribe(listener)
+        sim.run()
+        assert log == []
+
+
+class TestNetworkInterface:
+    def _act(self, t=100.0):
+        return NetworkActivity(t, "app", 1000.0, 100.0, 5.0, True)
+
+    def test_transfer_recorded(self):
+        sim = Simulator()
+        iface = NetworkInterface(sim, MODEL)
+        act = self._act()
+        sim.schedule_at(100.0, lambda: iface.request_transfer(act))
+        sim.run()
+        assert iface.windows() == [(100.0, 105.0)]
+        assert iface.total_payload_bytes == 1100.0
+
+    def test_disabled_interface_refuses(self):
+        sim = Simulator()
+        iface = NetworkInterface(sim, MODEL)
+        act = self._act()
+        sim.schedule_at(50.0, iface.disable)
+        sim.schedule_at(100.0, lambda: iface.request_transfer(act))
+        sim.run()
+        assert iface.transfers == []
+        assert iface.refused == [(100.0, "app")]
+
+    def test_enable_disable_events_logged(self):
+        sim = Simulator()
+        iface = NetworkInterface(sim, MODEL)
+        sim.schedule_at(10.0, iface.disable)
+        sim.schedule_at(20.0, iface.enable)
+        sim.schedule_at(30.0, iface.enable)  # no-op: already enabled
+        sim.run()
+        assert iface.switch_events == [(10.0, False), (20.0, True)]
+
+    def test_energy_through_rrc(self):
+        sim = Simulator()
+        iface = NetworkInterface(sim, MODEL)
+        act = self._act()
+        sim.schedule_at(100.0, lambda: iface.request_transfer(act))
+        sim.run()
+        report = iface.energy()
+        assert report.energy_j == pytest.approx(MODEL.isolated_transfer_energy_j(5.0))
+        cut = iface.energy(TruncatedTail(0.0))
+        assert cut.energy_j < report.energy_j
+
+
+class TestMonitoringComponent:
+    def _device(self, sessions=None):
+        sim = Simulator()
+        screen = ScreenModel(sim, sessions or _sessions())
+        iface = NetworkInterface(sim, MODEL)
+        monitor = MonitoringComponent(sim, screen, iface)
+        return sim, screen, iface, monitor
+
+    def test_records_sessions_via_event_trigger(self):
+        sim, _, _, monitor = self._device()
+        sim.run(until=600.0)
+        store = monitor.finalize()
+        recorded = [(s.start, s.end) for s in store.screen_sessions]
+        assert recorded == [(100.0, 160.0), (500.0, 520.0)]
+
+    def test_open_session_closed_by_finalize(self):
+        sim, _, _, monitor = self._device([ScreenSession(100.0, 1000.0)])
+        sim.run(until=500.0)
+        store = monitor.finalize(at=500.0)
+        assert store.screen_sessions[0].end == 500.0
+
+    def test_app_and_network_records(self):
+        sim, _, iface, monitor = self._device()
+        usage = AppUsage(110.0, "browser", 20.0)
+        act = NetworkActivity(115.0, "browser", 2000.0, 200.0, 5.0, True)
+        sim.schedule_at(110.0, lambda: monitor.record_app_launch(usage))
+
+        def transfer():
+            if iface.request_transfer(act):
+                monitor.record_network_activity(act)
+
+        sim.schedule_at(115.0, transfer)
+        sim.run(until=600.0)
+        store = monitor.finalize()
+        assert len(store.usages) == 1
+        assert len(store.activities) == 1
+
+    def test_sampling_rate_follows_screen(self):
+        # 60 s of screen-on at 1 Hz ≈ 60 samples; the same simulated span
+        # screen-off at 1/30 Hz would give only 2.
+        sim, _, _, monitor = self._device([ScreenSession(0.0, 60.0)])
+        sim.run(until=60.0)
+        on_samples = monitor.samples_taken
+        assert on_samples >= 55
+
+        sim2 = Simulator()
+        screen2 = ScreenModel(sim2, [])
+        iface2 = NetworkInterface(sim2, MODEL)
+        monitor2 = MonitoringComponent(sim2, screen2, iface2)
+        sim2.run(until=60.0)
+        assert monitor2.samples_taken <= 2

@@ -1,0 +1,147 @@
+"""Tests for the DES kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(5.0, lambda: log.append("b"))
+        sim.schedule_at(1.0, lambda: log.append("a"))
+        sim.schedule_at(9.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        log = []
+        for tag in ("first", "second", "third"):
+            sim.schedule_at(3.0, lambda t=tag: log.append(t))
+        sim.run()
+        assert log == ["first", "second", "third"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(7.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.5]
+        assert sim.now == 7.5
+
+    def test_schedule_in(self):
+        sim = Simulator(start_time=10.0)
+        seen = []
+        sim.schedule_in(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [15.0]
+
+    def test_rejects_past(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError, match="cannot schedule"):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def chain():
+            log.append(sim.now)
+            if len(log) < 3:
+                sim.schedule_in(1.0, chain)
+
+        sim.schedule_at(0.0, chain)
+        sim.run()
+        assert log == [0.0, 1.0, 2.0]
+
+
+class TestRunUntil:
+    def test_run_until_stops(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(5.0, lambda: log.append(5))
+        sim.schedule_at(50.0, lambda: log.append(50))
+        sim.run(until=10.0)
+        assert log == [5]
+        assert sim.now == 10.0
+
+    def test_events_at_until_run(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(10.0, lambda: log.append(10))
+        sim.run(until=10.0)
+        assert log == [10]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+
+class TestCancellation:
+    def test_cancel_pending(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule_at(5.0, lambda: log.append("x"))
+        assert sim.cancel(handle)
+        sim.run()
+        assert log == []
+
+    def test_double_cancel(self):
+        sim = Simulator()
+        handle = sim.schedule_at(5.0, lambda: None)
+        assert sim.cancel(handle)
+        assert not sim.cancel(handle)
+
+    def test_cancel_after_run(self):
+        sim = Simulator()
+        handle = sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        assert not sim.cancel(handle)
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule_at(5.0, lambda: None)
+        sim.schedule_at(6.0, lambda: None)
+        sim.cancel(handle)
+        assert sim.pending == 1
+
+
+class TestPeriodic:
+    def test_periodic_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(10.0, lambda: ticks.append(sim.now), until=45.0)
+        sim.run()
+        assert ticks == [10.0, 20.0, 30.0, 40.0]
+
+    def test_periodic_custom_start(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(10.0, lambda: ticks.append(sim.now), start_in=3.0, until=25.0)
+        sim.run()
+        assert ticks == [3.0, 13.0, 23.0]
+
+    def test_cancel_periodic_chain(self):
+        sim = Simulator()
+        ticks = []
+        handle = sim.schedule_every(10.0, lambda: ticks.append(sim.now))
+        sim.schedule_at(35.0, lambda: sim.cancel(handle))
+        sim.run(until=100.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_every(0.0, lambda: None)
+
+    def test_events_run_counter(self):
+        sim = Simulator()
+        sim.schedule_every(1.0, lambda: None, until=5.5)
+        sim.run()
+        assert sim.events_run == 5

@@ -1,0 +1,82 @@
+"""Tests for the plain-text reporting layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import (
+    approximation_ratio,
+    fig1a,
+    fig1b,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig8,
+    fig9,
+    fig10a,
+    fig10b,
+    user_experience,
+)
+from repro.evaluation import reporting
+
+
+class TestFormatters:
+    def test_fig1a(self):
+        text = reporting.format_fig1a(fig1a(n_days=3))
+        assert "Fig 1(a)" in text
+        assert "paper: 0.410" in text
+        assert "user8" in text
+
+    def test_fig1b(self):
+        text = reporting.format_fig1b(fig1b(n_days=3))
+        assert "p90 screen-off" in text and "p90 screen-on" in text
+
+    def test_fig2(self):
+        text = reporting.format_fig2(fig2(n_days=3))
+        assert "utilization ratio" in text
+        assert "paper: 0.451" in text
+
+    def test_fig3_matrix_rendered(self):
+        text = reporting.format_fig3(fig3(n_days=3))
+        assert text.count("\n") >= 9  # header + 8 rows + average
+
+    def test_fig4(self):
+        text = reporting.format_fig4(fig4(n_days=8))
+        assert "user4" in text
+
+    def test_fig5(self):
+        text = reporting.format_fig5(fig5(n_days=3))
+        assert "com.tencent.mm" in text
+        assert "active apps" in text
+
+    def test_fig8(self):
+        result = fig8(delays_s=(0.0, 60.0))
+        text = reporting.format_fig8(result)
+        assert "delay_s" in text and "affected" in text
+        assert "100s gaps" in text
+
+    def test_fig9(self):
+        text = reporting.format_fig9(fig9(batch_sizes=(0, 5)))
+        assert "batch" in text
+
+    def test_fig10a(self):
+        text = reporting.format_fig10a(fig10a(max_wakeups=6))
+        assert "T=30s" in text
+
+    def test_fig10b(self):
+        text = reporting.format_fig10b(fig10b())
+        assert "exponential" in text
+
+    def test_user_experience(self):
+        text = reporting.format_user_experience(user_experience())
+        assert "interrupt ratio" in text
+
+    def test_approximation(self):
+        text = reporting.format_approximation(approximation_ratio(trials=5))
+        assert "(1-eps)/2" in text
+
+    def test_paper_reference_table_complete(self):
+        assert reporting.PAPER["fig7_netmaster"] == pytest.approx(0.778)
+        assert reporting.PAPER["fig7_within5"] == pytest.approx(0.816)
+        assert reporting.PAPER["fig10c_crossover"] == pytest.approx(0.37)

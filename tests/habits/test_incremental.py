@@ -1,0 +1,102 @@
+"""Tests for incremental habit-model updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import DAY
+from repro.habits import HabitModel
+from repro.traces.events import Trace
+
+from tests.habits.test_prediction import _repeating_trace
+
+
+def _full_and_incremental(n_days: int):
+    """Fit on all days at once vs fold days in one at a time."""
+    trace = _repeating_trace(n_days=n_days)
+    full = HabitModel.fit(trace)
+    incremental = HabitModel.fit(trace.day_view(0))
+    for d in range(1, n_days):
+        incremental = incremental.updated_with(trace.day_view(d))
+    return full, incremental
+
+
+class TestIncrementalEquivalence:
+    @pytest.mark.parametrize("n_days", [2, 5, 7])
+    def test_matches_batch_fit(self, n_days):
+        full, incremental = _full_and_incremental(n_days)
+        assert incremental.n_weekdays == full.n_weekdays
+        assert incremental.n_weekends == full.n_weekends
+        np.testing.assert_allclose(
+            incremental.weekday_user_probs, full.weekday_user_probs
+        )
+        np.testing.assert_allclose(
+            incremental.weekday_net_counts, full.weekday_net_counts
+        )
+        np.testing.assert_allclose(
+            incremental.weekday_net_bytes, full.weekday_net_bytes
+        )
+        np.testing.assert_allclose(
+            incremental.weekday_screen_seconds, full.weekday_screen_seconds
+        )
+
+    def test_weekend_rows_match_too(self):
+        full, incremental = _full_and_incremental(7)
+        np.testing.assert_allclose(
+            incremental.weekend_user_probs, full.weekend_user_probs
+        )
+        np.testing.assert_allclose(
+            incremental.weekend_net_counts, full.weekend_net_counts
+        )
+
+    def test_special_apps_preserved(self):
+        full, incremental = _full_and_incremental(5)
+        assert incremental.special_apps.special == full.special_apps.special
+
+    def test_predictions_agree(self):
+        full, incremental = _full_and_incremental(6)
+        a = full.user_slots(weekend=False)
+        b = incremental.user_slots(weekend=False)
+        assert a.slots == b.slots
+
+
+class TestIncrementalSemantics:
+    def test_rejects_multiday(self):
+        model = HabitModel.fit(_repeating_trace(2))
+        with pytest.raises(ValueError, match="single-day"):
+            model.updated_with(_repeating_trace(3))
+
+    def test_does_not_mutate_original(self):
+        model = HabitModel.fit(_repeating_trace(3))
+        before = model.weekday_user_probs.copy()
+        model.updated_with(_repeating_trace(4).day_view(3))
+        np.testing.assert_array_equal(model.weekday_user_probs, before)
+
+    def test_new_habit_hour_appears_gradually(self):
+        model = HabitModel.fit(_repeating_trace(5))
+        # A day with usage at a brand-new hour (6am).
+        from repro.traces.events import AppUsage, ScreenSession
+
+        new_day = Trace(
+            user_id="regular",
+            n_days=1,
+            start_weekday=0,
+            screen_sessions=[ScreenSession(6 * 3600.0, 6 * 3600.0 + 60.0)],
+            usages=[AppUsage(6 * 3600.0, "com.tencent.mm", 60.0)],
+        )
+        updated = model.updated_with(new_day)
+        assert model.weekday_user_probs[6] == 0.0
+        assert 0.0 < updated.weekday_user_probs[6] < 0.5
+
+    def test_volunteer_incremental_pipeline(self, volunteer):
+        """Online operation: fold held-out days in one at a time."""
+        from repro.evaluation import split_history
+
+        history, days = split_history(volunteer, 10)
+        model = HabitModel.fit(history)
+        for day in days[:2]:
+            model = model.updated_with(day)
+        assert model.n_weekdays + model.n_weekends == 12
+        prediction = model.user_slots(weekend=False)
+        assert prediction.slots  # still predicts sensibly

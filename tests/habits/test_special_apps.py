@@ -1,0 +1,67 @@
+"""Tests for the Special App registry."""
+
+from __future__ import annotations
+
+from repro.habits import SpecialAppRegistry
+from repro.traces import TraceStore
+
+
+class TestFitting:
+    def test_from_trace(self, tiny_trace):
+        registry = SpecialAppRegistry.from_trace(tiny_trace)
+        # Used AND networked.
+        assert registry.is_special("com.tencent.mm")
+        assert registry.is_special("browser")
+        # Networked but never used in the foreground.
+        assert not registry.is_special("com.android.email")
+        assert not registry.is_special("com.facebook.katana")
+
+    def test_from_store(self, tiny_trace):
+        store = TraceStore()
+        store.ingest_trace(tiny_trace)
+        registry = SpecialAppRegistry.from_store(store)
+        assert registry.special == SpecialAppRegistry.from_trace(tiny_trace).special
+
+    def test_unknown_app_is_special(self, tiny_trace):
+        registry = SpecialAppRegistry.from_trace(tiny_trace)
+        assert registry.is_special("brand.new.app")
+
+
+class TestOnlineUpdates:
+    def test_observe_promotes(self):
+        registry = SpecialAppRegistry()
+        registry.observe("app", used=True, networked=False)
+        assert not registry.is_special("app")  # seen but not qualified
+        registry.observe("app", used=True, networked=True)
+        assert registry.is_special("app")
+
+    def test_network_only_never_qualifies(self):
+        registry = SpecialAppRegistry()
+        registry.observe("pusher", used=False, networked=True)
+        assert not registry.is_special("pusher")
+
+    def test_usage_counts_accumulate(self):
+        registry = SpecialAppRegistry()
+        for _ in range(3):
+            registry.observe("app", used=True, networked=True)
+        assert registry.usage_counts["app"] == 3
+
+
+class TestShares:
+    def test_usage_share_sums_to_one(self, tiny_trace):
+        registry = SpecialAppRegistry.from_trace(tiny_trace)
+        share = registry.usage_share()
+        assert sum(share.values()) == 1.0
+
+    def test_dominant_app(self, cohort):
+        registry = SpecialAppRegistry.from_trace(cohort[2])
+        dominant = registry.dominant_app()
+        assert dominant is not None
+        app, share = dominant
+        assert app == "com.tencent.mm"
+        assert share > 0.4  # paper: 59% for user 3
+
+    def test_empty_registry(self):
+        registry = SpecialAppRegistry()
+        assert registry.usage_share() == {}
+        assert registry.dominant_app() is None

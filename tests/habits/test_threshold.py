@@ -1,0 +1,78 @@
+"""Tests for δ-threshold strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.habits import FixedDelta, ImpactBasedDelta, WeekdayWeekendDelta
+
+
+class TestFixedDelta:
+    def test_same_for_both_day_types(self):
+        strategy = FixedDelta(0.3)
+        assert strategy.delta_for(weekend=False) == 0.3
+        assert strategy.delta_for(weekend=True) == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedDelta(1.5)
+
+
+class TestWeekdayWeekendDelta:
+    def test_paper_defaults(self):
+        strategy = WeekdayWeekendDelta()
+        assert strategy.delta_for(weekend=False) == 0.2
+        assert strategy.delta_for(weekend=True) == 0.1
+
+    def test_custom(self):
+        strategy = WeekdayWeekendDelta(weekday=0.4, weekend=0.3)
+        assert strategy.delta_for(weekend=False) == 0.4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeekdayWeekendDelta(weekday=-0.1)
+
+
+class TestImpactBasedDelta:
+    def test_zero_budget_gives_zero_delta(self):
+        probs = np.array([0.1, 0.5, 0.9] + [0.0] * 21)
+        # No interrupt mass allowed: δ must not exceed the smallest
+        # nonzero probability.
+        delta = ImpactBasedDelta(interrupt_budget=0.0).choose(probs)
+        assert delta <= 0.1
+
+    def test_large_budget_allows_large_delta(self):
+        probs = np.array([0.1, 0.5, 0.9] + [0.0] * 21)
+        delta = ImpactBasedDelta(interrupt_budget=0.5).choose(probs)
+        assert delta > 0.1
+
+    def test_budget_respected(self):
+        rng = np.random.default_rng(5)
+        probs = rng.uniform(0, 1, 24)
+        for budget in (0.01, 0.05, 0.2):
+            delta = ImpactBasedDelta(interrupt_budget=budget).choose(probs)
+            missed = probs[probs < delta].sum() / probs.sum()
+            assert missed <= budget + 1e-12
+
+    def test_never_used_phone(self):
+        assert ImpactBasedDelta().choose(np.zeros(24)) == 1.0
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(ValueError):
+            ImpactBasedDelta().choose(np.array([0.5, 1.5]))
+        with pytest.raises(ValueError):
+            ImpactBasedDelta().choose(np.zeros((2, 24)))
+
+    def test_delta_for_is_data_dependent(self):
+        with pytest.raises(NotImplementedError):
+            ImpactBasedDelta().delta_for(weekend=False)
+
+    def test_monotone_in_budget(self):
+        rng = np.random.default_rng(6)
+        probs = rng.uniform(0, 1, 24)
+        deltas = [
+            ImpactBasedDelta(interrupt_budget=b).choose(probs)
+            for b in (0.0, 0.05, 0.1, 0.3)
+        ]
+        assert deltas == sorted(deltas)

@@ -1,0 +1,78 @@
+"""Tests for trace-level energy accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.radio import (
+    activities_energy,
+    activities_radio_intervals,
+    activity_windows,
+    compare_schedules,
+    delta_e,
+    isolated_activity_energy,
+    trace_energy,
+    wcdma_model,
+)
+from repro.traces import NetworkActivity
+
+MODEL = wcdma_model()
+
+
+def _act(t=100.0, dur=10.0, down=5000.0, up=1000.0, on=True):
+    return NetworkActivity(t, "app", down, up, dur, on)
+
+
+class TestActivityEnergy:
+    def test_windows(self):
+        acts = [_act(0.0), _act(100.0)]
+        assert activity_windows(acts) == [(0.0, 10.0), (100.0, 110.0)]
+
+    def test_single_activity(self):
+        report = activities_energy([_act()], MODEL)
+        assert report.energy_j == pytest.approx(MODEL.isolated_transfer_energy_j(10.0))
+
+    def test_trace_energy_equals_activity_energy(self, tiny_trace):
+        assert trace_energy(tiny_trace, MODEL).energy_j == pytest.approx(
+            activities_energy(tiny_trace.activities, MODEL).energy_j
+        )
+
+    def test_radio_intervals(self):
+        intervals = activities_radio_intervals([_act(0.0)], MODEL)
+        assert intervals == [(0.0, 27.0)]
+
+    def test_isolated_and_delta(self):
+        act = _act(dur=8.0)
+        assert isolated_activity_energy(act, MODEL) == pytest.approx(
+            MODEL.isolated_transfer_energy_j(8.0)
+        )
+        assert delta_e(act, MODEL) == pytest.approx(MODEL.saved_energy_j(8.0))
+
+
+class TestCompareSchedules:
+    def test_batched_schedule_wins(self):
+        before = [_act(0.0), _act(1000.0), _act(2000.0)]
+        after = [a.moved_to(i * 11.0) for i, a in enumerate(before)]
+        comparison = compare_schedules(before, after, MODEL)
+        assert comparison.saving_fraction > 0.3
+        assert comparison.radio_time_saving_fraction > 0.3
+
+    def test_payload_conservation_enforced(self):
+        before = [_act()]
+        after = [_act(down=1.0)]
+        with pytest.raises(ValueError, match="payload"):
+            compare_schedules(before, after, MODEL)
+
+    def test_identity_schedule_zero_saving(self):
+        acts = [_act(0.0), _act(500.0)]
+        comparison = compare_schedules(acts, acts, MODEL)
+        assert comparison.saving_fraction == pytest.approx(0.0)
+
+    def test_different_tail_policies(self):
+        from repro.radio import TruncatedTail
+
+        acts = [_act(0.0)]
+        comparison = compare_schedules(
+            acts, acts, MODEL, after_policy=TruncatedTail(0.5)
+        )
+        assert comparison.saving_fraction > 0.0

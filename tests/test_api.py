@@ -1,0 +1,47 @@
+"""Public API smoke tests."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.habits",
+            "repro.traces",
+            "repro.radio",
+            "repro.device",
+            "repro.baselines",
+            "repro.evaluation",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_quickstart_flow(self):
+        """The README quickstart, end to end on a tiny scale."""
+        from repro import NetMaster, generate_volunteers
+        from repro.evaluation import split_history
+
+        trace = generate_volunteers(5, seed=1)[0]
+        history, days = split_history(trace, 4)
+        nm = NetMaster()
+        nm.train(history)
+        execution = nm.execute_day(days[0])
+        assert len(execution.activities) == len(days[0].activities)

@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.__main__ import _REGISTRY, build_parser, run
+
+
+class TestCli:
+    def test_list(self):
+        out = io.StringIO()
+        assert run(["list"], out=out) == 0
+        text = out.getvalue()
+        for name in _REGISTRY:
+            assert name in text
+
+    def test_single_experiment(self):
+        out = io.StringIO()
+        assert run(["fig10b"], out=out) == 0
+        assert "Fig 10(b)" in out.getvalue()
+
+    def test_multiple_experiments(self):
+        out = io.StringIO()
+        assert run(["fig10a", "fig10b"], out=out) == 0
+        text = out.getvalue()
+        assert "Fig 10(a)" in text and "Fig 10(b)" in text
+
+    def test_unknown_experiment(self):
+        assert run(["nope"], out=io.StringIO()) == 2
+
+    def test_seed_override(self):
+        a, b = io.StringIO(), io.StringIO()
+        assert run(["fig1a"], seed=1, out=a) == 0
+        assert run(["fig1a"], seed=2, out=b) == 0
+        assert a.getvalue() != b.getvalue()
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.experiments == ["fig7"]
+        assert args.seed is None
+
+    def test_registry_covers_every_paper_figure(self):
+        expected = {
+            "fig1a", "fig1b", "fig2", "fig3", "fig4", "fig5",
+            "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig10c",
+            "ux", "approx",
+        }
+        assert set(_REGISTRY) == expected

@@ -1,0 +1,145 @@
+"""Unit tests for the shared utility helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import (
+    DAY,
+    HOUR,
+    as_rng,
+    check_fraction,
+    check_interval,
+    check_positive,
+    day_of,
+    hour_of,
+    intersect_length,
+    is_weekend,
+    merge_intervals,
+    total_length,
+    weekday_of,
+)
+
+
+class TestValidators:
+    def test_check_positive_strict(self):
+        assert check_positive("x", 1.5) == 1.5
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_check_positive_nonstrict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_check_fraction(self):
+        assert check_fraction("f", 0.0) == 0.0
+        assert check_fraction("f", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.01)
+
+    def test_check_interval(self):
+        check_interval(1.0, 2.0)
+        with pytest.raises(ValueError):
+            check_interval(2.0, 1.0)
+
+
+class TestRng:
+    def test_int_seed(self):
+        a, b = as_rng(7), as_rng(7)
+        assert a.random() == b.random()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_none_gives_fresh(self):
+        assert as_rng(None) is not as_rng(None)
+
+
+class TestCalendar:
+    def test_weekday_of(self):
+        assert weekday_of(0, 0) == 0  # Monday
+        assert weekday_of(6, 0) == 6  # Sunday
+        assert weekday_of(7, 0) == 0  # wraps
+        assert weekday_of(1, 4) == 5  # Friday start -> Saturday
+
+    def test_is_weekend(self):
+        assert not is_weekend(0, 0)
+        assert is_weekend(5, 0) and is_weekend(6, 0)
+
+    def test_weekday_validation(self):
+        with pytest.raises(ValueError):
+            weekday_of(-1, 0)
+        with pytest.raises(ValueError):
+            weekday_of(0, 7)
+
+    def test_hour_and_day_of(self):
+        assert hour_of(0.0) == 0
+        assert hour_of(HOUR) == 1
+        assert hour_of(DAY + 2 * HOUR + 1.0) == 2
+        assert day_of(DAY - 0.001) == 0
+        assert day_of(DAY) == 1
+
+
+class TestIntervals:
+    def test_merge_disjoint(self):
+        assert merge_intervals([(5.0, 6.0), (1.0, 2.0)]) == [(1.0, 2.0), (5.0, 6.0)]
+
+    def test_merge_overlapping(self):
+        assert merge_intervals([(1.0, 3.0), (2.0, 5.0)]) == [(1.0, 5.0)]
+
+    def test_merge_touching(self):
+        assert merge_intervals([(1.0, 2.0), (2.0, 3.0)]) == [(1.0, 3.0)]
+
+    def test_merge_with_gap_tolerance(self):
+        assert merge_intervals([(1.0, 2.0), (2.5, 3.0)], gap=1.0) == [(1.0, 3.0)]
+
+    def test_merge_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_merge_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            merge_intervals([(0.0, 1.0)], gap=-1.0)
+
+    def test_total_length(self):
+        assert total_length([(0.0, 2.0), (5.0, 6.0)]) == 3.0
+
+    def test_intersect_length(self):
+        a = [(0.0, 10.0), (20.0, 30.0)]
+        b = [(5.0, 25.0)]
+        assert intersect_length(a, b) == 10.0
+
+    def test_intersect_disjoint(self):
+        assert intersect_length([(0.0, 1.0)], [(2.0, 3.0)]) == 0.0
+
+    intervals = st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100),
+            st.floats(min_value=0, max_value=50),
+        ).map(lambda p: (p[0], p[0] + p[1])),
+        max_size=10,
+    )
+
+    @given(intervals)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_invariants(self, raw):
+        merged = merge_intervals(raw)
+        # Disjoint, sorted, and covering at least every input point.
+        for (a0, a1), (b0, b1) in zip(merged, merged[1:]):
+            assert a1 < b0
+        for start, end in raw:
+            assert any(lo <= start and end <= hi for lo, hi in merged)
+        assert total_length(merged) <= sum(e - s for s, e in raw) + 1e-9
+
+    @given(intervals, intervals)
+    @settings(max_examples=60, deadline=None)
+    def test_intersection_symmetry_and_bounds(self, raw_a, raw_b):
+        a, b = merge_intervals(raw_a), merge_intervals(raw_b)
+        ab = intersect_length(a, b)
+        ba = intersect_length(b, a)
+        assert ab == pytest.approx(ba)
+        assert ab <= min(total_length(a), total_length(b)) + 1e-9

@@ -1,0 +1,247 @@
+"""Unit tests for the trace event data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import DAY
+from repro.traces import AppUsage, NetworkActivity, ScreenSession, Trace
+
+
+class TestScreenSession:
+    def test_duration(self):
+        assert ScreenSession(10.0, 25.0).duration == 15.0
+
+    def test_contains_half_open(self):
+        s = ScreenSession(10.0, 25.0)
+        assert s.contains(10.0)
+        assert s.contains(24.999)
+        assert not s.contains(25.0)
+        assert not s.contains(9.999)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError, match="start <= end"):
+            ScreenSession(25.0, 10.0)
+
+    def test_zero_length_allowed(self):
+        assert ScreenSession(5.0, 5.0).duration == 0.0
+
+
+class TestAppUsage:
+    def test_end(self):
+        assert AppUsage(100.0, "browser", 30.0).end == 130.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            AppUsage(100.0, "browser", -1.0)
+
+
+class TestNetworkActivity:
+    def _act(self, **kw):
+        defaults = dict(
+            time=100.0,
+            app="browser",
+            down_bytes=8000.0,
+            up_bytes=2000.0,
+            duration=10.0,
+            screen_on=True,
+        )
+        defaults.update(kw)
+        return NetworkActivity(**defaults)
+
+    def test_total_bytes(self):
+        assert self._act().total_bytes == 10000.0
+
+    def test_rate(self):
+        assert self._act().rate_bps == pytest.approx(1000.0)
+
+    def test_interval(self):
+        assert self._act().interval == (100.0, 110.0)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            self._act(duration=0.0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError, match="down_bytes"):
+            self._act(down_bytes=-1.0)
+
+    def test_moved_to_preserves_everything_else(self):
+        moved = self._act().moved_to(500.0)
+        assert moved.time == 500.0
+        assert moved.total_bytes == 10000.0
+        assert moved.screen_on is True
+
+    def test_compressed_shortens_slow_transfer(self):
+        act = self._act(down_bytes=90000.0, up_bytes=10000.0)
+        fast = act.compressed(24000.0)
+        assert fast.duration == pytest.approx(100000.0 / 24000.0)
+        assert fast.total_bytes == 100000.0
+
+    def test_compressed_never_lengthens(self):
+        # Already faster than the link: unchanged.
+        act = self._act(down_bytes=500.0, up_bytes=0.0, duration=1.0)
+        assert act.compressed(100.0) is act
+
+    def test_compressed_min_duration_floor(self):
+        act = self._act(down_bytes=10.0, up_bytes=0.0, duration=5.0)
+        assert act.compressed(24000.0).duration == 0.5
+
+    def test_compressed_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            self._act().compressed(0.0)
+
+
+class TestTraceInvariants:
+    def test_valid_trace_builds(self, tiny_trace):
+        assert tiny_trace.n_days == 1
+        assert len(tiny_trace.activities) == 4
+
+    def test_sorts_events(self):
+        trace = Trace(
+            user_id="u",
+            n_days=1,
+            start_weekday=0,
+            screen_sessions=[ScreenSession(200.0, 210.0), ScreenSession(50.0, 60.0)],
+        )
+        starts = [s.start for s in trace.screen_sessions]
+        assert starts == sorted(starts)
+
+    def test_rejects_overlapping_sessions(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Trace(
+                user_id="u",
+                n_days=1,
+                start_weekday=0,
+                screen_sessions=[ScreenSession(0.0, 100.0), ScreenSession(50.0, 150.0)],
+            )
+
+    def test_rejects_session_past_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            Trace(
+                user_id="u",
+                n_days=1,
+                start_weekday=0,
+                screen_sessions=[ScreenSession(DAY - 10.0, DAY + 10.0)],
+            )
+
+    def test_rejects_mistagged_activity(self):
+        with pytest.raises(ValueError, match="screen"):
+            Trace(
+                user_id="u",
+                n_days=1,
+                start_weekday=0,
+                screen_sessions=[ScreenSession(100.0, 200.0)],
+                activities=[
+                    NetworkActivity(150.0, "a", 100.0, 0.0, 5.0, screen_on=False)
+                ],
+            )
+
+    def test_rejects_bad_n_days(self):
+        with pytest.raises(ValueError, match="n_days"):
+            Trace(user_id="u", n_days=0, start_weekday=0)
+
+    def test_rejects_bad_weekday(self):
+        with pytest.raises(ValueError, match="start_weekday"):
+            Trace(user_id="u", n_days=1, start_weekday=7)
+
+
+class TestTraceQueries:
+    def test_screen_on_at(self, tiny_trace):
+        assert tiny_trace.screen_on_at(110.0)
+        assert not tiny_trace.screen_on_at(130.0)  # half-open end
+        assert not tiny_trace.screen_on_at(5000.0)
+        assert tiny_trace.screen_on_at(7200.0)
+
+    def test_session_at(self, tiny_trace):
+        session = tiny_trace.session_at(110.0)
+        assert session is not None and session.start == 100.0
+        assert tiny_trace.session_at(131.0) is None
+
+    def test_screen_off_activities(self, tiny_trace):
+        off = tiny_trace.screen_off_activities()
+        assert [a.app for a in off] == ["com.android.email", "com.facebook.katana"]
+
+    def test_screen_on_activities(self, tiny_trace):
+        on = tiny_trace.screen_on_activities()
+        assert [a.app for a in on] == ["com.tencent.mm", "browser"]
+
+    def test_activities_between(self, tiny_trace):
+        mid = tiny_trace.activities_between(1000.0, 10000.0)
+        assert [a.app for a in mid] == ["com.android.email", "browser"]
+
+    def test_usages_between(self, tiny_trace):
+        assert len(tiny_trace.usages_between(0.0, 1000.0)) == 1
+
+    def test_is_weekend_day(self, two_day_trace):
+        assert not two_day_trace.is_weekend_day(0)  # Friday
+        assert two_day_trace.is_weekend_day(1)  # Saturday
+
+    def test_total_screen_on_time(self, tiny_trace):
+        assert tiny_trace.total_screen_on_time() == pytest.approx(90.0)
+
+    def test_summary_fields(self, tiny_trace):
+        summary = tiny_trace.summary()
+        assert summary["n_activities"] == 4.0
+        assert summary["screen_off_fraction"] == pytest.approx(0.5)
+
+
+class TestDayView:
+    def test_day_view_rebases_times(self, two_day_trace):
+        day1 = two_day_trace.day_view(1)
+        assert day1.n_days == 1
+        assert day1.screen_sessions[0].start == pytest.approx(7200.0)
+        assert day1.start_weekday == 5  # Saturday
+
+    def test_day_view_partitions_activities(self, two_day_trace):
+        day0 = two_day_trace.day_view(0)
+        day1 = two_day_trace.day_view(1)
+        assert len(day0.activities) + len(day1.activities) == 3
+
+    def test_day_view_out_of_range(self, two_day_trace):
+        with pytest.raises(ValueError, match="day_index"):
+            two_day_trace.day_view(2)
+
+    def test_days_iterator(self, two_day_trace):
+        days = list(two_day_trace.days())
+        assert len(days) == 2
+        assert all(d.n_days == 1 for d in days)
+
+    def test_day_view_clips_crossing_session(self):
+        trace = Trace(
+            user_id="u",
+            n_days=2,
+            start_weekday=0,
+            screen_sessions=[ScreenSession(DAY - 10.0, DAY + 10.0)],
+        )
+        day0, day1 = trace.day_view(0), trace.day_view(1)
+        assert day0.screen_sessions[0].end == pytest.approx(DAY)
+        assert day1.screen_sessions[0].start == pytest.approx(0.0)
+        assert day1.screen_sessions[0].end == pytest.approx(10.0)
+
+
+class TestNumpyAccessors:
+    def test_activity_times_sorted(self, tiny_trace):
+        times = tiny_trace.activity_times()
+        assert np.all(np.diff(times) >= 0)
+
+    def test_activity_bytes_shape(self, tiny_trace):
+        assert tiny_trace.activity_bytes().shape == (4, 2)
+
+    def test_activity_rates_positive(self, tiny_trace):
+        assert (tiny_trace.activity_rates() > 0).all()
+
+    def test_screen_flags_match(self, tiny_trace):
+        flags = tiny_trace.activity_screen_flags()
+        assert flags.tolist() == [True, False, True, False]
+
+    def test_usage_bins(self, tiny_trace):
+        assert tiny_trace.usage_hour_bins().tolist() == [0, 2]
+        assert tiny_trace.usage_day_bins().tolist() == [0, 0]
+
+    def test_empty_trace_accessors(self):
+        trace = Trace(user_id="e", n_days=1, start_weekday=0)
+        assert trace.activity_times().size == 0
+        assert trace.activity_bytes().shape == (0, 2)
+        assert trace.summary()["screen_off_fraction"] == 0.0

@@ -1,0 +1,107 @@
+"""Round-trip tests for trace serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.traces import (
+    cohort_from_dir,
+    cohort_to_dir,
+    trace_from_csv,
+    trace_from_jsonl,
+    trace_to_csv,
+    trace_to_jsonl,
+)
+
+
+def _assert_traces_equal(a, b):
+    assert a.user_id == b.user_id
+    assert a.n_days == b.n_days
+    assert a.start_weekday == b.start_weekday
+    assert [(s.start, s.end) for s in a.screen_sessions] == [
+        (s.start, s.end) for s in b.screen_sessions
+    ]
+    assert [(u.time, u.app, u.duration) for u in a.usages] == [
+        (u.time, u.app, u.duration) for u in b.usages
+    ]
+    assert [
+        (x.time, x.app, x.down_bytes, x.up_bytes, x.duration, x.screen_on)
+        for x in a.activities
+    ] == [
+        (x.time, x.app, x.down_bytes, x.up_bytes, x.duration, x.screen_on)
+        for x in b.activities
+    ]
+
+
+class TestJsonl:
+    def test_round_trip(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace_to_jsonl(tiny_trace, path)
+        _assert_traces_equal(tiny_trace, trace_from_jsonl(path))
+
+    def test_round_trip_generated(self, volunteer, tmp_path):
+        path = tmp_path / "vol.jsonl"
+        trace_to_jsonl(volunteer, path)
+        loaded = trace_from_jsonl(path)
+        assert len(loaded.activities) == len(volunteer.activities)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "screen", "start": 0.0, "end": 1.0}) + "\n")
+        with pytest.raises(ValueError, match="header"):
+            trace_from_jsonl(path)
+
+    def test_unknown_kind(self, tmp_path, tiny_trace):
+        path = tmp_path / "bad.jsonl"
+        trace_to_jsonl(tiny_trace, path)
+        with path.open("a") as fh:
+            fh.write(json.dumps({"kind": "mystery"}) + "\n")
+        with pytest.raises(ValueError, match="unknown record kind"):
+            trace_from_jsonl(path)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "v.jsonl"
+        path.write_text(
+            json.dumps(
+                {"kind": "header", "version": 99, "user_id": "u", "n_days": 1, "start_weekday": 0}
+            )
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="version"):
+            trace_from_jsonl(path)
+
+    def test_blank_lines_ignored(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace_to_jsonl(tiny_trace, path)
+        path.write_text(path.read_text().replace("\n", "\n\n"))
+        _assert_traces_equal(tiny_trace, trace_from_jsonl(path))
+
+
+class TestCsv:
+    def test_round_trip(self, tiny_trace, tmp_path):
+        prefix = tmp_path / "trace"
+        paths = trace_to_csv(tiny_trace, prefix)
+        assert len(paths) == 4
+        _assert_traces_equal(tiny_trace, trace_from_csv(prefix))
+
+    def test_meta_row_required(self, tiny_trace, tmp_path):
+        prefix = tmp_path / "trace"
+        trace_to_csv(tiny_trace, prefix)
+        meta = prefix.with_name("trace_meta.csv")
+        lines = meta.read_text().splitlines()
+        meta.write_text("\n".join([lines[0], lines[1], lines[1]]) + "\n")
+        with pytest.raises(ValueError, match="exactly one"):
+            trace_from_csv(prefix)
+
+
+class TestCohortDir:
+    def test_round_trip(self, tmp_path):
+        from repro.traces import generate_cohort
+
+        cohort = generate_cohort(1, seed=5)[:3]
+        paths = cohort_to_dir(cohort, tmp_path / "cohort")
+        assert len(paths) == 3
+        loaded = cohort_from_dir(tmp_path / "cohort")
+        assert [t.user_id for t in loaded] == sorted(t.user_id for t in cohort)

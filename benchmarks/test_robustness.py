@@ -1,0 +1,24 @@
+"""Robustness sweep: energy saving vs fault rate, delay bound honoured."""
+
+from repro.evaluation import robustness
+from repro.evaluation.reporting import format_robustness
+
+
+def test_robustness(benchmark, report):
+    result = benchmark.pedantic(robustness, rounds=3, iterations=1)
+    report(format_robustness(result))
+    # Savings shrink monotonically as the fault rate rises.
+    for policy in result.policies:
+        series = result.series(policy)
+        assert all(a >= b - 1e-12 for a, b in zip(series, series[1:]))
+    # NetMaster still beats delay&batch even on a hostile radio.
+    assert result.points[-1].energy_saving["netmaster"] > 0.3
+    assert (
+        result.points[-1].energy_saving["netmaster"]
+        > result.points[-1].energy_saving["delay-batch-60s"]
+    )
+    # The retry policy's max-delay bound is never violated.
+    assert sum(p.delay_violations for p in result.points) == 0
+    assert max(
+        p.added_delay_max_s[n] for p in result.points for n in result.policies
+    ) <= result.max_delay_s + 1e-6

@@ -57,7 +57,15 @@ from repro.core import (
     knapsack_greedy,
     solve_overlapped,
 )
+from repro.faults import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    apply_faults,
+)
 from repro.habits import (
+    DataSufficiency,
     FixedDelta,
     HabitModel,
     ImpactBasedDelta,
@@ -100,11 +108,15 @@ __all__ = [
     "AppModel",
     "AppUsage",
     "BatchPolicy",
+    "CircuitBreaker",
+    "DataSufficiency",
     "DayExecution",
     "DayPlan",
     "DelayBatchPolicy",
     "DelayPolicy",
     "ExponentialSleep",
+    "FaultInjector",
+    "FaultPlan",
     "FixedDelta",
     "FixedSleep",
     "FullTail",
@@ -122,6 +134,7 @@ __all__ = [
     "ProfitParams",
     "RadioPowerModel",
     "RandomSleep",
+    "RetryPolicy",
     "SchedulingPolicy",
     "ScreenSession",
     "SlotPrediction",
@@ -132,6 +145,7 @@ __all__ = [
     "TruncatedTail",
     "UserProfile",
     "WeekdayWeekendDelta",
+    "apply_faults",
     "default_catalog",
     "default_profiles",
     "generate_cohort",

@@ -20,6 +20,7 @@ from typing import Callable
 
 from repro.evaluation import experiments as ex
 from repro.evaluation import reporting as rpt
+from repro.evaluation.robustness import robustness as ex_robustness
 
 #: experiment name -> (driver kwargs-aware runner, formatter)
 _REGISTRY: dict[str, tuple[Callable, Callable]] = {
@@ -37,6 +38,7 @@ _REGISTRY: dict[str, tuple[Callable, Callable]] = {
     "fig10c": (ex.fig10c, rpt.format_fig10c),
     "ux": (ex.user_experience, rpt.format_user_experience),
     "approx": (ex.approximation_ratio, rpt.format_approximation),
+    "robustness": (ex_robustness, rpt.format_robustness),
 }
 
 #: Experiments whose drivers accept a ``seed`` keyword.
@@ -53,6 +55,7 @@ _SEEDABLE = {
     "fig10c",
     "ux",
     "approx",
+    "robustness",
 }
 
 
@@ -74,11 +77,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the experiment's default RNG seed",
     )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the report to PATH instead of stdout",
+    )
     return parser
 
 
-def run(names: list[str], seed: int | None = None, *, out=sys.stdout) -> int:
+def run(names: list[str], seed: int | None = None, *, out=None) -> int:
     """Run the named experiments; returns a process exit code."""
+    if out is None:
+        out = sys.stdout
+    special = [n for n in ("list", "all") if n in names]
+    if special and len(names) > 1:
+        print(
+            f"'{special[0]}' cannot be combined with other experiment names",
+            file=sys.stderr,
+        )
+        return 2
     if "list" in names:
         print("available experiments:", file=out)
         for name in sorted(_REGISTRY):
@@ -111,6 +129,14 @@ def run(names: list[str], seed: int | None = None, *, out=sys.stdout) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.out is not None:
+        try:
+            fh = open(args.out, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"cannot write --out {args.out}: {exc}", file=sys.stderr)
+            return 2
+        with fh:
+            return run(args.experiments, args.seed, out=fh)
     return run(args.experiments, args.seed)
 
 

@@ -33,10 +33,22 @@ class PolicyOutcome:
     user_interactions: int = 0
     affected_user_activities: int = 0
     deferred: int = 0
+    #: Partial radio windows burned by failed transfer attempts (fault
+    #: injection); priced as DCH time with a zero tail allowance when the
+    #: outcome uses per-activity tails, with the policy tail otherwise.
+    failed_windows: list[tuple[float, float]] = field(default_factory=list)
+    #: RRC promotions that failed (charged promotion energy, no transfer).
+    failed_promotions: int = 0
+    #: Extra transfer attempts beyond the first, across all activities.
+    retries: int = 0
 
     def transfer_windows(self) -> list[tuple[float, float]]:
         """Transfer intervals only (idle wake-ups are priced separately)."""
         return [a.interval for a in self.activities]
+
+    def _priced_windows(self) -> list[tuple[float, float]]:
+        """Transfer windows plus the partial windows of failed attempts."""
+        return self.transfer_windows() + list(self.failed_windows)
 
     def _window_tails(self) -> list[float] | None:
         if self.activity_tails is None:
@@ -46,7 +58,9 @@ class PolicyOutcome:
                 f"activity_tails length {len(self.activity_tails)} does not match "
                 f"{len(self.activities)} activities"
             )
-        return list(self.activity_tails)
+        # A failed attempt never earns a tail: the radio is cut as soon as
+        # the attempt aborts.
+        return list(self.activity_tails) + [0.0] * len(self.failed_windows)
 
     def wake_energy_j(self, model: RadioPowerModel) -> float:
         """Cost of the idle duty-cycle wake-ups in ``extra_windows``.
@@ -62,25 +76,38 @@ class PolicyOutcome:
         )
 
     def energy(self, model: RadioPowerModel) -> EnergyReport:
-        """RRC energy of this outcome under ``model`` (incl. wake-ups)."""
+        """RRC energy of this outcome under ``model`` (incl. wake-ups).
+
+        Fault accounting rides on top of the base simulation: failed
+        attempts are priced as extra (partial, tail-less) DCH windows and
+        each failed promotion is charged one IDLE→DCH promotion.
+        """
         base = simulate(
-            self.transfer_windows(),
+            self._priced_windows(),
             model,
             self.tail_policy if self.activity_tails is None else None,
             window_tails=self._window_tails(),
         )
         wake_e = self.wake_energy_j(model)
-        if wake_e == 0.0:
+        extra_e = wake_e + self.failed_promotions * model.promo_idle_energy_j
+        if extra_e == 0.0:
             return base
         wake_s = sum(hi - lo for lo, hi in self.extra_windows)
         state = dict(base.state_energy_j)
-        state["wake"] = wake_e
+        if wake_e:
+            state["wake"] = wake_e
+        if self.failed_promotions:
+            state["promo"] = (
+                state.get("promo", 0.0) + self.failed_promotions * model.promo_idle_energy_j
+            )
         return EnergyReport(
-            energy_j=base.energy_j + wake_e,
-            radio_on_s=base.radio_on_s + wake_s,
+            energy_j=base.energy_j + extra_e,
+            radio_on_s=base.radio_on_s
+            + wake_s
+            + self.failed_promotions * model.promo_idle_dch_s,
             transfer_s=base.transfer_s,
             tail_s=base.tail_s,
-            promo_idle_count=base.promo_idle_count,
+            promo_idle_count=base.promo_idle_count + self.failed_promotions,
             promo_fach_count=base.promo_fach_count + len(self.extra_windows),
             window_count=base.window_count,
             state_energy_j=state,
@@ -93,7 +120,7 @@ class PolicyOutcome:
         though no data moves.
         """
         intervals = radio_on_intervals(
-            self.transfer_windows(),
+            self._priced_windows(),
             model,
             self.tail_policy if self.activity_tails is None else None,
             window_tails=self._window_tails(),

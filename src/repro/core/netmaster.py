@@ -26,7 +26,8 @@ from repro._util import DAY, check_fraction, check_positive, hour_of, merge_inte
 from repro.core.adjustment import GapServicer, RealTimeAdjustment
 from repro.core.profit import DEFAULT_ET, ProfitParams
 from repro.core.scheduler import DayPlan, NetMasterScheduler
-from repro.habits.prediction import HabitModel
+from repro.faults.degradation import CircuitBreaker
+from repro.habits.prediction import DataSufficiency, HabitModel
 from repro.habits.threshold import DeltaStrategy
 from repro.radio.bandwidth import LinkModel
 from repro.radio.power import RadioPowerModel, wcdma_model
@@ -56,12 +57,28 @@ class NetMasterConfig:
     #: stock radio behaviour and only T_n (outside U) is optimized —
     #: this is what makes energy saving grow with δ in Fig. 10(c).
     optimize_in_slot_traffic: bool = True
+    #: Graceful degradation: with fewer than ``min_history_days`` clean
+    #: weekdays of history (see :meth:`HabitModel.data_sufficiency`) the
+    #: middleware refuses to predict and runs duty-cycle-only instead.
+    min_history_days: int = 3
+    degrade_on_insufficient_history: bool = True
+    #: Per-day circuit breaker: when the observed misprediction rate
+    #: (interrupts / interactions) crosses ``breaker_threshold`` on a day
+    #: with enough signal, deferral is disabled for the next
+    #: ``breaker_cooldown_days`` days.
+    enable_circuit_breaker: bool = True
+    breaker_threshold: float = 0.3
+    breaker_min_interactions: int = 20
+    breaker_cooldown_days: int = 1
 
     def __post_init__(self) -> None:
         check_fraction("eps", self.eps)
         check_positive("duty_initial_s", self.duty_initial_s)
         check_positive("wake_window_s", self.wake_window_s)
         check_positive("guard_s", self.guard_s, strict=False)
+        check_fraction("breaker_threshold", self.breaker_threshold)
+        if self.min_history_days < 1:
+            raise ValueError(f"min_history_days must be >= 1, got {self.min_history_days}")
 
     def tail_policy(self) -> TruncatedTail:
         """NetMaster's radio-off policy: tails truncated at the guard."""
@@ -73,7 +90,8 @@ class DayExecution:
     """Outcome of replaying one day under NetMaster."""
 
     weekend: bool
-    plan: DayPlan
+    #: ``None`` on degraded (duty-cycle-only) days — nothing was planned.
+    plan: DayPlan | None
     activities: list[NetworkActivity]
     #: Per-activity tail allowance (seconds), parallel to ``activities``:
     #: the guard for traffic NetMaster controls, the full carrier timers
@@ -86,6 +104,9 @@ class DayExecution:
     deferred_to_slots: int
     duty_serviced: int
     carried_to_gap_end: int
+    #: True when the middleware fell back to duty-cycle-only for this day
+    #: (insufficient/corrupt history, or the circuit breaker was open).
+    degraded: bool = False
 
     @property
     def interrupt_ratio(self) -> float:
@@ -110,14 +131,36 @@ class NetMaster:
         self.habit: HabitModel | None = None
         self.scheduler: NetMasterScheduler | None = None
         self.adjustment: RealTimeAdjustment | None = None
+        self.sufficiency: DataSufficiency | None = None
+        #: True when the fitted history cannot be trusted for prediction —
+        #: every day then runs the duty-cycle-only fallback.
+        self.insufficient_history = False
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            min_interactions=self.config.breaker_min_interactions,
+            cooldown_days=self.config.breaker_cooldown_days,
+        )
 
     # ------------------------------------------------------------------
     # training (monitoring + mining)
     # ------------------------------------------------------------------
     def train(self, history: Trace) -> HabitModel:
-        """Ingest a history trace and fit the habit model."""
+        """Ingest a history trace and fit the habit model.
+
+        The fitted model is health-checked: too few observed days of a
+        day type, or NaN/inf smuggled in by a corrupted monitoring store,
+        flips the middleware into duty-cycle-only degradation (unless
+        ``degrade_on_insufficient_history`` is off).
+        """
         self.store.ingest_trace(history)
         self.habit = HabitModel.fit(history)
+        self.sufficiency = self.habit.data_sufficiency(
+            min_days=self.config.min_history_days
+        )
+        self.insufficient_history = (
+            self.config.degrade_on_insufficient_history
+            and not self.sufficiency.sufficient
+        )
         params = ProfitParams(
             power=self.config.power, link=self.config.link, et_w=self.config.et_w
         )
@@ -134,6 +177,11 @@ class NetMaster:
             ),
         )
         return self.habit
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the next day will run duty-cycle-only."""
+        return self.insufficient_history or self.breaker.open
 
     def _require_trained(self) -> None:
         if self.habit is None or self.scheduler is None or self.adjustment is None:
@@ -161,6 +209,11 @@ class NetMaster:
         assert self.adjustment is not None
         if day.n_days != 1:
             raise ValueError("execute_day expects a single-day trace")
+        if self.degraded:
+            execution = self._execute_duty_cycle_only(day)
+            if self.breaker.open:
+                self.breaker.tick_degraded()
+            return execution
         weekend = day.is_weekend_day(0)
         plan = self.plan_day(weekend=weekend)
         prediction = plan.prediction
@@ -257,6 +310,8 @@ class NetMaster:
                 immediate += 1
 
         executed.sort(key=lambda pair: pair[0].time)
+        if self.config.enable_circuit_breaker:
+            self.breaker.record(interrupts, len(day.usages))
         return DayExecution(
             weekend=weekend,
             plan=plan,
@@ -269,6 +324,76 @@ class NetMaster:
             deferred_to_slots=deferred,
             duty_serviced=duty_serviced,
             carried_to_gap_end=carried,
+        )
+
+    # ------------------------------------------------------------------
+    # degraded execution (duty-cycle-only fallback)
+    # ------------------------------------------------------------------
+    def _execute_duty_cycle_only(self, day: Trace) -> DayExecution:
+        """Replay one day with prediction and planning disabled.
+
+        The radio follows the user (screen sessions run as recorded) and
+        every screen-off transfer is serviced by the exponential duty
+        cycle over the screen-off gaps — the paper's real-time adjustment
+        layer alone.  It never mispredicts, so it cannot interrupt the
+        user; it just saves less than the full middleware.
+        """
+        assert self.adjustment is not None
+        weekend = day.is_weekend_day(0)
+        guard = self.config.guard_s
+        bandwidth = self.config.link.bandwidth_bps
+
+        executed: list[tuple[NetworkActivity, float]] = []
+        pending: list[NetworkActivity] = []
+        immediate = 0
+        for activity in day.activities:
+            if activity.screen_on:
+                executed.append((activity, guard))
+            else:
+                pending.append(activity.compressed(bandwidth))
+
+        busy = merge_intervals([(s.start, s.end) for s in day.screen_sessions])
+        gaps = _complement(busy, 0.0, DAY)
+        wake_windows: list[tuple[float, float]] = []
+        duty_serviced = carried = 0
+        gap_handled: set[int] = set()
+        for gap_start, gap_end in gaps:
+            in_gap = []
+            for i, a in enumerate(pending):
+                if gap_start <= a.time < gap_end:
+                    in_gap.append(a)
+                    gap_handled.add(i)
+            if not in_gap and gap_end - gap_start < self.config.duty_initial_s:
+                continue
+            result = self.adjustment.servicer.service(gap_start, gap_end, in_gap)
+            executed.extend(
+                (a.moved_to(min(a.time, DAY - a.duration)), guard)
+                for a in result.executed
+            )
+            wake_windows.extend(result.wake_windows)
+            duty_serviced += result.serviced
+            carried += result.carried_to_end
+        for i, activity in enumerate(pending):
+            if i not in gap_handled:
+                executed.append(
+                    (activity.moved_to(min(activity.time, DAY - activity.duration)), guard)
+                )
+                immediate += 1
+
+        executed.sort(key=lambda pair: pair[0].time)
+        return DayExecution(
+            weekend=weekend,
+            plan=None,
+            activities=[a for a, _ in executed],
+            activity_tails=[t for _, t in executed],
+            wake_windows=wake_windows,
+            user_interactions=len(day.usages),
+            interrupts=0,
+            immediate=immediate,
+            deferred_to_slots=0,
+            duty_serviced=duty_serviced,
+            carried_to_gap_end=carried,
+            degraded=True,
         )
 
 

@@ -164,5 +164,5 @@ class Simulator:
             if head.time > until:
                 break
             self.step()
-        if until is not math.inf and self._now < until:
+        if not math.isinf(until) and self._now < until:
             self._now = until

@@ -16,7 +16,7 @@ a (possibly rescheduled) day through it.  It serves two purposes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro._util import DAY
 from repro.device.interface import NetworkInterface
@@ -27,6 +27,10 @@ from repro.radio.power import RadioPowerModel, wcdma_model
 from repro.radio.rrc import EnergyReport, TailPolicy
 from repro.traces.events import NetworkActivity, Trace
 from repro.traces.store import TraceStore
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep device free of faults
+    from repro.faults.injector import FaultInjector
+    from repro.faults.retry import RetryPolicy
 
 
 @dataclass
@@ -41,6 +45,11 @@ class DeviceRunReport:
     monitor_samples: int
     screen_transitions: int
     events_run: int
+    #: Fault accounting (non-zero only when replaying with an injector).
+    retries: int = 0
+    failed_attempts: int = 0
+    failed_promotions: int = 0
+    forced_deliveries: int = 0
 
 
 @dataclass
@@ -56,12 +65,22 @@ class DeviceSimulator:
         schedule: Sequence[NetworkActivity] | None = None,
         tail_policy: TailPolicy | None = None,
         data_off_windows: Sequence[tuple[float, float]] | None = None,
+        injector: "FaultInjector | None" = None,
+        retry: "RetryPolicy | None" = None,
+        day_key: int = 0,
     ) -> DeviceRunReport:
         """Replay one day; optionally with a rescheduled activity list.
 
         ``schedule`` defaults to the day's own activities (stock replay).
         ``data_off_windows`` force the data switch off during the given
         intervals — transfers requested there are refused and reported.
+
+        When an ``injector`` is given, every transfer runs through the
+        deadline-aware retry loop before being scheduled: failed attempts
+        are charged on the interface as partial radio windows, failed
+        promotions as promotion energy, and the transfer itself executes
+        at its (possibly later) success time — never more than the retry
+        policy's ``max_delay_s`` past its scheduled time.
         """
         if day.n_days != 1:
             raise ValueError("replay expects a single-day trace")
@@ -74,6 +93,37 @@ class DeviceSimulator:
             sim.schedule_at(usage.time, _make_launch(monitor, usage))
 
         activities = list(day.activities) if schedule is None else list(schedule)
+        retries = failed_attempts = forced = 0
+        if injector is not None and not injector.plan.inert:
+            from repro.faults.retry import RetryPolicy, run_with_retries
+
+            if retry is None:
+                retry = RetryPolicy()
+            faulted: list[NetworkActivity] = []
+            for index, activity in enumerate(activities):
+                deadline = max(DAY - activity.duration, activity.time)
+                attempt = run_with_retries(
+                    activity,
+                    activity.time,
+                    injector,
+                    retry,
+                    day_key=day_key,
+                    index=index,
+                    deadline=deadline,
+                )
+                retries += attempt.retries
+                failed_attempts += len(attempt.failed_windows)
+                forced += int(attempt.forced)
+                for lo, hi in attempt.failed_windows:
+                    interface.record_failed_attempt(lo, hi)
+                for _ in range(attempt.failed_promotions):
+                    interface.record_failed_promotion()
+                faulted.append(
+                    activity
+                    if attempt.time == activity.time
+                    else activity.moved_to(attempt.time)
+                )
+            activities = faulted
         for activity in activities:
             sim.schedule_at(activity.time, _make_transfer(monitor, interface, activity))
 
@@ -95,6 +145,10 @@ class DeviceSimulator:
             monitor_samples=monitor.samples_taken,
             screen_transitions=screen.transitions,
             events_run=sim.events_run,
+            retries=retries,
+            failed_attempts=failed_attempts,
+            failed_promotions=interface.failed_promotions,
+            forced_deliveries=forced,
         )
 
 

@@ -10,6 +10,7 @@ doubles as the full results reproduction.
 from __future__ import annotations
 
 from repro.evaluation import experiments as ex
+from repro.evaluation import robustness as rb
 
 PAPER = {
     "fig1a_avg_off": 0.4098,
@@ -210,4 +211,28 @@ def format_approximation(result: ex.ApproximationResult) -> str:
     lines.append(_row("worst ratio", result.worst_ratio))
     lines.append(_row("mean ratio", result.mean_ratio))
     lines.append(_row("(1-eps)/2 bound", result.bound))
+    return "\n".join(lines)
+
+
+def format_robustness(result: rb.RobustnessResult) -> str:
+    """Robustness sweep: energy saving / delay / retries vs fault rate."""
+    lines = [
+        "Robustness — energy saving vs fault rate "
+        f"(max delay bound {result.max_delay_s:.0f}s)"
+    ]
+    for point in result.points:
+        parts = ", ".join(
+            f"{name}={point.energy_saving[name]:+.3f}" for name in result.policies
+        )
+        lines.append(f"  rate {point.rate:.2f}: {parts}")
+    for name in result.policies:
+        retries = sum(p.retries[name] for p in result.points)
+        forced = sum(p.forced_deliveries[name] for p in result.points)
+        delay_max = max(p.added_delay_max_s[name] for p in result.points)
+        lines.append(
+            f"  {name:<16s} retries={retries:d} forced={forced:d} "
+            f"max added delay={delay_max:.1f}s"
+        )
+    violations = sum(p.delay_violations for p in result.points)
+    lines.append(_row("delay-bound violations", violations, fmt=".0f"))
     return "\n".join(lines)

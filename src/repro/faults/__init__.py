@@ -1,0 +1,25 @@
+"""Fault injection, retry, and graceful degradation.
+
+Everything a real fleet throws at the middleware that the paper's
+offline evaluation does not: failing transfers, radio outages, RRC
+promotion failures, corrupted monitoring traces — plus the retry and
+degradation machinery that keeps the energy savings (and the max-delay
+guarantee) intact under them.
+"""
+
+from repro.faults.degradation import CircuitBreaker
+from repro.faults.injector import FaultInjector, FaultPlan, TraceDegradation
+from repro.faults.resilience import FaultStats, apply_faults
+from repro.faults.retry import RetryOutcome, RetryPolicy, run_with_retries
+
+__all__ = [
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "RetryOutcome",
+    "RetryPolicy",
+    "TraceDegradation",
+    "apply_faults",
+    "run_with_retries",
+]

@@ -1,0 +1,68 @@
+"""Graceful degradation: the circuit breaker guarding deferral.
+
+NetMaster's scheduling layer is only worth running while its habit
+predictions are roughly right.  The :class:`CircuitBreaker` watches the
+observed misprediction rate day by day and, when it crosses a threshold,
+*opens* — the middleware stops deferring transfers and falls back to the
+duty-cycle-only baseline (which never mispredicts, it just saves less).
+After a cooldown of degraded days the breaker closes and deferral is
+re-enabled, so a transient bad stretch (travel, holidays, a corrupted
+history window) does not permanently cost the user the paper's savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_fraction
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-day misprediction circuit breaker.
+
+    ``record`` the end-of-day interrupt accounting; while ``open`` the
+    caller should run its degraded path and call ``tick_degraded`` for
+    each degraded day served.  Days with fewer than
+    ``min_interactions`` user interactions carry too little signal and
+    never trip the breaker.
+    """
+
+    threshold: float = 0.3
+    min_interactions: int = 20
+    cooldown_days: int = 1
+    open: bool = field(default=False, init=False)
+    tripped_count: int = field(default=0, init=False)
+    _cooldown_left: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        check_fraction("threshold", self.threshold)
+        if self.min_interactions < 1:
+            raise ValueError(f"min_interactions must be >= 1, got {self.min_interactions}")
+        if self.cooldown_days < 1:
+            raise ValueError(f"cooldown_days must be >= 1, got {self.cooldown_days}")
+
+    def record(self, interrupts: int, interactions: int) -> bool:
+        """Feed one day's misprediction counts; returns ``open`` after.
+
+        ``interrupts`` is the number of wrong deferral decisions the user
+        noticed, ``interactions`` the total user interactions observed.
+        """
+        if interrupts < 0 or interactions < 0:
+            raise ValueError("interrupts and interactions must be >= 0")
+        if interactions >= self.min_interactions and interrupts / interactions > self.threshold:
+            self.open = True
+            self.tripped_count += 1
+            self._cooldown_left = self.cooldown_days
+        return self.open
+
+    def tick_degraded(self) -> bool:
+        """Count one degraded day served; returns ``open`` after.
+
+        Closes the breaker once the cooldown has elapsed.
+        """
+        if self.open:
+            self._cooldown_left -= 1
+            if self._cooldown_left <= 0:
+                self.open = False
+        return self.open

@@ -1,0 +1,117 @@
+"""Pushing a finished schedule through the fault model.
+
+:func:`apply_faults` is the composition point between the evaluation
+pipeline and the fault layer: it takes a :class:`PolicyOutcome` (the
+schedule a policy *wanted* to execute), replays every transfer through
+the retry loop, and returns the outcome that would actually have
+happened on a faulty radio — transfers pushed later by retries and
+outages, failed attempts recorded as extra partial radio windows, and
+failed promotions counted for the RRC accounting.
+
+With an inert :class:`FaultPlan` the outcome is returned unchanged (the
+same object), which is what makes the rate-0 sweep point bit-for-bit
+identical to the fault-free pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro._util import DAY
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy, run_with_retries
+
+if TYPE_CHECKING:  # avoid a baselines <-> faults import cycle at runtime
+    from repro.baselines.policy import PolicyOutcome
+
+
+@dataclass(frozen=True, slots=True)
+class FaultStats:
+    """Aggregate accounting of one :func:`apply_faults` pass."""
+
+    n_transfers: int
+    retries: int
+    failed_attempts: int
+    failed_promotions: int
+    forced: int
+    added_delays: tuple[float, ...]
+
+    @property
+    def added_delay_mean_s(self) -> float:
+        """Mean extra delay (s) retries added per transfer."""
+        if not self.added_delays:
+            return 0.0
+        return sum(self.added_delays) / len(self.added_delays)
+
+    @property
+    def added_delay_max_s(self) -> float:
+        """Worst extra delay (s) retries added to any transfer."""
+        return max(self.added_delays, default=0.0)
+
+
+def apply_faults(
+    outcome: PolicyOutcome,
+    injector: FaultInjector,
+    retry: RetryPolicy | None = None,
+    *,
+    day_key: int = 0,
+    horizon: float = DAY,
+) -> tuple[PolicyOutcome, FaultStats]:
+    """Replay ``outcome``'s transfers through the fault model.
+
+    Every transfer keeps its payload (forced delivery at the delay bound
+    guarantees it), so ``validate_payload`` still holds on the result.
+    Transfers are never moved earlier, and never later than
+    ``retry.max_delay_s`` past their scheduled time (nor past the day
+    horizon minus their duration).
+    """
+    if injector.plan.inert:
+        return outcome, FaultStats(len(outcome.activities), 0, 0, 0, 0, ())
+    if retry is None:
+        retry = RetryPolicy()
+
+    activities = []
+    failed_windows = list(outcome.failed_windows)
+    retries = failed_attempts = failed_promotions = forced = 0
+    delays: list[float] = []
+    for index, activity in enumerate(outcome.activities):
+        deadline = max(horizon - activity.duration, activity.time)
+        result = run_with_retries(
+            activity,
+            activity.time,
+            injector,
+            retry,
+            day_key=day_key,
+            index=index,
+            deadline=deadline,
+        )
+        retries += result.retries
+        failed_attempts += len(result.failed_windows)
+        failed_promotions += result.failed_promotions
+        forced += int(result.forced)
+        delays.append(result.time - activity.time)
+        failed_windows.extend(result.failed_windows)
+        activities.append(
+            activity if result.time == activity.time else activity.moved_to(result.time)
+        )
+
+    faulted = replace(
+        outcome,
+        activities=activities,
+        activity_tails=(
+            None if outcome.activity_tails is None else list(outcome.activity_tails)
+        ),
+        failed_windows=failed_windows,
+        failed_promotions=outcome.failed_promotions + failed_promotions,
+        retries=outcome.retries + retries,
+    )
+    stats = FaultStats(
+        n_transfers=len(outcome.activities),
+        retries=retries,
+        failed_attempts=failed_attempts,
+        failed_promotions=failed_promotions,
+        forced=forced,
+        added_delays=tuple(delays),
+    )
+    return faulted, stats

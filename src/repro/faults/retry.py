@@ -1,0 +1,119 @@
+"""Retry with exponential backoff under a hard delay bound.
+
+NetMaster's whole bargain with the user is the max-delay guarantee: a
+deferred transfer is late by design, but never later than the configured
+bound.  Faults must not be allowed to break that promise, so the retry
+loop here is *deadline-aware*: backoff grows exponentially, but the last
+attempt is clamped to the deadline and forced to succeed there — the
+carrier eventually delivers, we just pay extra radio energy for the
+failed attempts along the way.  Payload conservation (every byte of the
+day is still transferred) therefore holds under any fault plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import DAY, check_positive
+from repro.faults.injector import FaultInjector
+from repro.traces.events import NetworkActivity
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Exponential backoff with capped attempts and a hard delay bound.
+
+    ``max_delay_s`` bounds the *extra* delay retries may add beyond the
+    transfer's (already deferred) scheduled time; it defaults to one
+    hour, matching the duty-cycle ceiling that also caps scheduling
+    delay in the paper.
+    """
+
+    initial_backoff_s: float = 5.0
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 300.0
+    max_attempts: int = 5
+    max_delay_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        check_positive("initial_backoff_s", self.initial_backoff_s)
+        check_positive("max_backoff_s", self.max_backoff_s)
+        check_positive("max_delay_s", self.max_delay_s)
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff after failed attempt number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = self.initial_backoff_s * self.backoff_factor ** (attempt - 1)
+        return min(raw, self.max_backoff_s)
+
+
+@dataclass(frozen=True, slots=True)
+class RetryOutcome:
+    """Result of pushing one transfer through the retry loop."""
+
+    time: float
+    attempts: int
+    failed_windows: tuple[tuple[float, float], ...]
+    failed_promotions: int
+    forced: bool
+
+    @property
+    def retries(self) -> int:
+        """Number of *extra* attempts beyond the first."""
+        return self.attempts - 1
+
+
+def run_with_retries(
+    activity: NetworkActivity,
+    scheduled_time: float,
+    injector: FaultInjector,
+    retry: RetryPolicy,
+    *,
+    day_key: int = 0,
+    index: int = 0,
+    deadline: float | None = None,
+) -> RetryOutcome:
+    """Execute one transfer at ``scheduled_time``, retrying through faults.
+
+    Returns the time the transfer finally succeeds at, the radio windows
+    burned by failed attempts (each ``failed_attempt_fraction`` of the
+    transfer duration; promotion failures burn no transfer window and
+    are counted separately), and whether success had to be *forced* at
+    the deadline.  The success time never exceeds
+    ``min(deadline, scheduled_time + retry.max_delay_s)``.
+    """
+    limit = scheduled_time + retry.max_delay_s
+    if deadline is not None:
+        limit = min(limit, deadline)
+    t = min(scheduled_time, limit)
+    failed_windows: list[tuple[float, float]] = []
+    failed_promotions = 0
+    attempt = 0
+    while True:
+        attempt += 1
+        at_limit = t >= limit
+        last_allowed = attempt >= retry.max_attempts
+        if at_limit and attempt > 1:
+            # out of time budget: the bound wins — deliver now.
+            return RetryOutcome(t, attempt, tuple(failed_windows), failed_promotions, True)
+        reason = injector.attempt_fails(day_key, index, attempt, t % DAY)
+        if reason is None:
+            return RetryOutcome(t, attempt, tuple(failed_windows), failed_promotions, False)
+        if reason == "promotion":
+            failed_promotions += 1
+        elif reason != "outage":
+            frac = injector.plan.failed_attempt_fraction
+            if frac > 0.0 and activity.duration > 0.0:
+                failed_windows.append((t, t + activity.duration * frac))
+        if last_allowed:
+            # attempts exhausted: force success at the delay bound.
+            return RetryOutcome(limit, attempt + 1, tuple(failed_windows), failed_promotions, True)
+        nxt = t + retry.backoff_s(attempt)
+        if reason == "outage":
+            nxt = max(nxt, injector.outage_end(day_key, t % DAY) + (t - t % DAY))
+        t = min(nxt, limit)

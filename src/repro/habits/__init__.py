@@ -18,6 +18,7 @@ from repro.habits.pearson import (
     pearson,
 )
 from repro.habits.prediction import (
+    DataSufficiency,
     HabitModel,
     Slot,
     SlotPrediction,
@@ -32,6 +33,7 @@ from repro.habits.threshold import (
 )
 
 __all__ = [
+    "DataSufficiency",
     "DeltaStrategy",
     "FixedDelta",
     "HabitModel",

@@ -92,6 +92,20 @@ def _merge_hours(active: np.ndarray) -> tuple[Slot, ...]:
     return tuple(slots)
 
 
+@dataclass(frozen=True, slots=True)
+class DataSufficiency:
+    """Verdict of :meth:`HabitModel.data_sufficiency`.
+
+    ``sufficient`` is the one bit callers branch on; ``reasons`` explains
+    every check that failed, for logging and degradation reports.
+    """
+
+    sufficient: bool
+    n_weekdays: int
+    n_weekends: int
+    reasons: tuple[str, ...] = ()
+
+
 @dataclass
 class HabitModel:
     """Fitted hour-level habit statistics for one user."""
@@ -246,6 +260,56 @@ class HabitModel:
     def screen_seconds(self, *, weekend: bool) -> np.ndarray:
         """Expected screen-on seconds per hour slot (capacity evidence)."""
         return self.weekend_screen_seconds if weekend else self.weekday_screen_seconds
+
+    # ------------------------------------------------------------------
+    # health checks
+    # ------------------------------------------------------------------
+    def data_sufficiency(self, *, min_days: int = 3) -> DataSufficiency:
+        """Whether this model carries enough clean signal to schedule on.
+
+        Habit mining needs several observed days of *each* day type
+        before its hour-level means stabilize (paper Section V trains on
+        two weeks), and corrupted monitoring stores can smuggle NaN/inf
+        into the statistics or wipe them to all-zero.  A model that fails
+        any check should not drive deferral — the caller degrades to the
+        duty-cycle-only baseline instead.
+        """
+        reasons: list[str] = []
+        if self.n_weekdays < min_days:
+            reasons.append(
+                f"only {self.n_weekdays} weekday(s) observed (need {min_days})"
+            )
+        if self.n_weekends < min(min_days, 2):
+            reasons.append(
+                f"only {self.n_weekends} weekend day(s) observed "
+                f"(need {min(min_days, 2)})"
+            )
+        arrays = {
+            "weekday_user_probs": self.weekday_user_probs,
+            "weekend_user_probs": self.weekend_user_probs,
+            "weekday_net_counts": self.weekday_net_counts,
+            "weekend_net_counts": self.weekend_net_counts,
+            "weekday_net_bytes": self.weekday_net_bytes,
+            "weekend_net_bytes": self.weekend_net_bytes,
+            "weekday_net_seconds": self.weekday_net_seconds,
+            "weekend_net_seconds": self.weekend_net_seconds,
+        }
+        for name, arr in arrays.items():
+            if not np.all(np.isfinite(arr)):
+                reasons.append(f"{name} contains NaN/inf (corrupted history)")
+            elif np.any(arr < 0):
+                reasons.append(f"{name} contains negative values (corrupted history)")
+        if (
+            np.all(self.weekday_user_probs == 0)
+            and np.all(self.weekend_user_probs == 0)
+        ):
+            reasons.append("no screen use observed in any hour (empty history)")
+        return DataSufficiency(
+            sufficient=not reasons,
+            n_weekdays=self.n_weekdays,
+            n_weekends=self.n_weekends,
+            reasons=tuple(reasons),
+        )
 
     # ------------------------------------------------------------------
     # predictions

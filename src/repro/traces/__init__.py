@@ -21,10 +21,13 @@ from repro.traces.apps import AppCatalog, AppModel, default_catalog
 from repro.traces.events import AppUsage, NetworkActivity, ScreenSession, Trace
 from repro.traces.generator import TraceGenerator, generate_cohort, generate_volunteers
 from repro.traces.io import (
+    TraceLoadReport,
     cohort_from_dir,
     cohort_to_dir,
     trace_from_csv,
+    trace_from_csv_lenient,
     trace_from_jsonl,
+    trace_from_jsonl_lenient,
     trace_to_csv,
     trace_to_jsonl,
 )
@@ -46,6 +49,7 @@ __all__ = [
     "ScreenUtilization",
     "Trace",
     "TraceGenerator",
+    "TraceLoadReport",
     "TraceStore",
     "TrafficSplit",
     "UserProfile",
@@ -67,7 +71,9 @@ __all__ = [
     "rate_values",
     "screen_utilization",
     "trace_from_csv",
+    "trace_from_csv_lenient",
     "trace_from_jsonl",
+    "trace_from_jsonl_lenient",
     "trace_to_csv",
     "trace_to_jsonl",
     "traffic_split",

@@ -5,17 +5,117 @@ regenerate traces, and so external traces in the same schema can be fed to
 the library.  JSONL keeps one event per line with a ``kind`` tag; CSV
 writes three sibling files (``*_sessions.csv``, ``*_usages.csv``,
 ``*_activities.csv``).
+
+Two loading modes exist for each format.  The strict loaders
+(:func:`trace_from_jsonl`, :func:`trace_from_csv`) raise on the first
+malformed record — right for traces this library wrote itself.  The
+lenient loaders (:func:`trace_from_jsonl_lenient`,
+:func:`trace_from_csv_lenient`) accept what a real fleet uploads:
+truncated lines, corrupt JSON, impossible values, and sessions that
+contradict activity flags are skipped (or repaired) and *reported*
+instead of crashing the pipeline, so one bad phone cannot poison a
+cohort-wide ingest.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro._util import DAY
 from repro.traces.events import AppUsage, NetworkActivity, ScreenSession, Trace
 
 _FORMAT_VERSION = 1
+
+
+@dataclass
+class TraceLoadReport:
+    """What a lenient load skipped or repaired.
+
+    ``skipped`` maps a human-readable location (e.g. ``"line 17"``) to
+    the reason the record was dropped; ``repaired_screen_flags`` counts
+    activities whose ``screen_on`` flag was recomputed to match the
+    surviving screen sessions.
+    """
+
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+    repaired_screen_flags: int = 0
+
+    @property
+    def n_skipped(self) -> int:
+        """Number of records dropped."""
+        return len(self.skipped)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the file loaded without any skip or repair."""
+        return not self.skipped and self.repaired_screen_flags == 0
+
+
+def _build_trace_lenient(
+    header: dict,
+    sessions: list[ScreenSession],
+    usages: list[AppUsage],
+    activities: list[NetworkActivity],
+    report: TraceLoadReport,
+) -> Trace:
+    """Assemble a valid :class:`Trace` from possibly-inconsistent parts.
+
+    Sessions that overlap a kept neighbour or spill past the trace
+    horizon are dropped (reported); activity ``screen_on`` flags are then
+    recomputed against the surviving sessions so the Trace invariants
+    hold by construction.
+    """
+    n_days = int(header["n_days"])
+    horizon = n_days * DAY
+    kept_sessions: list[ScreenSession] = []
+    prev_end = float("-inf")
+    for s in sorted(sessions, key=lambda s: s.start):
+        if s.start < prev_end:
+            report.skipped.append(
+                (f"session@{s.start:g}", "overlaps the previous screen session")
+            )
+            continue
+        if s.end > horizon:
+            report.skipped.append(
+                (f"session@{s.start:g}", "extends past the trace horizon")
+            )
+            continue
+        kept_sessions.append(s)
+        prev_end = s.end
+
+    skeleton = Trace(
+        user_id=str(header["user_id"]),
+        n_days=n_days,
+        start_weekday=int(header["start_weekday"]),
+        screen_sessions=kept_sessions,
+        usages=[],
+        activities=[],
+    )
+    fixed: list[NetworkActivity] = []
+    for a in activities:
+        on = skeleton.screen_on_at(a.time)
+        if on != a.screen_on:
+            report.repaired_screen_flags += 1
+            a = NetworkActivity(
+                time=a.time,
+                app=a.app,
+                down_bytes=a.down_bytes,
+                up_bytes=a.up_bytes,
+                duration=a.duration,
+                screen_on=on,
+            )
+        fixed.append(a)
+    return Trace(
+        user_id=str(header["user_id"]),
+        n_days=n_days,
+        start_weekday=int(header["start_weekday"]),
+        screen_sessions=kept_sessions,
+        usages=usages,
+        activities=fixed,
+    )
 
 
 def trace_to_jsonl(trace: Trace, path: str | Path) -> None:
@@ -56,8 +156,51 @@ def trace_to_jsonl(trace: Trace, path: str | Path) -> None:
             )
 
 
+def _check_header(obj: dict, path: Path) -> dict:
+    """Validate a parsed JSONL header record; returns it sans ``kind``."""
+    if obj.get("kind") != "header":
+        raise ValueError(
+            f"{path}: first record must be the header line, got kind={obj.get('kind')!r}"
+        )
+    version = obj.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version: {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    for key in ("user_id", "n_days", "start_weekday"):
+        if key not in obj:
+            raise ValueError(f"{path}: header line is missing {key!r}")
+    return {k: v for k, v in obj.items() if k != "kind"}
+
+
+def _parse_record(
+    kind: str, obj: dict
+) -> ScreenSession | AppUsage | NetworkActivity:
+    """Parse one non-header JSONL record; raises on anything malformed."""
+    if kind == "screen":
+        return ScreenSession(float(obj["start"]), float(obj["end"]))
+    if kind == "usage":
+        return AppUsage(float(obj["time"]), str(obj["app"]), float(obj["duration"]))
+    if kind == "network":
+        return NetworkActivity(
+            time=float(obj["time"]),
+            app=str(obj["app"]),
+            down_bytes=float(obj["down_bytes"]),
+            up_bytes=float(obj["up_bytes"]),
+            duration=float(obj["duration"]),
+            screen_on=bool(obj["screen_on"]),
+        )
+    raise ValueError(f"unknown record kind: {kind!r}")
+
+
 def trace_from_jsonl(path: str | Path) -> Trace:
-    """Load a trace previously written by :func:`trace_to_jsonl`."""
+    """Load a trace previously written by :func:`trace_to_jsonl`.
+
+    The first non-blank line must be a valid header record of a
+    supported format version; any malformed record raises.  Use
+    :func:`trace_from_jsonl_lenient` for files of unknown provenance.
+    """
     path = Path(path)
     header = None
     sessions: list[ScreenSession] = []
@@ -69,19 +212,16 @@ def trace_from_jsonl(path: str | Path) -> Trace:
             if not line:
                 continue
             obj = json.loads(line)
-            kind = obj.pop("kind")
-            if kind == "header":
-                if obj.get("version") != _FORMAT_VERSION:
-                    raise ValueError(f"unsupported trace format version: {obj.get('version')}")
-                header = obj
-            elif kind == "screen":
-                sessions.append(ScreenSession(obj["start"], obj["end"]))
-            elif kind == "usage":
-                usages.append(AppUsage(obj["time"], obj["app"], obj["duration"]))
-            elif kind == "network":
-                activities.append(NetworkActivity(**obj))
+            if header is None:
+                header = _check_header(obj, path)
+                continue
+            record = _parse_record(obj.get("kind"), obj)
+            if isinstance(record, ScreenSession):
+                sessions.append(record)
+            elif isinstance(record, AppUsage):
+                usages.append(record)
             else:
-                raise ValueError(f"unknown record kind: {kind!r}")
+                activities.append(record)
     if header is None:
         raise ValueError(f"{path} has no header line")
     return Trace(
@@ -91,6 +231,58 @@ def trace_from_jsonl(path: str | Path) -> Trace:
         screen_sessions=sessions,
         usages=usages,
         activities=activities,
+    )
+
+
+def trace_from_jsonl_lenient(path: str | Path) -> tuple[Trace, TraceLoadReport]:
+    """Load a JSONL trace, skipping and reporting malformed records.
+
+    The header line is still mandatory (the file cannot be interpreted
+    without it); every other malformed record — broken JSON, unknown
+    kind, missing or impossible fields — is skipped and listed in the
+    returned :class:`TraceLoadReport`.  Activities whose ``screen_on``
+    flag contradicts the surviving sessions are repaired rather than
+    dropped.
+    """
+    path = Path(path)
+    report = TraceLoadReport()
+    header = None
+    sessions: list[ScreenSession] = []
+    usages: list[AppUsage] = []
+    activities: list[NetworkActivity] = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if header is None:
+                    raise ValueError(
+                        f"{path}: header line is unreadable: {exc}"
+                    ) from exc
+                report.skipped.append((f"line {lineno}", f"invalid JSON: {exc.msg}"))
+                continue
+            if header is None:
+                header = _check_header(obj, path)
+                continue
+            try:
+                record = _parse_record(obj.get("kind"), obj)
+            except (KeyError, TypeError, ValueError) as exc:
+                report.skipped.append((f"line {lineno}", str(exc)))
+                continue
+            if isinstance(record, ScreenSession):
+                sessions.append(record)
+            elif isinstance(record, AppUsage):
+                usages.append(record)
+            else:
+                activities.append(record)
+    if header is None:
+        raise ValueError(f"{path} has no header line")
+    return (
+        _build_trace_lenient(header, sessions, usages, activities, report),
+        report,
     )
 
 
@@ -185,6 +377,62 @@ def trace_from_csv(prefix: str | Path) -> Trace:
         usages=usages,
         activities=activities,
     )
+
+
+def trace_from_csv_lenient(prefix: str | Path) -> tuple[Trace, TraceLoadReport]:
+    """Load a CSV trace, skipping and reporting malformed rows.
+
+    The metadata file must still parse (one valid row); malformed rows in
+    the sessions/usages/activities files are skipped and reported, and
+    contradictory ``screen_on`` flags repaired, as in
+    :func:`trace_from_jsonl_lenient`.
+    """
+    prefix = Path(prefix)
+
+    meta_path = prefix.with_name(prefix.name + "_meta.csv")
+    with meta_path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    if len(rows) != 1:
+        raise ValueError(f"{meta_path} must contain exactly one metadata row")
+    meta = rows[0]
+    header = {
+        "user_id": meta["user_id"],
+        "n_days": int(meta["n_days"]),
+        "start_weekday": int(meta["start_weekday"]),
+    }
+
+    report = TraceLoadReport()
+
+    def load_rows(suffix: str, build) -> list:
+        rows_path = prefix.with_name(prefix.name + suffix)
+        out = []
+        with rows_path.open() as fh:
+            for rowno, row in enumerate(csv.DictReader(fh), start=2):
+                try:
+                    out.append(build(row))
+                except (KeyError, TypeError, ValueError) as exc:
+                    report.skipped.append((f"{rows_path.name}:{rowno}", str(exc)))
+        return out
+
+    sessions = load_rows(
+        "_sessions.csv", lambda r: ScreenSession(float(r["start"]), float(r["end"]))
+    )
+    usages = load_rows(
+        "_usages.csv",
+        lambda r: AppUsage(float(r["time"]), r["app"], float(r["duration"])),
+    )
+    activities = load_rows(
+        "_activities.csv",
+        lambda r: NetworkActivity(
+            time=float(r["time"]),
+            app=r["app"],
+            down_bytes=float(r["down_bytes"]),
+            up_bytes=float(r["up_bytes"]),
+            duration=float(r["duration"]),
+            screen_on=bool(int(r["screen_on"])),
+        ),
+    )
+    return _build_trace_lenient(header, sessions, usages, activities, report), report
 
 
 def cohort_to_dir(traces: list[Trace], directory: str | Path) -> list[Path]:

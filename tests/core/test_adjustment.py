@@ -69,6 +69,49 @@ class TestGapServicer:
         lo, hi = result.wake_windows[0]
         assert hi - lo == pytest.approx(2.0)
 
+    def test_zero_length_gap(self):
+        result = GapServicer(initial_s=30.0).service(50.0, 50.0, [])
+        assert result.executed == []
+        assert result.wake_windows == []
+        assert result.serviced == 0
+
+    def test_activity_exactly_at_gap_end_rejected(self):
+        # The gap interval is half-open: an arrival at gap_end belongs
+        # to the next screen session, not to this gap.
+        servicer = GapServicer(initial_s=30.0)
+        with pytest.raises(ValueError, match="outside gap"):
+            servicer.service(0.0, 100.0, [_pending(100.0)])
+
+    def test_activity_exactly_at_gap_start(self):
+        servicer = GapServicer(initial_s=30.0)
+        result = servicer.service(0.0, 300.0, [_pending(0.0)])
+        assert result.serviced == 1
+        assert result.executed[0].time == pytest.approx(30.0)
+
+    def test_wake_exactly_on_gap_boundary(self):
+        # initial_s equal to the gap length: the first wake would land
+        # exactly on gap_end, where the screen is back on — no wake.
+        result = GapServicer(initial_s=30.0).service(0.0, 30.0, [])
+        assert result.wake_windows == []
+        result = GapServicer(initial_s=30.0).service(0.0, 30.0 + 1e-6, [])
+        assert len(result.wake_windows) == 1
+
+    def test_backoff_resets_after_serviced_burst(self):
+        servicer = GapServicer(initial_s=30.0)
+        result = servicer.service(0.0, 2000.0, [_pending(10.0), _pending(400.0)])
+        assert result.serviced == 2
+        wakes = [lo for lo, _ in result.wake_windows]
+        # First burst serviced at t=30; scheme restarts at 30 s intervals.
+        first_after_burst = next(w for w in wakes if w > 30.0)
+        assert first_after_burst == pytest.approx(30.0 + 4.0 + 0.2 + 30.0)
+        # The second pending is serviced at the first wake after t=400,
+        # and the interval right after it shrinks back to initial_s.
+        second_service = sorted(result.executed, key=lambda a: a.time)[1].time
+        first_after_second = next(w for w in wakes if w > second_service)
+        assert first_after_second == pytest.approx(
+            second_service + 4.0 + 0.2 + 30.0
+        )
+
 
 class TestRealTimeAdjustment:
     def test_special_app_gating(self, tiny_trace):

@@ -83,6 +83,19 @@ class TestRunUntil:
     def test_step_returns_false_when_empty(self):
         assert Simulator().step() is False
 
+    def test_infinite_until_object_identity(self):
+        # Regression: `until is not math.inf` let a distinct inf object
+        # (e.g. float("inf") from parsed input) set the clock to infinity.
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run(until=float("inf"))
+        assert sim.now == 5.0
+
+    def test_infinite_until_empty_queue(self):
+        sim = Simulator(start_time=2.0)
+        sim.run(until=float("inf"))
+        assert sim.now == 2.0
+
 
 class TestCancellation:
     def test_cancel_pending(self):

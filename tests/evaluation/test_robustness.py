@@ -1,0 +1,73 @@
+"""Tests for the robustness sweep experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import NetMasterPolicy
+from repro.evaluation import measure_outcome, robustness, split_history
+from repro.evaluation.reporting import format_robustness
+from repro.radio import wcdma_model
+from repro.traces import generate_volunteers
+
+
+@pytest.fixture(scope="module")
+def result():
+    return robustness(seed=43, n_days=12, rates=(0.0, 0.1, 0.3))
+
+
+class TestRobustness:
+    def test_rates_sorted_and_points_aligned(self, result):
+        assert result.rates == [0.0, 0.1, 0.3]
+        assert [p.rate for p in result.points] == result.rates
+        assert result.policies == ["baseline", "netmaster", "delay-batch-60s"]
+
+    def test_rate_zero_is_fault_free(self, result):
+        clean = result.points[0]
+        assert clean.energy_saving["baseline"] == pytest.approx(0.0)
+        assert all(v == 0 for v in clean.retries.values())
+        assert all(v == 0 for v in clean.forced_deliveries.values())
+        assert all(v == 0.0 for v in clean.added_delay_max_s.values())
+
+    def test_rate_zero_matches_stock_pipeline_exactly(self, result):
+        # Recompute the netmaster energy with the plain (no-faults)
+        # pipeline: the rate-0 sweep point must match bit-for-bit.
+        model = wcdma_model()
+        total = 0.0
+        for trace in generate_volunteers(12, seed=43):
+            history, test_days = split_history(trace, 10)
+            policy = NetMasterPolicy(history)
+            for day in test_days:
+                outcome = policy.execute_day(day)
+                total += measure_outcome(outcome, model, day).energy_j
+        assert result.points[0].energy_j["netmaster"] == total
+
+    def test_savings_monotone_in_rate(self, result):
+        for policy in result.policies:
+            series = result.series(policy)
+            assert all(a >= b - 1e-12 for a, b in zip(series, series[1:]))
+
+    def test_faults_trigger_retries(self, result):
+        assert result.points[-1].retries["netmaster"] > 0
+        assert result.points[-1].failed_attempts["netmaster"] > 0
+
+    def test_delay_bound_never_violated(self, result):
+        assert all(p.delay_violations == 0 for p in result.points)
+        for p in result.points:
+            for policy in result.policies:
+                assert p.added_delay_max_s[policy] <= result.max_delay_s + 1e-6
+
+    def test_netmaster_still_wins_under_faults(self, result):
+        worst = result.points[-1]
+        assert worst.energy_saving["netmaster"] > worst.energy_saving["delay-batch-60s"]
+        assert worst.energy_saving["netmaster"] > 0.0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            robustness(rates=(0.0, 1.2))
+
+    def test_formatter(self, result):
+        text = format_robustness(result)
+        assert "Robustness" in text
+        assert "rate 0.30" in text
+        assert "delay-bound violations" in text

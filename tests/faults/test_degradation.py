@@ -1,0 +1,107 @@
+"""Tests for graceful degradation: circuit breaker, data sufficiency,
+and the duty-cycle-only fallback inside the middleware."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NetMaster, NetMasterConfig
+from repro.faults import CircuitBreaker
+from repro.habits import HabitModel
+
+
+class TestCircuitBreaker:
+    def test_starts_closed(self):
+        assert not CircuitBreaker().open
+
+    def test_trips_above_threshold(self):
+        breaker = CircuitBreaker(threshold=0.3, min_interactions=20)
+        assert breaker.record(10, 25)  # 40% misprediction
+        assert breaker.open
+        assert breaker.tripped_count == 1
+
+    def test_needs_minimum_signal(self):
+        breaker = CircuitBreaker(threshold=0.3, min_interactions=20)
+        assert not breaker.record(10, 12)  # 83% but only 12 interactions
+        assert not breaker.open
+
+    def test_below_threshold_stays_closed(self):
+        breaker = CircuitBreaker(threshold=0.3, min_interactions=20)
+        assert not breaker.record(5, 25)  # 20%
+        assert not breaker.open
+
+    def test_cooldown_closes(self):
+        breaker = CircuitBreaker(cooldown_days=2)
+        breaker.record(10, 25)
+        assert breaker.tick_degraded()  # one degraded day served
+        assert not breaker.tick_degraded()  # cooldown elapsed
+        assert not breaker.open
+
+    def test_retrips_after_close(self):
+        breaker = CircuitBreaker(cooldown_days=1)
+        breaker.record(10, 25)
+        breaker.tick_degraded()
+        breaker.record(10, 25)
+        assert breaker.open
+        assert breaker.tripped_count == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=1.5)
+        with pytest.raises(ValueError):
+            CircuitBreaker(min_interactions=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker().record(-1, 5)
+
+
+class TestDataSufficiency:
+    def test_long_history_is_sufficient(self, history):
+        check = HabitModel.fit(history).data_sufficiency(min_days=3)
+        assert check.sufficient
+        assert check.reasons == ()
+
+    def test_single_day_is_insufficient(self, tiny_trace):
+        check = HabitModel.fit(tiny_trace).data_sufficiency(min_days=3)
+        assert not check.sufficient
+        assert check.reasons
+
+
+class TestMiddlewareFallback:
+    def test_insufficient_history_degrades(self, tiny_trace, test_day):
+        nm = NetMaster(NetMasterConfig())
+        nm.train(tiny_trace)  # 1 day: far below min_history_days
+        assert nm.insufficient_history
+        assert nm.degraded
+        execution = nm.execute_day(test_day)
+        assert execution.degraded
+        assert execution.plan is None
+        assert execution.interrupts == 0  # fallback never mispredicts
+        src = sum(a.total_bytes for a in test_day.activities)
+        out = sum(a.total_bytes for a in execution.activities)
+        assert out == pytest.approx(src)  # payload conserved
+
+    def test_degradation_opt_out(self, tiny_trace, test_day):
+        config = NetMasterConfig(degrade_on_insufficient_history=False)
+        nm = NetMaster(config)
+        nm.train(tiny_trace)
+        assert not nm.degraded
+        assert not nm.execute_day(test_day).degraded
+
+    def test_healthy_history_runs_full_pipeline(self, history, test_day):
+        nm = NetMaster(NetMasterConfig())
+        nm.train(history)
+        assert not nm.degraded
+        execution = nm.execute_day(test_day)
+        assert not execution.degraded
+        assert execution.plan is not None
+
+    def test_open_breaker_forces_fallback_then_recovers(self, history, test_day):
+        nm = NetMaster(NetMasterConfig(breaker_cooldown_days=1))
+        nm.train(history)
+        nm.breaker.record(10, 25)  # simulate a terrible day
+        assert nm.degraded
+        execution = nm.execute_day(test_day)
+        assert execution.degraded
+        # One degraded day served the cooldown; deferral resumes.
+        assert not nm.degraded
+        assert not nm.execute_day(test_day).degraded

@@ -1,0 +1,99 @@
+"""Tests for the deadline-aware retry loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy, run_with_retries
+from repro.traces import NetworkActivity
+
+
+def _activity(t=1000.0, dur=8.0):
+    return NetworkActivity(t, "app", 4000.0, 400.0, dur, False)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        retry = RetryPolicy(initial_backoff_s=5.0, backoff_factor=2.0, max_backoff_s=30.0)
+        assert retry.backoff_s(1) == pytest.approx(5.0)
+        assert retry.backoff_s(2) == pytest.approx(10.0)
+        assert retry.backoff_s(3) == pytest.approx(20.0)
+        assert retry.backoff_s(4) == pytest.approx(30.0)  # capped
+        assert retry.backoff_s(10) == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_delay_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(0)
+
+
+class TestRunWithRetries:
+    def test_clean_radio_first_attempt(self):
+        injector = FaultInjector(FaultPlan())
+        out = run_with_retries(_activity(), 1000.0, injector, RetryPolicy())
+        assert out.time == 1000.0
+        assert out.attempts == 1
+        assert out.retries == 0
+        assert out.failed_windows == ()
+        assert not out.forced
+
+    def test_always_failing_forces_at_bound(self):
+        injector = FaultInjector(FaultPlan(transfer_failure_rate=1.0, seed=1))
+        retry = RetryPolicy(max_attempts=4, max_delay_s=600.0)
+        out = run_with_retries(_activity(), 1000.0, injector, retry)
+        assert out.forced
+        assert out.time == pytest.approx(1600.0)
+        assert out.attempts == retry.max_attempts + 1
+        assert len(out.failed_windows) == retry.max_attempts
+
+    def test_delay_never_exceeds_bound(self):
+        injector = FaultInjector(FaultPlan.uniform(0.6, seed=9))
+        retry = RetryPolicy(max_delay_s=900.0)
+        for index in range(50):
+            out = run_with_retries(
+                _activity(), 1000.0, injector, retry, index=index
+            )
+            assert out.time <= 1000.0 + retry.max_delay_s + 1e-9
+            assert out.time >= 1000.0
+
+    def test_deadline_clamps_below_max_delay(self):
+        injector = FaultInjector(FaultPlan(transfer_failure_rate=1.0, seed=1))
+        out = run_with_retries(
+            _activity(), 1000.0, injector, RetryPolicy(max_delay_s=3600.0),
+            deadline=1200.0,
+        )
+        assert out.forced
+        assert out.time == pytest.approx(1200.0)
+
+    def test_failed_windows_are_partial(self):
+        injector = FaultInjector(
+            FaultPlan(transfer_failure_rate=1.0, failed_attempt_fraction=0.25, seed=1)
+        )
+        out = run_with_retries(_activity(dur=8.0), 1000.0, injector, RetryPolicy())
+        for lo, hi in out.failed_windows:
+            assert hi - lo == pytest.approx(2.0)
+
+    def test_outage_pushes_past_window_end(self):
+        plan = FaultPlan(outage_keep_prob=1.0, outage_candidates_per_day=1, seed=11)
+        injector = FaultInjector(plan)
+        (lo, hi), = injector.outage_windows(0)
+        scheduled = (lo + hi) / 2.0
+        out = run_with_retries(
+            _activity(scheduled), scheduled, injector, RetryPolicy(max_delay_s=3600.0)
+        )
+        # Success happens after coverage returns (or is forced at the bound).
+        assert out.time >= min(hi, scheduled + 3600.0) - 1e-9
+        assert out.retries >= 1
+
+    def test_promotion_failures_burn_no_transfer_window(self):
+        injector = FaultInjector(FaultPlan(promotion_failure_rate=1.0, seed=1))
+        retry = RetryPolicy(max_attempts=3)
+        out = run_with_retries(_activity(), 1000.0, injector, retry)
+        assert out.failed_promotions == retry.max_attempts
+        assert out.failed_windows == ()
+        assert out.forced

@@ -4,9 +4,7 @@ from __future__ import annotations
 
 import io
 
-import pytest
-
-from repro.__main__ import _REGISTRY, build_parser, run
+from repro.__main__ import _REGISTRY, build_parser, main, run
 
 
 class TestCli:
@@ -41,11 +39,32 @@ class TestCli:
         args = build_parser().parse_args(["fig7"])
         assert args.experiments == ["fig7"]
         assert args.seed is None
+        assert args.out is None
+
+    def test_list_rejects_other_names(self, capsys):
+        assert run(["list", "fig7"], out=io.StringIO()) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_all_rejects_other_names(self, capsys):
+        assert run(["fig7", "all"], out=io.StringIO()) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_list_and_all_reject_each_other(self):
+        assert run(["list", "all"], out=io.StringIO()) == 2
+
+    def test_out_writes_report_to_file(self, tmp_path):
+        target = tmp_path / "report.txt"
+        assert main(["fig10b", "--out", str(target)]) == 0
+        assert "Fig 10(b)" in target.read_text(encoding="utf-8")
+
+    def test_out_defaults_to_stdout(self, capsys):
+        assert main(["fig10b"]) == 0
+        assert "Fig 10(b)" in capsys.readouterr().out
 
     def test_registry_covers_every_paper_figure(self):
         expected = {
             "fig1a", "fig1b", "fig2", "fig3", "fig4", "fig5",
             "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig10c",
-            "ux", "approx",
+            "ux", "approx", "robustness",
         }
         assert set(_REGISTRY) == expected

@@ -10,7 +10,9 @@ from repro.traces import (
     cohort_from_dir,
     cohort_to_dir,
     trace_from_csv,
+    trace_from_csv_lenient,
     trace_from_jsonl,
+    trace_from_jsonl_lenient,
     trace_to_csv,
     trace_to_jsonl,
 )
@@ -78,6 +80,93 @@ class TestJsonl:
         path.write_text(path.read_text().replace("\n", "\n\n"))
         _assert_traces_equal(tiny_trace, trace_from_jsonl(path))
 
+    def test_header_must_be_first(self, tiny_trace, tmp_path):
+        # A header buried below data records is not a valid file.
+        path = tmp_path / "shuffled.jsonl"
+        trace_to_jsonl(tiny_trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[1:] + lines[:1]) + "\n")
+        with pytest.raises(ValueError, match="header"):
+            trace_from_jsonl(path)
+
+    def test_header_missing_field(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "version": 1, "user_id": "u"}) + "\n"
+        )
+        with pytest.raises(ValueError, match="n_days"):
+            trace_from_jsonl(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="header"):
+            trace_from_jsonl(path)
+
+
+class TestJsonlLenient:
+    def test_clean_file_loads_clean(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace_to_jsonl(tiny_trace, path)
+        loaded, report = trace_from_jsonl_lenient(path)
+        assert report.clean
+        assert report.n_skipped == 0
+        _assert_traces_equal(tiny_trace, loaded)
+
+    def test_skips_corrupt_lines(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace_to_jsonl(tiny_trace, path)
+        with path.open("a") as fh:
+            fh.write("{this is not json\n")
+            fh.write(json.dumps({"kind": "mystery"}) + "\n")
+            fh.write(json.dumps({"kind": "usage", "time": 1.0}) + "\n")
+        loaded, report = trace_from_jsonl_lenient(path)
+        assert report.n_skipped == 3
+        assert not report.clean
+        locations = [loc for loc, _ in report.skipped]
+        assert all(loc.startswith("line ") for loc in locations)
+        _assert_traces_equal(tiny_trace, loaded)
+
+    def test_still_requires_header(self, tmp_path):
+        path = tmp_path / "nohdr.jsonl"
+        path.write_text(json.dumps({"kind": "screen", "start": 0.0, "end": 1.0}) + "\n")
+        with pytest.raises(ValueError, match="header"):
+            trace_from_jsonl_lenient(path)
+
+    def test_repairs_contradictory_screen_flag(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace_to_jsonl(tiny_trace, path)
+        with path.open("a") as fh:
+            # Claims screen-on at a time with no screen session.
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "network",
+                        "time": 20000.0,
+                        "app": "liar",
+                        "down_bytes": 10.0,
+                        "up_bytes": 1.0,
+                        "duration": 1.0,
+                        "screen_on": True,
+                    }
+                )
+                + "\n"
+            )
+        loaded, report = trace_from_jsonl_lenient(path)
+        assert report.repaired_screen_flags == 1
+        repaired = [a for a in loaded.activities if a.app == "liar"]
+        assert repaired[0].screen_on is False
+
+    def test_drops_overlapping_sessions(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace_to_jsonl(tiny_trace, path)
+        with path.open("a") as fh:
+            # Overlaps the 100-130 s session.
+            fh.write(json.dumps({"kind": "screen", "start": 110.0, "end": 140.0}) + "\n")
+        loaded, report = trace_from_jsonl_lenient(path)
+        assert any("overlap" in reason for _, reason in report.skipped)
+        assert len(loaded.screen_sessions) == len(tiny_trace.screen_sessions)
+
 
 class TestCsv:
     def test_round_trip(self, tiny_trace, tmp_path):
@@ -94,6 +183,36 @@ class TestCsv:
         meta.write_text("\n".join([lines[0], lines[1], lines[1]]) + "\n")
         with pytest.raises(ValueError, match="exactly one"):
             trace_from_csv(prefix)
+
+
+class TestCsvLenient:
+    def test_clean_round_trip(self, tiny_trace, tmp_path):
+        prefix = tmp_path / "trace"
+        trace_to_csv(tiny_trace, prefix)
+        loaded, report = trace_from_csv_lenient(prefix)
+        assert report.clean
+        _assert_traces_equal(tiny_trace, loaded)
+
+    def test_skips_malformed_rows(self, tiny_trace, tmp_path):
+        prefix = tmp_path / "trace"
+        trace_to_csv(tiny_trace, prefix)
+        activities = prefix.with_name("trace_activities.csv")
+        with activities.open("a") as fh:
+            fh.write("not-a-number,app,1,1,1,0\n")
+        loaded, report = trace_from_csv_lenient(prefix)
+        assert report.n_skipped == 1
+        location, _ = report.skipped[0]
+        assert location.startswith("trace_activities.csv:")
+        _assert_traces_equal(tiny_trace, loaded)
+
+    def test_meta_still_strict(self, tiny_trace, tmp_path):
+        prefix = tmp_path / "trace"
+        trace_to_csv(tiny_trace, prefix)
+        meta = prefix.with_name("trace_meta.csv")
+        lines = meta.read_text().splitlines()
+        meta.write_text("\n".join([lines[0], lines[1], lines[1]]) + "\n")
+        with pytest.raises(ValueError, match="exactly one"):
+            trace_from_csv_lenient(prefix)
 
 
 class TestCohortDir:

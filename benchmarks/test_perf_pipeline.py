@@ -1,0 +1,79 @@
+"""Perf pipeline benchmark: caching, parallel fan-out, FPTAS batch.
+
+Unlike the figure benchmarks this one times the *infrastructure* — the
+content-addressed trace cache, the process-parallel policy sweep and the
+packed-bits knapsack DP — and writes ``BENCH_perf.json`` at the repo
+root so successive PRs can track the perf trajectory.
+
+Run it alone with::
+
+    pytest benchmarks/test_perf_pipeline.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.runtime.bench import (
+    bench_cohort,
+    bench_fptas_batch,
+    bench_policy_sweep,
+    run_bench,
+)
+
+#: Worker count for the sweep benchmarks (never more than the machine has).
+JOBS = max(2, min(4, os.cpu_count() or 2))
+
+
+def test_cohort_cache_cold_vs_warm(report):
+    """A warm in-process cache hit beats regeneration by >= 10x."""
+    result = bench_cohort(n_days=21, seed=2014)
+    report(
+        f"cohort generation: cold {result['cold_s']:.3f}s, "
+        f"warm {result['warm_s']:.5f}s ({result['warm_speedup']:.0f}x)"
+    )
+    assert result["cache"]["hits"] >= 1
+    assert result["warm_speedup"] >= 10.0
+
+
+def test_policy_sweep_parallel_matches_serial(report):
+    """The N-worker sweep is bit-identical to serial (and times both)."""
+    result = bench_policy_sweep(jobs=JOBS, n_days=14, n_history_days=10)
+    report(
+        f"policy sweep ({result['n_tasks']} tasks): "
+        f"serial {result['serial_s']:.3f}s, jobs={result['jobs']} "
+        f"{result['parallel_s']:.3f}s ({result['speedup']:.2f}x)"
+    )
+    # bench_policy_sweep raises AssertionError itself if results diverge.
+    assert result["identical_results"]
+    assert result["n_tasks"] == result["n_users"] * 6
+
+
+def test_fptas_batch(report):
+    """Batch of per-slot FPTAS solves through the packed-bits DP."""
+    result = bench_fptas_batch()
+    report(
+        f"fptas batch: {result['n_solves']} solves in {result['batch_s']:.3f}s "
+        f"({result['solves_per_s']:.1f}/s)"
+    )
+    assert result["total_profit"] > 0.0
+
+
+def test_write_bench_report(report, tmp_path_factory):
+    """Full harness writes a well-formed ``BENCH_perf.json`` at repo root."""
+    out = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+    written = run_bench(out, jobs=JOBS)
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == 1
+    for section in ("cohort_generation", "policy_sweep", "fptas_batch"):
+        assert section in on_disk
+    assert on_disk["cohort_generation"]["warm_speedup"] >= 10.0
+    assert on_disk["policy_sweep"]["identical_results"]
+    report(
+        "BENCH_perf.json: cohort warm speedup "
+        f"{written['cohort_generation']['warm_speedup']:.0f}x, "
+        f"sweep jobs={written['policy_sweep']['jobs']} speedup "
+        f"{written['policy_sweep']['speedup']:.2f}x"
+    )

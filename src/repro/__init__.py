@@ -75,6 +75,16 @@ from repro.habits import (
     pearson,
     prediction_accuracy,
 )
+from repro.runtime import (
+    ParallelRunner,
+    PolicyTask,
+    TraceCache,
+    cache_stats,
+    clear_cache,
+    configure_cache,
+    parallel_map,
+    run_policy_tasks,
+)
 from repro.radio import (
     FullTail,
     LinkModel,
@@ -130,7 +140,9 @@ __all__ = [
     "NetMasterScheduler",
     "NetworkActivity",
     "OraclePolicy",
+    "ParallelRunner",
     "PolicyOutcome",
+    "PolicyTask",
     "ProfitParams",
     "RadioPowerModel",
     "RandomSleep",
@@ -140,12 +152,16 @@ __all__ = [
     "SlotPrediction",
     "SpecialAppRegistry",
     "Trace",
+    "TraceCache",
     "TraceGenerator",
     "TraceStore",
     "TruncatedTail",
     "UserProfile",
     "WeekdayWeekendDelta",
     "apply_faults",
+    "cache_stats",
+    "clear_cache",
+    "configure_cache",
     "default_catalog",
     "default_profiles",
     "generate_cohort",
@@ -154,8 +170,10 @@ __all__ = [
     "knapsack_fptas",
     "knapsack_greedy",
     "lte_model",
+    "parallel_map",
     "pearson",
     "prediction_accuracy",
+    "run_policy_tasks",
     "simulate",
     "solve_overlapped",
     "volunteer_profiles",

@@ -58,6 +58,9 @@ _SEEDABLE = {
     "robustness",
 }
 
+#: Experiments whose drivers accept a ``jobs`` keyword (process fan-out).
+_PARALLEL = {"fig7", "fig8", "fig9", "fig10c", "robustness"}
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
@@ -83,10 +86,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the report to PATH instead of stdout",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan parallel-capable experiments over N worker processes "
+        f"(applies to: {', '.join(sorted(_PARALLEL))})",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="persist generated cohorts on disk under PATH "
+        "(content-addressed; survives process restarts)",
+    )
+    parser.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="disable the in-process trace cache (always regenerate)",
+    )
     return parser
 
 
-def run(names: list[str], seed: int | None = None, *, out=None) -> int:
+def run(
+    names: list[str], seed: int | None = None, *, out=None, jobs: int = 1
+) -> int:
     """Run the named experiments; returns a process exit code."""
     if out is None:
         out = sys.stdout
@@ -114,11 +139,16 @@ def run(names: list[str], seed: int | None = None, *, out=None) -> int:
             file=sys.stderr,
         )
         return 2
+    if jobs < 1:
+        print(f"--jobs must be >= 1, got {jobs}", file=sys.stderr)
+        return 2
     for i, name in enumerate(names):
         driver, formatter = _REGISTRY[name]
         kwargs = {}
         if seed is not None and name in _SEEDABLE:
             kwargs["seed"] = seed
+        if jobs > 1 and name in _PARALLEL:
+            kwargs["jobs"] = jobs
         result = driver(**kwargs)
         if i:
             print(file=out)
@@ -129,6 +159,13 @@ def run(names: list[str], seed: int | None = None, *, out=None) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.no_trace_cache or args.cache_dir is not None:
+        from repro.runtime.cache import configure_cache
+
+        if args.no_trace_cache:
+            configure_cache(enabled=False)
+        if args.cache_dir is not None:
+            configure_cache(cache_dir=args.cache_dir)
     if args.out is not None:
         try:
             fh = open(args.out, "w", encoding="utf-8")
@@ -136,8 +173,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"cannot write --out {args.out}: {exc}", file=sys.stderr)
             return 2
         with fh:
-            return run(args.experiments, args.seed, out=fh)
-    return run(args.experiments, args.seed)
+            return run(args.experiments, args.seed, out=fh, jobs=args.jobs)
+    return run(args.experiments, args.seed, jobs=args.jobs)
 
 
 if __name__ == "__main__":

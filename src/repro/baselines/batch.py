@@ -26,6 +26,9 @@ class BatchPolicy:
     max_batch: int
     name: str = ""
 
+    #: Pure function of the day: safe to fan days over worker processes.
+    day_independent = True
+
     def __post_init__(self) -> None:
         if self.max_batch < 0:
             raise ValueError(f"max_batch must be >= 0, got {self.max_batch}")

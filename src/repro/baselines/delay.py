@@ -34,6 +34,9 @@ class DelayPolicy:
     interval_s: float
     name: str = ""
 
+    #: Pure function of the day: safe to fan days over worker processes.
+    day_independent = True
+
     def __post_init__(self) -> None:
         check_positive("interval_s", self.interval_s, strict=False)
         if not self.name:

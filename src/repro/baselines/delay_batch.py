@@ -39,6 +39,9 @@ class DelayBatchPolicy:
     fast_dormancy_s: float | None = 0.5
     name: str = ""
 
+    #: Pure function of the day: safe to fan days over worker processes.
+    day_independent = True
+
     def __post_init__(self) -> None:
         check_positive("interval_s", self.interval_s)
         if self.fast_dormancy_s is not None:

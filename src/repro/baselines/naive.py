@@ -20,6 +20,9 @@ class NaivePolicy:
 
     name: str = "baseline"
 
+    #: Pure function of the day: safe to fan days over worker processes.
+    day_independent = True
+
     def execute_day(self, day: Trace) -> PolicyOutcome:
         """Everything executes exactly as logged."""
         if day.n_days != 1:

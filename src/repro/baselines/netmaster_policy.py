@@ -21,6 +21,11 @@ class NetMasterPolicy:
     config: NetMasterConfig = field(default_factory=NetMasterConfig)
     name: str = "netmaster"
 
+    #: The misprediction circuit breaker carries state between days, so
+    #: a day sequence must replay in order inside one process; the
+    #: parallel runner therefore only fans NetMaster at the grid level.
+    day_independent = False
+
     def __post_init__(self) -> None:
         self._middleware = NetMaster(self.config)
         self._middleware.train(self.history)

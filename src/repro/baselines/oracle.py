@@ -30,6 +30,9 @@ class OraclePolicy:
     guard_s: float = 1.0
     name: str = "oracle"
 
+    #: Pure function of the day: safe to fan days over worker processes.
+    day_independent = True
+
     def __post_init__(self) -> None:
         check_positive("guard_s", self.guard_s, strict=False)
 

@@ -155,7 +155,16 @@ class PolicyOutcome:
 
 @runtime_checkable
 class SchedulingPolicy(Protocol):
-    """A day-level network-activity scheduler."""
+    """A day-level network-activity scheduler.
+
+    Policies may additionally expose a ``day_independent: bool`` class
+    attribute: ``True`` declares that ``execute_day`` is a pure function
+    of the day (no state carried between calls), which lets the parallel
+    runner fan individual days of one policy over worker processes.
+    Policies without the attribute are treated as stateful and only
+    parallelized at the (policy × user) grid level, where each worker
+    replays a full day sequence in order.
+    """
 
     name: str
 

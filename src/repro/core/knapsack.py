@@ -68,8 +68,11 @@ def _profit_dp(
     """Min-weight-per-profit DP; returns chosen item indices.
 
     ``int_profits`` must be non-negative integers.  Runs in
-    ``O(n · Σprofit)`` with NumPy-vectorized row updates and a boolean
-    take-table for O(n · Σprofit) reconstruction.
+    ``O(n · Σprofit)`` with NumPy-vectorized row updates.  The take
+    table needed for reconstruction is kept as packed bits (one bit per
+    DP cell via :func:`numpy.packbits`) instead of one bool byte per
+    cell, cutting its peak memory 8× — the take table dominates the
+    solver's footprint, so batches of large FPTAS solves stay cheap.
     """
     n = int_profits.size
     total = int(int_profits.sum())
@@ -83,25 +86,29 @@ def _profit_dp(
     # dp[q] = minimal weight achieving scaled profit exactly q
     dp = np.full(total + 1, np.inf)
     dp[0] = 0.0
-    take = np.zeros((n, total + 1), dtype=bool)
+    # take[i] packs total+1 bits: bit q set iff item i improved cell q.
+    take = np.zeros((n, (total + 8) // 8), dtype=np.uint8)
+    row = np.zeros(total + 1, dtype=bool)  # reused packing scratch
     for i in range(n):
         q = int(int_profits[i])
         w = float(weights[i])
         if q == 0:
             # Zero-profit items never improve the objective; skip.
             continue
-        cand = dp[:-q] + w if q else dp
+        cand = dp[:-q] + w
         better = cand < dp[q:]
         if better.any():
             dp[q:][better] = cand[better]
-            take[i, q:][better] = True
+            row[q:] = better
+            take[i] = np.packbits(row)
+            row[q:] = False
     feasible = np.nonzero(dp <= capacity)[0]
     best_q = int(feasible.max())
-    # Reconstruct by walking items backwards.
+    # Reconstruct by walking items backwards (bit q of row i, MSB first).
     chosen: list[int] = []
     q = best_q
     for i in range(n - 1, -1, -1):
-        if q > 0 and take[i, q]:
+        if q > 0 and take[i, q >> 3] & (0x80 >> (q & 7)):
             chosen.append(i)
             q -= int(int_profits[i])
     if q != 0:

@@ -154,6 +154,11 @@ def solve_overlapped(
         if not candidates:
             chosen_in[slot.slot_id] = set()
             continue
+        if sum(it.weight for it in candidates) <= slot.capacity:
+            # Every candidate fits together: taking all of them is the
+            # slot optimum (profits are non-negative), so skip the FPTAS.
+            chosen_in[slot.slot_id] = {it.item_id for it in candidates}
+            continue
         # Sort by profit density, non-increasing (paper step 2); the sort
         # also makes the FPTAS output deterministic across runs.
         candidates = sorted(

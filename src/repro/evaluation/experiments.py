@@ -37,6 +37,7 @@ from repro.evaluation.metrics import (
     aggregate_energy_saving,
     run_policy_over_days,
 )
+from repro.runtime.parallel import PolicyTask, run_policy_tasks
 from repro.habits.pearson import cross_user_matrix, day_matrix, mean_offdiagonal
 from repro.habits.prediction import HabitModel, prediction_accuracy
 from repro.habits.threshold import FixedDelta
@@ -254,8 +255,14 @@ def fig7(
     n_history_days: int = DEFAULT_HISTORY_DAYS,
     model: RadioPowerModel | None = None,
     config: NetMasterConfig | None = None,
+    jobs: int = 1,
 ) -> Fig7Result:
-    """The three-volunteer evaluation of Section VI-A."""
+    """The three-volunteer evaluation of Section VI-A.
+
+    ``jobs>1`` fans the (volunteer × policy) grid over a process pool;
+    results are reassembled in submission order, so the figure output is
+    bit-identical to the serial run.
+    """
     model = model or wcdma_model()
     volunteers = generate_volunteers(n_days, seed=seed)
     results: list[VolunteerResult] = []
@@ -269,6 +276,7 @@ def fig7(
     peak_down_ratios: list[float] = []
     peak_up_ratios: list[float] = []
 
+    prepared = []
     for trace in volunteers:
         history, test_days = split_history(trace, n_history_days)
         policies = {
@@ -279,10 +287,17 @@ def fig7(
             "delay-batch-20s": DelayBatchPolicy(20.0),
             "delay-batch-60s": DelayBatchPolicy(60.0),
         }
-        per_policy = {
-            name: run_policy_over_days(policy, test_days, model)
-            for name, policy in policies.items()
-        }
+        prepared.append((trace, test_days, policies))
+
+    tasks = [
+        PolicyTask(name=name, policy=policy, days=tuple(test_days), model=model)
+        for _, test_days, policies in prepared
+        for name, policy in policies.items()
+    ]
+    grid = iter(run_policy_tasks(tasks, jobs=jobs))
+
+    for trace, test_days, policies in prepared:
+        per_policy = {name: next(grid) for name in policies}
         base = per_policy["baseline"]
         saving = {
             name: aggregate_energy_saving(metrics, base)
@@ -388,6 +403,7 @@ def fig8(
     n_history_days: int = DEFAULT_HISTORY_DAYS,
     delays_s: tuple[float, ...] = DELAY_SWEEP_S,
     model: RadioPowerModel | None = None,
+    jobs: int = 1,
 ) -> Fig8Result:
     """Off-line analysis of the pure delay method."""
     model = model or wcdma_model()
@@ -402,9 +418,14 @@ def fig8(
         sum(m.bandwidth.avg_down_bps * m.radio_on_s for m in base_metrics) / base_radio
     )
 
+    tasks = [
+        PolicyTask(name=f"delay-{d:g}", policy=DelayPolicy(d), days=tuple(all_days), model=model)
+        for d in delays_s
+    ]
+    sweep = run_policy_tasks(tasks, jobs=jobs)
+
     energy_saving, radio_saving, bw_increase, affected = [], [], [], []
-    for delay in delays_s:
-        metrics = run_policy_over_days(DelayPolicy(delay), all_days, model)
+    for metrics in sweep:
         total_e = sum(m.energy_j for m in metrics)
         total_r = sum(m.radio_on_s for m in metrics)
         rate = sum(m.bandwidth.avg_down_bps * m.radio_on_s for m in metrics) / total_r
@@ -457,6 +478,7 @@ def fig9(
     n_history_days: int = DEFAULT_HISTORY_DAYS,
     batch_sizes: tuple[int, ...] = (0, 1, 2, 3, 4, 5, 6, 8, 10),
     model: RadioPowerModel | None = None,
+    jobs: int = 1,
 ) -> Fig9Result:
     """Off-line analysis of the pure batch method."""
     model = model or wcdma_model()
@@ -471,9 +493,14 @@ def fig9(
         sum(m.bandwidth.avg_down_bps * m.radio_on_s for m in base_metrics) / base_radio
     )
 
+    tasks = [
+        PolicyTask(name=f"batch-{s}", policy=BatchPolicy(s), days=tuple(all_days), model=model)
+        for s in batch_sizes
+    ]
+    sweep = run_policy_tasks(tasks, jobs=jobs)
+
     energy_saving, radio_saving, bw_increase, affected = [], [], [], []
-    for size in batch_sizes:
-        metrics = run_policy_over_days(BatchPolicy(size), all_days, model)
+    for metrics in sweep:
         total_e = sum(m.energy_j for m in metrics)
         total_r = sum(m.radio_on_s for m in metrics)
         rate = sum(m.bandwidth.avg_down_bps * m.radio_on_s for m in metrics) / total_r
@@ -590,12 +617,14 @@ def fig10c(
         0.5,
     ),
     model: RadioPowerModel | None = None,
+    jobs: int = 1,
 ) -> Fig10cResult:
     """Sweep the prediction threshold δ on the volunteer cohort.
 
     Accuracy is the fraction of user interactions inside the predicted
     slots; energy saving is NetMaster's saving at that δ divided by the
-    oracle saving (both against the stock baseline).
+    oracle saving (both against the stock baseline).  ``jobs>1`` fans
+    the (δ × volunteer) NetMaster grid over a process pool.
     """
     model = model or wcdma_model()
     volunteers = generate_volunteers(n_days, seed=seed)
@@ -610,13 +639,12 @@ def fig10c(
         oracle_e += sum(m.energy_j for m in oracle)
     oracle_saving = 1.0 - oracle_e / base_e
 
-    accuracy, saving = [], []
-    for delta in thresholds:
-        acc_num = acc_den = 0
-        nm_e = 0.0
-        for history, days in split:
-            habit = HabitModel.fit(history)
-            policy = NetMasterPolicy(
+    # Habit models depend only on the history, not on δ: fit once.
+    habits = [HabitModel.fit(history) for history, _ in split]
+    tasks = [
+        PolicyTask(
+            name=f"delta-{delta:g}",
+            policy=NetMasterPolicy(
                 history,
                 NetMasterConfig(
                     delta=FixedDelta(delta),
@@ -624,8 +652,21 @@ def fig10c(
                     # slots outside U); see NetMasterConfig docs.
                     optimize_in_slot_traffic=False,
                 ),
-            )
-            metrics = run_policy_over_days(policy, days, model)
+            ),
+            days=tuple(days),
+            model=model,
+        )
+        for delta in thresholds
+        for history, days in split
+    ]
+    grid = iter(run_policy_tasks(tasks, jobs=jobs))
+
+    accuracy, saving = [], []
+    for delta in thresholds:
+        acc_num = acc_den = 0
+        nm_e = 0.0
+        for habit, (history, days) in zip(habits, split):
+            metrics = next(grid)
             nm_e += sum(m.energy_j for m in metrics)
             for day in days:
                 pred = habit.user_slots(

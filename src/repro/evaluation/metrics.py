@@ -70,8 +70,27 @@ def run_policy_over_days(
     policy: SchedulingPolicy,
     days: list[Trace],
     model: RadioPowerModel,
+    *,
+    jobs: int = 1,
 ) -> list[PolicyDayMetrics]:
-    """Execute and measure a policy over several held-out days."""
+    """Execute and measure a policy over several held-out days.
+
+    ``jobs>1`` fans the days over a process pool when the policy
+    declares ``day_independent`` (each day is then an independent task);
+    results keep day order, so the output is bit-identical to the serial
+    loop.  Stateful policies (e.g. NetMaster's circuit breaker) always
+    replay serially here — parallelize them at the grid level with
+    :func:`repro.runtime.parallel.run_policy_tasks` instead.
+    """
+    if jobs > 1 and len(days) > 1 and getattr(policy, "day_independent", False):
+        # Imported lazily: repro.runtime.parallel imports this module.
+        from repro.runtime.parallel import PolicyTask, run_policy_tasks
+
+        tasks = [
+            PolicyTask(name="day", policy=policy, days=(day,), model=model)
+            for day in days
+        ]
+        return [m for metrics in run_policy_tasks(tasks, jobs=jobs) for m in metrics]
     return [measure_outcome(policy.execute_day(day), model, day) for day in days]
 
 

@@ -1,0 +1,252 @@
+"""Perf benchmark harness: the numbers behind ``BENCH_perf.json``.
+
+Times the three hot paths the runtime layer optimizes and writes a JSON
+report so subsequent PRs can track the perf trajectory:
+
+* **cohort generation** — cold (cache cleared) vs warm (in-process LRU
+  hit) for the paper's 8-user cohort;
+* **policy sweep** — a Fig. 7-style (user × policy) grid at 1 and N
+  workers, with a cross-check that every worker count produces identical
+  energy totals;
+* **FPTAS batch** — a batch of ``knapsack_fptas`` solves on random
+  instances (exercises the packed-bits DP take table).
+
+Run it directly::
+
+    python -m repro.runtime.bench --jobs 2 --out BENCH_perf.json
+    python -m repro.runtime.bench --quick --check   # CI smoke mode
+
+``--check`` exits non-zero unless the warm-cache cohort path beat the
+cold path — the invariant the CI perf smoke step asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import (
+    DelayBatchPolicy,
+    NaivePolicy,
+    NetMasterPolicy,
+    OraclePolicy,
+)
+from repro.core.knapsack import knapsack_fptas
+from repro.core.netmaster import NetMasterConfig
+from repro.evaluation.experiments import split_history
+from repro.radio.power import wcdma_model
+from repro.runtime.cache import cache_stats, clear_cache, default_cache
+from repro.runtime.parallel import PolicyTask, run_policy_tasks
+from repro.traces.generator import generate_cohort
+
+
+def _timed(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+# ----------------------------------------------------------------------
+# individual benchmarks
+# ----------------------------------------------------------------------
+
+
+def bench_cohort(n_days: int = 21, seed: int = 2014, warm_repeats: int = 3) -> dict:
+    """Cold vs warm cohort generation through the content-addressed cache."""
+    cache = default_cache()
+    was_enabled = cache.enabled
+    cache.enabled = True
+    clear_cache()
+    try:
+        cold_s, cohort = _timed(lambda: generate_cohort(n_days, seed=seed))
+        warm_times = []
+        for _ in range(warm_repeats):
+            warm_s, again = _timed(lambda: generate_cohort(n_days, seed=seed))
+            warm_times.append(warm_s)
+        warm_s = min(warm_times)
+        assert [t.user_id for t in again] == [t.user_id for t in cohort]
+        return {
+            "n_days": n_days,
+            "n_users": len(cohort),
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "warm_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+            "cache": cache_stats(),
+        }
+    finally:
+        cache.enabled = was_enabled
+
+
+def bench_policy_sweep(
+    jobs: int = 2,
+    n_days: int = 28,
+    n_history_days: int = 14,
+    seed: int = 7,
+) -> dict:
+    """A Fig. 7-style (user × policy) grid at 1 and ``jobs`` workers.
+
+    Uses the 8-user profiling cohort over ``n_days`` so the grid is wide
+    enough (8 users × 6 policies) for the pool to matter.  Asserts the
+    parallel energy totals match the serial ones exactly before
+    reporting the speedup.
+    """
+    model = wcdma_model()
+    cohort = generate_cohort(n_days, seed=seed)
+    tasks = []
+    for trace in cohort:
+        history, test_days = split_history(trace, n_history_days)
+        for name, policy in (
+            ("baseline", NaivePolicy()),
+            ("oracle", OraclePolicy()),
+            ("netmaster", NetMasterPolicy(history, NetMasterConfig())),
+            ("delay-batch-10s", DelayBatchPolicy(10.0)),
+            ("delay-batch-20s", DelayBatchPolicy(20.0)),
+            ("delay-batch-60s", DelayBatchPolicy(60.0)),
+        ):
+            tasks.append(
+                PolicyTask(name=name, policy=policy, days=tuple(test_days), model=model)
+            )
+
+    def total_energy(grid) -> list[float]:
+        return [sum(m.energy_j for m in metrics) for metrics in grid]
+
+    serial_s, serial_grid = _timed(lambda: run_policy_tasks(tasks, jobs=1))
+    parallel_s, parallel_grid = _timed(lambda: run_policy_tasks(tasks, jobs=jobs))
+    serial_energy = total_energy(serial_grid)
+    parallel_energy = total_energy(parallel_grid)
+    if serial_energy != parallel_energy:
+        raise AssertionError(
+            "parallel policy sweep diverged from the serial sweep "
+            f"(jobs={jobs}); determinism contract broken"
+        )
+    return {
+        "n_tasks": len(tasks),
+        "n_users": len(cohort),
+        "n_days": n_days,
+        "jobs": jobs,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        "identical_results": True,
+    }
+
+
+def bench_fptas_batch(
+    n_solves: int = 40, n_items: int = 120, eps: float = 0.05, seed: int = 11
+) -> dict:
+    """A batch of FPTAS solves (the per-slot SinKnap hot path)."""
+    rng = np.random.default_rng(seed)
+    instances = []
+    for _ in range(n_solves):
+        profits = rng.uniform(0.5, 50.0, n_items)
+        weights = rng.uniform(0.5, 12.0, n_items)
+        capacity = float(weights.sum() * 0.35)
+        instances.append((profits, weights, capacity))
+
+    def solve_all() -> float:
+        return sum(
+            knapsack_fptas(p, w, c, eps=eps).profit for p, w, c in instances
+        )
+
+    batch_s, total_profit = _timed(solve_all)
+    return {
+        "n_solves": n_solves,
+        "n_items": n_items,
+        "eps": eps,
+        "batch_s": batch_s,
+        "solves_per_s": n_solves / batch_s if batch_s > 0 else float("inf"),
+        "total_profit": total_profit,
+    }
+
+
+# ----------------------------------------------------------------------
+# the full report
+# ----------------------------------------------------------------------
+
+
+def run_bench(
+    out_path: str | Path | None = "BENCH_perf.json",
+    *,
+    jobs: int = 2,
+    quick: bool = False,
+) -> dict:
+    """Run every perf benchmark and (optionally) write ``BENCH_perf.json``.
+
+    ``quick`` shrinks the workloads for CI smoke runs; the structure of
+    the report is identical so trend tooling can read both.
+    """
+    if quick:
+        cohort = bench_cohort(n_days=7, warm_repeats=2)
+        sweep = bench_policy_sweep(jobs=jobs, n_days=14, n_history_days=10)
+        fptas = bench_fptas_batch(n_solves=10, n_items=60)
+    else:
+        cohort = bench_cohort()
+        sweep = bench_policy_sweep(jobs=jobs)
+        fptas = bench_fptas_batch()
+    report = {
+        "schema": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "cohort_generation": cohort,
+        "policy_sweep": sweep,
+        "fptas_batch": fptas,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: run the perf suite, print a summary, write the JSON report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.bench",
+        description="Time the evaluation pipeline's hot paths.",
+    )
+    parser.add_argument("--out", default="BENCH_perf.json", help="report path")
+    parser.add_argument("--jobs", type=int, default=2, help="parallel worker count")
+    parser.add_argument(
+        "--quick", action="store_true", help="shrink workloads (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless warm-cache cohort generation beat cold",
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(args.out, jobs=args.jobs, quick=args.quick)
+    cohort = report["cohort_generation"]
+    sweep = report["policy_sweep"]
+    fptas = report["fptas_batch"]
+    print(
+        f"cohort generation: cold {cohort['cold_s']:.3f}s, "
+        f"warm {cohort['warm_s']:.4f}s ({cohort['warm_speedup']:.1f}x)"
+    )
+    print(
+        f"policy sweep ({sweep['n_tasks']} tasks): serial {sweep['serial_s']:.3f}s, "
+        f"jobs={sweep['jobs']} {sweep['parallel_s']:.3f}s ({sweep['speedup']:.2f}x)"
+    )
+    print(
+        f"fptas batch: {fptas['n_solves']} solves in {fptas['batch_s']:.3f}s "
+        f"({fptas['solves_per_s']:.1f}/s)"
+    )
+    print(f"report written to {args.out}")
+    if args.check and cohort["warm_s"] >= cohort["cold_s"]:
+        print(
+            "PERF CHECK FAILED: warm-cache cohort generation was not faster than cold",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,360 @@
+"""Content-addressed trace cache: never simulate the same cohort twice.
+
+Cohort generation is the single hottest shared step of the evaluation
+pipeline — every ``fig*`` driver and every benchmark module rebuilds
+byte-identical synthetic traces from the same ``(profiles, seed, n_days,
+start_weekday)`` tuple.  This module keys each generated cohort by a
+stable SHA-256 digest of that tuple's full content (including every
+persona parameter and app-model field, so custom profiles are cached
+correctly and config changes can never alias) and serves repeats from:
+
+* an in-process LRU of recently generated cohorts, and
+* an optional on-disk store (one JSONL file per trace under a digest
+  directory), which survives process restarts and is safe to share
+  between concurrent runs — writes go to a temp directory that is
+  atomically renamed into place.
+
+Cache hits return *independent* :class:`~repro.traces.events.Trace`
+objects: event lists are fresh, so a caller mutating its cohort cannot
+poison later hits (the event records themselves are frozen dataclasses
+and safely shared).  Because generation is fully deterministic, a hit is
+bit-identical to a regeneration; the cache is therefore enabled by
+default and :func:`cache_stats` exposes hit/miss counters for
+observability.
+
+Environment knobs (read when the default cache is first created):
+
+* ``REPRO_TRACE_CACHE=0`` — disable caching entirely;
+* ``REPRO_TRACE_CACHE_DIR=<path>`` — enable the on-disk store there.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.traces.events import Trace
+from repro.traces.io import trace_from_jsonl, trace_to_jsonl
+from repro.traces.users import UserProfile
+
+#: Default size of the in-process LRU (whole cohorts, not traces).
+DEFAULT_MAX_ENTRIES = 32
+
+#: Manifest schema version for the on-disk store.
+_DISK_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# digests
+# ----------------------------------------------------------------------
+
+
+def _array_token(arr: np.ndarray) -> str:
+    """Exact, stable token for a float array (byte-level, not repr)."""
+    return np.ascontiguousarray(arr, dtype=np.float64).tobytes().hex()
+
+
+def _profile_payload(profile: UserProfile) -> dict:
+    """Canonical JSON-able content of one persona, catalog included."""
+    return {
+        "user_id": profile.user_id,
+        "weekday_intensity": _array_token(profile.weekday_intensity),
+        "weekend_intensity": _array_token(profile.weekend_intensity),
+        "session_median_s": profile.session_median_s,
+        "session_sigma": profile.session_sigma,
+        "fg_utilization": profile.fg_utilization,
+        "day_jitter": profile.day_jitter,
+        "day_shift_sigma_h": profile.day_shift_sigma_h,
+        "bg_scale": profile.bg_scale,
+        "catalog": [
+            {
+                "name": app.name,
+                "foreground_weight": app.foreground_weight,
+                "fg_net_prob": app.fg_net_prob,
+                "fg_rate_median_bps": app.fg_rate_median_bps,
+                "fg_rate_sigma": app.fg_rate_sigma,
+                "fg_rate_cap_bps": app.fg_rate_cap_bps,
+                "background_interval_s": app.background_interval_s,
+                "bg_rate_median_bps": app.bg_rate_median_bps,
+                "bg_rate_sigma": app.bg_rate_sigma,
+                "bg_duration_mean_s": app.bg_duration_mean_s,
+                "upload_fraction": app.upload_fraction,
+            }
+            for app in profile.catalog
+        ],
+    }
+
+
+def cohort_cache_key(
+    profiles: list[UserProfile],
+    seed: int,
+    n_days: int,
+    start_weekday: int,
+) -> str | None:
+    """SHA-256 digest of everything that determines a generated cohort.
+
+    Returns ``None`` when the inputs are not digestible (a non-integer
+    seed, e.g. a live :class:`numpy.random.Generator`) — callers then
+    bypass the cache rather than risk a wrong hit.
+    """
+    if not isinstance(seed, (int, np.integer)):
+        return None
+    payload = {
+        "generator": "repro.traces.generator",
+        "seed": int(seed),
+        "n_days": int(n_days),
+        "start_weekday": int(start_weekday),
+        "profiles": [_profile_payload(p) for p in profiles],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# independent-copy construction
+# ----------------------------------------------------------------------
+
+
+def _copy_trace(trace: Trace) -> Trace:
+    """An independent view of a cached trace.
+
+    Event records are frozen dataclasses and safely shared; only the
+    containing lists must be fresh so callers can append/remove without
+    poisoning the cache.  ``copy.copy`` skips ``__post_init__`` so the
+    already-validated, already-sorted structure is not re-checked.
+    """
+    dup = copy.copy(trace)
+    dup.screen_sessions = list(trace.screen_sessions)
+    dup.usages = list(trace.usages)
+    dup.activities = list(trace.activities)
+    return dup
+
+
+def _copy_cohort(traces: list[Trace]) -> list[Trace]:
+    return [_copy_trace(t) for t in traces]
+
+
+# ----------------------------------------------------------------------
+# the cache
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed through :func:`cache_stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (JSON-friendly)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class TraceCache:
+    """In-process LRU + optional on-disk store for generated cohorts."""
+
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    cache_dir: Path | None = None
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {self.max_entries}")
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+        self._memory: OrderedDict[str, list[Trace]] = OrderedDict()
+
+    # -- lookup/store --------------------------------------------------
+    def lookup(self, key: str) -> list[Trace] | None:
+        """Fetch a cohort by digest, memory first, then disk."""
+        if not self.enabled:
+            return None
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return _copy_cohort(cached)
+        traces = self._disk_load(key)
+        if traces is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._memory_put(key, traces)
+            return _copy_cohort(traces)
+        return None
+
+    def put(self, key: str, traces: list[Trace]) -> None:
+        """Store a cohort under its digest (memory and, if set, disk)."""
+        if not self.enabled:
+            return
+        self._memory_put(key, _copy_cohort(traces))
+        self._disk_store(key, traces)
+
+    def get_or_generate(
+        self, key: str, factory: Callable[[], list[Trace]]
+    ) -> list[Trace]:
+        """The main entry: serve ``key`` from cache or build and store."""
+        cached = self.lookup(key)
+        if cached is not None:
+            return cached
+        self.stats.misses += 1
+        traces = factory()
+        self.put(key, traces)
+        return traces
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the in-memory LRU (and optionally the on-disk store)."""
+        self._memory.clear()
+        if disk and self.cache_dir is not None and self.cache_dir.exists():
+            for entry in self.cache_dir.iterdir():
+                if entry.is_dir() and (entry / "manifest.json").exists():
+                    for child in entry.iterdir():
+                        child.unlink()
+                    entry.rmdir()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- memory LRU ----------------------------------------------------
+    def _memory_put(self, key: str, traces: list[Trace]) -> None:
+        self._memory[key] = traces
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- disk store ----------------------------------------------------
+    def _entry_dir(self, key: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / key
+
+    def _disk_load(self, key: str) -> list[Trace] | None:
+        entry = self._entry_dir(key)
+        if entry is None:
+            return None
+        manifest_path = entry / "manifest.json"
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if manifest.get("version") != _DISK_FORMAT_VERSION:
+            return None
+        try:
+            return [trace_from_jsonl(entry / name) for name in manifest["files"]]
+        except (OSError, KeyError, ValueError):
+            # A torn or foreign entry: treat as a miss, regeneration wins.
+            return None
+
+    def _disk_store(self, key: str, traces: list[Trace]) -> None:
+        entry = self._entry_dir(key)
+        if entry is None or entry.exists():
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = Path(
+            tempfile.mkdtemp(prefix=f".tmp-{key[:12]}-", dir=self.cache_dir)
+        )
+        try:
+            files = []
+            for index, trace in enumerate(traces):
+                name = f"{index:03d}_{trace.user_id}.jsonl"
+                trace_to_jsonl(trace, tmp / name)
+                files.append(name)
+            manifest = {
+                "version": _DISK_FORMAT_VERSION,
+                "key": key,
+                "n_traces": len(traces),
+                "files": files,
+            }
+            (tmp / "manifest.json").write_text(json.dumps(manifest, indent=1))
+            os.replace(tmp, entry)
+            self.stats.disk_stores += 1
+        except OSError:
+            # Lost a store race (or a full disk): the cache is best-effort.
+            for child in tmp.glob("*"):
+                child.unlink(missing_ok=True)
+            if tmp.exists():
+                tmp.rmdir()
+
+
+# ----------------------------------------------------------------------
+# module-level default cache
+# ----------------------------------------------------------------------
+
+_default_cache: TraceCache | None = None
+
+
+def default_cache() -> TraceCache:
+    """The process-wide cache used by ``generate_cohort``.
+
+    Created lazily; honours ``REPRO_TRACE_CACHE`` (``"0"`` disables) and
+    ``REPRO_TRACE_CACHE_DIR`` (enables the on-disk store).
+    """
+    global _default_cache
+    if _default_cache is None:
+        enabled = os.environ.get("REPRO_TRACE_CACHE", "1") != "0"
+        cache_dir = os.environ.get("REPRO_TRACE_CACHE_DIR")
+        _default_cache = TraceCache(
+            enabled=enabled,
+            cache_dir=Path(cache_dir) if cache_dir else None,
+        )
+    return _default_cache
+
+
+def configure_cache(
+    *,
+    enabled: bool | None = None,
+    max_entries: int | None = None,
+    cache_dir: str | Path | None | type[...] = ...,
+) -> TraceCache:
+    """Adjust the default cache in place; returns it.
+
+    ``cache_dir`` accepts a path, ``None`` (disable the disk store), or
+    is left untouched when omitted.
+    """
+    cache = default_cache()
+    if enabled is not None:
+        cache.enabled = enabled
+    if max_entries is not None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        cache.max_entries = max_entries
+        while len(cache._memory) > cache.max_entries:
+            cache._memory.popitem(last=False)
+            cache.stats.evictions += 1
+    if cache_dir is not ...:
+        cache.cache_dir = Path(cache_dir) if cache_dir is not None else None
+    return cache
+
+
+def cache_stats() -> dict[str, int]:
+    """Hit/miss counters of the default cache (plus current size)."""
+    cache = default_cache()
+    out = cache.stats.as_dict()
+    out["entries"] = len(cache)
+    return out
+
+
+def clear_cache(*, disk: bool = False) -> None:
+    """Empty the default cache's LRU (and optionally its disk store)."""
+    default_cache().clear(disk=disk)

@@ -1,0 +1,147 @@
+"""Process-parallel fan-out for the evaluation pipeline.
+
+The Section-VI experiments are embarrassingly parallel: every
+``(policy, held-out day)`` cell of the evaluation grid is independent,
+and all task inputs (policies, single-day traces, radio models) are
+plain picklable dataclasses.  :class:`ParallelRunner` fans such grids
+over a :class:`~concurrent.futures.ProcessPoolExecutor` while keeping
+three guarantees the figure reproductions rely on:
+
+* **deterministic ordering** — results come back in task-submission
+  order (``Executor.map`` semantics), so floating-point reductions sum
+  in exactly the serial order and outputs stay bit-identical;
+* **graceful fallback** — ``jobs=1``, a single task, or a pool that
+  cannot be created/kept alive (sandboxed environments, fork limits)
+  all degrade to the plain serial loop;
+* **picklable task descriptors** — the worker entry points live at
+  module top level and tasks are frozen dataclasses, so the grid works
+  under every start method, not just ``fork``.
+
+Worker processes inherit nothing mutable from the parent: each task
+carries its full inputs, which is what makes the fan-out safe to use
+from tests, benchmarks and the CLI alike.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pickle import PicklingError
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
+
+from repro.baselines.policy import PolicyOutcome, SchedulingPolicy
+from repro.radio.power import RadioPowerModel
+from repro.traces.events import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
+    from repro.evaluation.metrics import PolicyDayMetrics
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ParallelRunner:
+    """Order-preserving map over a process pool with serial fallback.
+
+    ``jobs=1`` (the default) runs the plain serial loop; ``jobs>1``
+    dispatches to a :class:`ProcessPoolExecutor` with ``jobs`` workers.
+    If the pool cannot be created or breaks mid-run the whole batch is
+    re-run serially — tasks are pure functions of their inputs, so the
+    retry is safe and the results identical.  ``fallbacks`` counts how
+    often that happened (observability for constrained environments).
+    """
+
+    def __init__(self, jobs: int = 1, *, chunksize: int = 1) -> None:
+        jobs = int(jobs)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.jobs = jobs
+        self.chunksize = int(chunksize)
+        self.fallbacks = 0
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, results in input order."""
+        tasks = list(items)
+        if self.jobs == 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(tasks))
+            ) as pool:
+                return list(pool.map(fn, tasks, chunksize=self.chunksize))
+        except (
+            OSError,
+            AttributeError,  # local/lambda callables fail pickling this way
+            BrokenProcessPool,
+            PicklingError,
+            RuntimeError,
+        ):
+            # Pool unavailable (sandbox, fork limit, no /dev/shm), the
+            # callable not picklable, or a worker died: fall back to the
+            # serial loop.  A genuine task exception of these types also
+            # lands here, and the serial rerun re-raises it unchanged.
+            self.fallbacks += 1
+            return [fn(task) for task in tasks]
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Iterable[T], *, jobs: int = 1
+) -> list[R]:
+    """One-shot :meth:`ParallelRunner.map` convenience wrapper."""
+    return ParallelRunner(jobs).map(fn, items)
+
+
+# ----------------------------------------------------------------------
+# picklable task descriptors + module-level workers
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolicyTask:
+    """One cell of the evaluation grid: a policy over some held-out days."""
+
+    name: str
+    policy: SchedulingPolicy
+    days: tuple[Trace, ...]
+    model: RadioPowerModel
+
+
+def _measure_task(task: PolicyTask) -> list[PolicyDayMetrics]:
+    """Worker: execute and price a policy over its days, in order."""
+    # Imported here, not at module top: repro.evaluation pulls in this
+    # module (experiments/robustness fan their grids through it), so a
+    # top-level import would be circular.
+    from repro.evaluation.metrics import measure_outcome
+
+    return [
+        measure_outcome(task.policy.execute_day(day), task.model, day)
+        for day in task.days
+    ]
+
+
+def _execute_task(task: PolicyTask) -> list[PolicyOutcome]:
+    """Worker: execute a policy over its days, returning raw outcomes."""
+    return [task.policy.execute_day(day) for day in task.days]
+
+
+def run_policy_tasks(
+    tasks: Sequence[PolicyTask], *, jobs: int = 1
+) -> list[list[PolicyDayMetrics]]:
+    """Fan a grid of :class:`PolicyTask` over ``jobs`` workers.
+
+    Returns one metrics list per task, in task order — the parallel twin
+    of calling :func:`repro.evaluation.metrics.run_policy_over_days`
+    once per task.
+    """
+    return ParallelRunner(jobs).map(_measure_task, tasks)
+
+
+def execute_policy_tasks(
+    tasks: Sequence[PolicyTask], *, jobs: int = 1
+) -> list[list[PolicyOutcome]]:
+    """Like :func:`run_policy_tasks` but returning raw day outcomes
+    (for pipelines that post-process outcomes, e.g. fault injection)."""
+    return ParallelRunner(jobs).map(_execute_task, tasks)

@@ -265,17 +265,36 @@ def generate_cohort(
     Each user gets an independent child seed derived from ``seed`` so the
     cohort is reproducible as a whole yet users are statistically
     independent.
+
+    Generation is fully deterministic, so results are served from the
+    content-addressed :mod:`repro.runtime.cache` when the same
+    ``(profiles, seed, n_days, start_weekday)`` tuple was built before
+    in this process (or, with a cache dir configured, by any process).
+    Cache hits are bit-identical to a fresh generation and return
+    independent ``Trace`` objects.
     """
     if profiles is None:
         profiles = default_profiles()
-    root = np.random.SeedSequence(seed)
-    children = root.spawn(len(profiles))
-    return [
-        TraceGenerator(profile, np.random.default_rng(child)).generate(
-            n_days, start_weekday=start_weekday
-        )
-        for profile, child in zip(profiles, children)
-    ]
+
+    def build() -> list[Trace]:
+        root = np.random.SeedSequence(seed)
+        children = root.spawn(len(profiles))
+        return [
+            TraceGenerator(profile, np.random.default_rng(child)).generate(
+                n_days, start_weekday=start_weekday
+            )
+            for profile, child in zip(profiles, children)
+        ]
+
+    # Imported lazily so the trace substrate has no hard runtime-package
+    # dependency at import time.
+    from repro.runtime.cache import cohort_cache_key, default_cache
+
+    cache = default_cache()
+    key = cohort_cache_key(profiles, seed, n_days, start_weekday)
+    if key is None or not cache.enabled:
+        return build()
+    return cache.get_or_generate(key, build)
 
 
 def generate_volunteers(

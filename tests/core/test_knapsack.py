@@ -131,6 +131,62 @@ class TestGuarantees:
         assert sol.weight == pytest.approx(sum(weights[i] for i in sol.indices))
 
 
+class TestDPInternals:
+    """Regressions for the min-weight DP hot path (packed take table)."""
+
+    def test_all_zero_profits_return_empty(self):
+        # total == 0 short-circuits the DP entirely.
+        sol = knapsack_exact([0.0, 0.0, 0.0], [1.0, 2.0, 3.0], 10.0)
+        assert sol.indices == () and sol.profit == 0.0
+        sol = knapsack_fptas([0.0, 0.0], [1.0, 1.0], 10.0)
+        assert sol.indices == () and sol.profit == 0.0
+        # Greedy may still pack worthless items that fit, but earns 0.
+        assert knapsack_greedy([0.0, 0.0], [1.0, 1.0], 10.0).profit == 0.0
+
+    def test_zero_profit_items_never_chosen(self):
+        # Mixed instance: zero-profit items are skipped by the DP but
+        # must not perturb reconstruction of the profitable ones.
+        sol = knapsack_exact([0.0, 7.0, 0.0, 3.0], [1.0, 2.0, 1.0, 2.0], 4.0)
+        assert set(sol.indices) == {1, 3}
+        assert sol.profit == 10.0
+
+    def test_dp_guard_single_huge_item(self):
+        # The guard must fire before allocating the table, even at n=1.
+        with pytest.raises(ValueError, match="cells"):
+            knapsack_exact([300_000_000.0], [1.0], 10.0)
+
+    def test_dp_guard_suggests_remedy(self):
+        with pytest.raises(ValueError, match="increase eps"):
+            knapsack_exact(np.full(2000, 1e6), np.ones(2000), 10.0)
+
+    def test_packed_take_table_matches_bruteforce(self):
+        # Bit-packed reconstruction against exhaustive ground truth on
+        # instances large enough to span several packed bytes per row.
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            n = 18
+            profits = rng.integers(0, 60, n).astype(float)
+            weights = rng.uniform(0.5, 8.0, n)
+            capacity = float(weights.sum() * rng.uniform(0.2, 0.8))
+            exact = knapsack_exact(profits, weights, capacity)
+            brute = knapsack_bruteforce(profits, weights, capacity)
+            assert exact.profit == pytest.approx(brute.profit)
+            assert exact.weight <= capacity + 1e-9
+            assert exact.profit == pytest.approx(
+                sum(profits[i] for i in exact.indices)
+            )
+
+    def test_uniform_instance_reconstruction(self):
+        # 50 equal items, ~1000 DP cells: reconstruction must walk the
+        # packed rows to exactly the capacity-limited item count.
+        from repro.core.knapsack import _profit_dp
+
+        int_profits = np.full(50, 20, dtype=np.int64)
+        weights = np.ones(50)
+        chosen = _profit_dp(int_profits, weights, 10.0)
+        assert len(chosen) == 10  # capacity admits exactly 10 unit weights
+
+
 class TestScaling:
     def test_fptas_handles_large_profits(self):
         rng = np.random.default_rng(0)

@@ -1,0 +1,60 @@
+"""The perf harness behind BENCH_perf.json (quick workloads only)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime import bench
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_perf.json"
+    report = bench.run_bench(out, jobs=2, quick=True)
+    return report, out
+
+
+def test_report_schema(quick_report):
+    report, out = quick_report
+    on_disk = json.loads(out.read_text())
+    assert on_disk == report
+    assert report["schema"] == 1
+    assert report["quick"] is True
+    assert report["cpu_count"] >= 1
+    for section, keys in {
+        "cohort_generation": ("cold_s", "warm_s", "warm_speedup", "cache"),
+        "policy_sweep": ("serial_s", "parallel_s", "speedup", "identical_results"),
+        "fptas_batch": ("batch_s", "solves_per_s", "total_profit"),
+    }.items():
+        assert set(keys) <= set(report[section]), section
+
+
+def test_warm_cache_beats_cold(quick_report):
+    report, _ = quick_report
+    cohort = report["cohort_generation"]
+    assert cohort["warm_s"] < cohort["cold_s"]
+    assert cohort["cache"]["hits"] >= 1
+
+
+def test_sweep_is_deterministic(quick_report):
+    report, _ = quick_report
+    assert report["policy_sweep"]["identical_results"] is True
+    assert report["policy_sweep"]["jobs"] == 2
+
+
+def test_no_report_written_when_path_is_none():
+    report = bench.bench_fptas_batch(n_solves=2, n_items=20)
+    assert report["n_solves"] == 2
+    assert report["total_profit"] > 0
+
+
+def test_cli_check_mode(tmp_path, capsys):
+    out = tmp_path / "perf.json"
+    code = bench.main(["--quick", "--jobs", "2", "--check", "--out", str(out)])
+    assert code == 0
+    assert out.exists()
+    stdout = capsys.readouterr().out
+    assert "cohort generation" in stdout
+    assert "policy sweep" in stdout

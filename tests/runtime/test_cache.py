@@ -1,0 +1,264 @@
+"""Content-addressed trace cache: digests, hits, LRU, disk store."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.runtime.cache import (
+    TraceCache,
+    cohort_cache_key,
+    configure_cache,
+    default_cache,
+)
+from repro.traces import default_profiles, volunteer_profiles
+from repro.traces.generator import generate_cohort
+
+
+@pytest.fixture
+def isolated_cache(monkeypatch):
+    """A fresh default cache for the duration of one test."""
+    import repro.runtime.cache as cache_mod
+
+    fresh = TraceCache()
+    monkeypatch.setattr(cache_mod, "_default_cache", fresh)
+    return fresh
+
+
+# ----------------------------------------------------------------------
+# digests
+# ----------------------------------------------------------------------
+
+
+def test_key_is_stable_across_calls():
+    profiles = default_profiles()
+    k1 = cohort_cache_key(profiles, 2014, 21, 0)
+    k2 = cohort_cache_key(default_profiles(), 2014, 21, 0)
+    assert k1 == k2
+    assert len(k1) == 64  # sha256 hex
+
+
+def test_key_distinguishes_every_input():
+    profiles = default_profiles()
+    base = cohort_cache_key(profiles, 2014, 21, 0)
+    assert cohort_cache_key(profiles, 2015, 21, 0) != base
+    assert cohort_cache_key(profiles, 2014, 20, 0) != base
+    assert cohort_cache_key(profiles, 2014, 21, 1) != base
+    assert cohort_cache_key(volunteer_profiles(), 2014, 21, 0) != base
+    assert cohort_cache_key(profiles[:4], 2014, 21, 0) != base
+
+
+def test_key_sees_profile_content_changes():
+    """A mutated persona parameter must change the digest (no aliasing)."""
+    import copy
+
+    profiles = default_profiles()
+    base = cohort_cache_key(profiles, 2014, 21, 0)
+    tweaked = copy.deepcopy(profiles)
+    tweaked[0].weekday_intensity[3] += 1e-9
+    assert cohort_cache_key(tweaked, 2014, 21, 0) != base
+
+
+def test_key_accepts_numpy_seed_rejects_non_int():
+    profiles = default_profiles()
+    assert cohort_cache_key(profiles, np.int64(7), 21, 0) == cohort_cache_key(
+        profiles, 7, 21, 0
+    )
+    # seed=None means fresh OS entropy: never cacheable.
+    assert cohort_cache_key(profiles, None, 21, 0) is None
+
+
+# ----------------------------------------------------------------------
+# hit semantics
+# ----------------------------------------------------------------------
+
+
+def test_hit_is_bit_identical_to_regeneration(isolated_cache):
+    first = generate_cohort(2, seed=5)
+    second = generate_cohort(2, seed=5)
+    assert isolated_cache.stats.misses == 1
+    assert isolated_cache.stats.hits == 1
+    for a, b in zip(first, second):
+        assert a.user_id == b.user_id
+        assert a.screen_sessions == b.screen_sessions
+        assert a.usages == b.usages
+        assert a.activities == b.activities
+
+
+def test_hit_returns_independent_lists(isolated_cache):
+    """Mutating a served cohort must not poison later hits."""
+    first = generate_cohort(2, seed=5)
+    n_activities = len(first[0].activities)
+    first[0].activities.clear()
+    first[0].screen_sessions.clear()
+    second = generate_cohort(2, seed=5)
+    assert len(second[0].activities) == n_activities
+    assert second[0].screen_sessions
+    # And the stored copy is not the served object either way.
+    assert second[0] is not first[0]
+    assert second[0].activities is not first[0].activities
+
+
+def test_distinct_seeds_and_days_do_not_collide(isolated_cache):
+    a = generate_cohort(2, seed=5)
+    b = generate_cohort(2, seed=6)
+    c = generate_cohort(3, seed=5)
+    assert isolated_cache.stats.misses == 3
+    assert isolated_cache.stats.hits == 0
+    assert [t.user_id for t in a] == [t.user_id for t in b]
+    assert a[0].activities != b[0].activities
+    assert c[0].n_days == 3
+
+
+def test_disabled_cache_always_regenerates(isolated_cache):
+    isolated_cache.enabled = False
+    generate_cohort(2, seed=5)
+    generate_cohort(2, seed=5)
+    assert isolated_cache.stats.hits == 0
+    assert isolated_cache.stats.misses == 0
+    assert len(isolated_cache) == 0
+
+
+def test_entropy_seed_bypasses_cache(isolated_cache):
+    """``seed=None`` draws OS entropy; such cohorts must never be cached."""
+    generate_cohort(2, seed=None)
+    assert isolated_cache.stats.misses == 0
+    assert len(isolated_cache) == 0
+
+
+# ----------------------------------------------------------------------
+# LRU
+# ----------------------------------------------------------------------
+
+
+def test_lru_evicts_oldest():
+    cache = TraceCache(max_entries=2)
+    cache.put("a", [])
+    cache.put("b", [])
+    cache.lookup("a")  # refresh a
+    cache.put("c", [])  # evicts b
+    assert cache.lookup("b") is None
+    assert cache.lookup("a") is not None
+    assert cache.lookup("c") is not None
+    assert cache.stats.evictions == 1
+
+
+def test_max_entries_validated():
+    with pytest.raises(ValueError, match="max_entries"):
+        TraceCache(max_entries=0)
+
+
+# ----------------------------------------------------------------------
+# disk store
+# ----------------------------------------------------------------------
+
+
+def test_disk_store_roundtrip(isolated_cache, tmp_path):
+    isolated_cache.cache_dir = tmp_path / "traces"
+    original = generate_cohort(2, seed=5)
+    assert isolated_cache.stats.disk_stores == 1
+    # Drop memory: the next lookup must come from disk, bit-identical.
+    isolated_cache.clear()
+    again = generate_cohort(2, seed=5)
+    assert isolated_cache.stats.disk_hits == 1
+    for a, b in zip(original, again):
+        assert a.user_id == b.user_id
+        assert a.screen_sessions == b.screen_sessions
+        assert a.activities == b.activities
+    manifests = list((tmp_path / "traces").glob("*/manifest.json"))
+    assert len(manifests) == 1
+    manifest = json.loads(manifests[0].read_text())
+    assert manifest["version"] == 1
+    assert manifest["n_traces"] == len(original)
+
+
+def test_disk_store_survives_fresh_process(tmp_path):
+    """A second interpreter serves the cohort from disk, bit-identical."""
+    script = """
+import json, sys
+from repro.runtime.cache import cache_stats, configure_cache
+from repro.traces.generator import generate_cohort
+
+configure_cache(enabled=True, cache_dir=sys.argv[1])
+cohort = generate_cohort(2, seed=5)
+stats = cache_stats()
+print(json.dumps({
+    "disk_hits": stats["disk_hits"],
+    "disk_stores": stats["disk_stores"],
+    "checksum": sum(len(t.activities) for t in cohort),
+    "first_start": cohort[0].activities[0].time,
+}))
+"""
+    runs = [
+        json.loads(
+            subprocess.run(
+                [sys.executable, "-c", script, str(tmp_path / "store")],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=Path(__file__).resolve().parents[2],
+                env={
+                    **os.environ,
+                    "PYTHONPATH": str(
+                        Path(__file__).resolve().parents[2] / "src"
+                    ),
+                    "REPRO_TRACE_CACHE": "1",
+                },
+            ).stdout
+        )
+        for _ in range(2)
+    ]
+    assert runs[0]["disk_stores"] == 1 and runs[0]["disk_hits"] == 0
+    assert runs[1]["disk_stores"] == 0 and runs[1]["disk_hits"] == 1
+    assert runs[0]["checksum"] == runs[1]["checksum"]
+    assert runs[0]["first_start"] == runs[1]["first_start"]
+
+
+def test_torn_disk_entry_is_a_miss(isolated_cache, tmp_path):
+    isolated_cache.cache_dir = tmp_path
+    generate_cohort(2, seed=5)
+    entry = next(p for p in tmp_path.iterdir() if p.is_dir())
+    (entry / "manifest.json").write_text("{not json")
+    isolated_cache.clear()
+    generate_cohort(2, seed=5)  # must regenerate, not crash
+    assert isolated_cache.stats.misses == 2
+
+
+def test_clear_disk_removes_entries(isolated_cache, tmp_path):
+    isolated_cache.cache_dir = tmp_path
+    generate_cohort(2, seed=5)
+    assert any(p.is_dir() for p in tmp_path.iterdir())
+    isolated_cache.clear(disk=True)
+    assert not any(p.is_dir() for p in tmp_path.iterdir())
+
+
+# ----------------------------------------------------------------------
+# module-level configuration
+# ----------------------------------------------------------------------
+
+
+def test_configure_cache_roundtrip(isolated_cache, tmp_path):
+    cache = configure_cache(enabled=False, max_entries=4, cache_dir=tmp_path)
+    assert cache is default_cache()
+    assert cache.enabled is False
+    assert cache.max_entries == 4
+    assert cache.cache_dir == tmp_path
+    configure_cache(enabled=True, cache_dir=None)
+    assert cache.enabled is True
+    assert cache.cache_dir is None
+
+
+def test_configure_cache_shrink_evicts(isolated_cache):
+    for name in "abcd":
+        isolated_cache.put(name, [])
+    configure_cache(max_entries=2)
+    assert len(isolated_cache) == 2
+    assert isolated_cache.lookup("d") is not None
+    with pytest.raises(ValueError, match="max_entries"):
+        configure_cache(max_entries=0)

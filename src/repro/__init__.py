@@ -78,12 +78,19 @@ from repro.habits import (
 from repro.runtime import (
     ParallelRunner,
     PolicyTask,
+    PolicyTaskError,
     TraceCache,
     cache_stats,
     clear_cache,
     configure_cache,
     parallel_map,
     run_policy_tasks,
+)
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    metrics,
+    tracer,
 )
 from repro.radio import (
     FullTail,
@@ -133,6 +140,7 @@ __all__ = [
     "HabitModel",
     "ImpactBasedDelta",
     "LinkModel",
+    "MetricsRegistry",
     "NaivePolicy",
     "NetMaster",
     "NetMasterConfig",
@@ -143,6 +151,7 @@ __all__ = [
     "ParallelRunner",
     "PolicyOutcome",
     "PolicyTask",
+    "PolicyTaskError",
     "ProfitParams",
     "RadioPowerModel",
     "RandomSleep",
@@ -153,6 +162,7 @@ __all__ = [
     "SpecialAppRegistry",
     "Trace",
     "TraceCache",
+    "Tracer",
     "TraceGenerator",
     "TraceStore",
     "TruncatedTail",
@@ -170,12 +180,14 @@ __all__ = [
     "knapsack_fptas",
     "knapsack_greedy",
     "lte_model",
+    "metrics",
     "parallel_map",
     "pearson",
     "prediction_accuracy",
     "run_policy_tasks",
     "simulate",
     "solve_overlapped",
+    "tracer",
     "volunteer_profiles",
     "wcdma_model",
     "__version__",

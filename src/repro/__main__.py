@@ -7,14 +7,23 @@ Usage::
     python -m repro fig1a fig3 fig10b    # several
     python -m repro all                  # everything
     python -m repro fig7 --seed 7        # alternative volunteer seed
+    python -m repro fig7 --quick         # shrunk, fast variant
+    python -m repro fig7 --telemetry-out out/telemetry
+    python -m repro telemetry-report out/telemetry
 
 Each experiment prints the same rows/series as the paper's figure, with
 the paper's headline number alongside (see EXPERIMENTS.md).
+
+``--telemetry-out DIR`` turns span tracing on and, after the run, writes
+``metrics.json`` / ``spans.jsonl`` / ``trace.json`` / ``results.json``
+under DIR (see :mod:`repro.telemetry.report`).  ``telemetry-report DIR``
+reads that directory back and renders the summary tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Callable
 
@@ -61,6 +70,40 @@ _SEEDABLE = {
 #: Experiments whose drivers accept a ``jobs`` keyword (process fan-out).
 _PARALLEL = {"fig7", "fig8", "fig9", "fig10c", "robustness"}
 
+#: ``--quick`` keyword overrides: shrunk but still-representative runs.
+#: Every entry keeps the experiment's structure (same policies, same
+#: pipeline) while cutting the simulated horizon and sweep density, so a
+#: quick run exercises every code path the full run does.
+_QUICK: dict[str, dict[str, object]] = {
+    "fig1a": {"n_days": 7},
+    "fig1b": {"n_days": 7},
+    "fig2": {"n_days": 7},
+    "fig3": {"n_days": 7},
+    "fig4": {"n_days": 7, "window_days": 5},
+    "fig5": {"n_days": 3},
+    # NetMaster-based runs keep 7 history days: sufficiency needs both
+    # weekday and weekend coverage, so anything shorter degrades every
+    # day to duty-cycle-only and skips the knapsack path entirely.
+    "fig7": {"n_days": 9, "n_history_days": 7},
+    "fig8": {
+        "n_days": 7,
+        "n_history_days": 5,
+        "delays_s": (0.0, 60.0, 300.0, 1200.0, 3600.0),
+    },
+    "fig9": {"n_days": 7, "n_history_days": 5, "batch_sizes": (0, 1, 3, 6)},
+    "fig10c": {
+        "n_days": 9,
+        "n_history_days": 7,
+        "thresholds": (0.0, 0.1, 0.2, 0.4),
+    },
+    "ux": {"n_days": 9, "n_history_days": 7},
+    "approx": {"trials": 20},
+    "robustness": {"n_days": 9, "n_history_days": 7, "rates": (0.0, 0.2)},
+}
+
+#: Valid ``--log-level`` names (stdlib logging levels).
+_LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
@@ -72,7 +115,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="+",
         metavar="EXPERIMENT",
-        help=f"one of: {', '.join(sorted(_REGISTRY))}, 'all', or 'list'",
+        help=f"one of: {', '.join(sorted(_REGISTRY))}, 'all', 'list', "
+        "or 'telemetry-report DIR'",
     )
     parser.add_argument(
         "--seed",
@@ -95,6 +139,25 @@ def build_parser() -> argparse.ArgumentParser:
         f"(applies to: {', '.join(sorted(_PARALLEL))})",
     )
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run a shrunk variant (shorter horizon, sparser sweeps); "
+        "results are indicative, not the paper's numbers",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="DIR",
+        default=None,
+        help="enable span tracing and write metrics.json / spans.jsonl / "
+        "trace.json / results.json under DIR after the run",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        default="warning",
+        help="stdlib logging threshold (default: warning)",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="PATH",
         default=None,
@@ -109,8 +172,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _telemetry_report(argv: list[str], out) -> int:
+    """Handle ``python -m repro telemetry-report DIR``."""
+    from repro.telemetry.report import format_report
+
+    if len(argv) != 1:
+        print("usage: python -m repro telemetry-report DIR", file=sys.stderr)
+        return 2
+    try:
+        report = format_report(argv[0])
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report, file=out)
+    return 0
+
+
 def run(
-    names: list[str], seed: int | None = None, *, out=None, jobs: int = 1
+    names: list[str],
+    seed: int | None = None,
+    *,
+    out=None,
+    jobs: int = 1,
+    quick: bool = False,
+    telemetry_out: str | None = None,
 ) -> int:
     """Run the named experiments; returns a process exit code."""
     if out is None:
@@ -142,23 +227,68 @@ def run(
     if jobs < 1:
         print(f"--jobs must be >= 1, got {jobs}", file=sys.stderr)
         return 2
-    for i, name in enumerate(names):
-        driver, formatter = _REGISTRY[name]
-        kwargs = {}
-        if seed is not None and name in _SEEDABLE:
-            kwargs["seed"] = seed
-        if jobs > 1 and name in _PARALLEL:
-            kwargs["jobs"] = jobs
-        result = driver(**kwargs)
-        if i:
-            print(file=out)
-        print(formatter(result), file=out)
+
+    from repro import telemetry
+
+    tracing_was_on = telemetry.tracing_enabled()
+    if telemetry_out is not None:
+        telemetry.configure(tracing_enabled=True)
+    try:
+        reg = telemetry.metrics()
+        per_experiment: dict[str, dict] = {}
+        results: dict[str, object] = {}
+        for i, name in enumerate(names):
+            driver, formatter = _REGISTRY[name]
+            kwargs: dict[str, object] = (
+                dict(_QUICK.get(name, {})) if quick else {}
+            )
+            if seed is not None and name in _SEEDABLE:
+                kwargs["seed"] = seed
+            if jobs > 1 and name in _PARALLEL:
+                kwargs["jobs"] = jobs
+            before = reg.snapshot()
+            result = driver(**kwargs)
+            per_experiment[name] = telemetry.diff_snapshots(
+                before, reg.snapshot()
+            )
+            results[name] = result
+            if i:
+                print(file=out)
+            print(formatter(result), file=out)
+
+        if telemetry_out is not None:
+            from repro.evaluation.reporting import results_to_json
+            from repro.telemetry.report import write_telemetry
+
+            written = write_telemetry(
+                telemetry_out,
+                reg,
+                telemetry.tracer(),
+                per_experiment=per_experiment,
+                results=results_to_json(results),
+            )
+            print(
+                f"telemetry written: {', '.join(str(p) for p in written)}",
+                file=sys.stderr,
+            )
+    finally:
+        if telemetry_out is not None and not tracing_was_on:
+            telemetry.configure(tracing_enabled=False)
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
-    args = build_parser().parse_args(argv)
+    raw = sys.argv[1:] if argv is None else argv
+    if raw and raw[0] == "telemetry-report":
+        # The report command takes a directory, not experiment names, so
+        # it bypasses the experiment parser entirely.
+        return _telemetry_report(raw[1:], sys.stdout)
+    args = build_parser().parse_args(raw)
+    level = getattr(logging, args.log_level.upper())
+    logging.basicConfig(format="%(levelname)s %(name)s: %(message)s")
+    # basicConfig is a no-op once handlers exist, so set the level directly.
+    logging.getLogger().setLevel(level)
     if args.no_trace_cache or args.cache_dir is not None:
         from repro.runtime.cache import configure_cache
 
@@ -166,6 +296,9 @@ def main(argv: list[str] | None = None) -> int:
             configure_cache(enabled=False)
         if args.cache_dir is not None:
             configure_cache(cache_dir=args.cache_dir)
+    run_kwargs = dict(
+        jobs=args.jobs, quick=args.quick, telemetry_out=args.telemetry_out
+    )
     if args.out is not None:
         try:
             fh = open(args.out, "w", encoding="utf-8")
@@ -173,8 +306,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"cannot write --out {args.out}: {exc}", file=sys.stderr)
             return 2
         with fh:
-            return run(args.experiments, args.seed, out=fh, jobs=args.jobs)
-    return run(args.experiments, args.seed, jobs=args.jobs)
+            return run(args.experiments, args.seed, out=fh, **run_kwargs)
+    return run(args.experiments, args.seed, **run_kwargs)
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 from repro._util import check_positive
 from repro.core.duty_cycle import ExponentialSleep, SleepScheme
 from repro.habits.special_apps import SpecialAppRegistry
+from repro.telemetry import metrics
 from repro.traces.events import NetworkActivity
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep core free of faults
@@ -143,6 +144,15 @@ class GapServicer:
             result.carried_to_end += 1
         if injector is not None and not injector.plan.inert:
             self._inject_faults(result, injector, retry, day_key, index_base)
+        reg = metrics()
+        if reg.enabled:
+            reg.inc("core.adjustment.gaps")
+            reg.inc("core.adjustment.idle_wakeups", len(result.wake_windows))
+            reg.inc("core.adjustment.serviced", result.serviced)
+            reg.inc("core.adjustment.carried_to_end", result.carried_to_end)
+            if result.retries:
+                reg.inc("core.adjustment.retries", result.retries)
+            reg.observe("core.adjustment.gap_s", gap_end - gap_start)
         return result
 
     @staticmethod

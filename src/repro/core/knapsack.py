@@ -24,6 +24,7 @@ from itertools import combinations
 import numpy as np
 
 from repro._util import check_fraction, check_positive
+from repro.telemetry import metrics
 
 
 @dataclass(frozen=True, slots=True)
@@ -157,6 +158,10 @@ def knapsack_fptas(
     check_fraction("eps", eps)
     if eps == 0.0:
         raise ValueError("eps must be > 0 for the FPTAS; use knapsack_exact instead")
+    reg = metrics()
+    if reg.enabled:
+        reg.inc("core.knapsack.fptas_solves")
+        reg.observe("core.knapsack.fptas_items", float(profits.size))
 
     usable = weights <= capacity
     sub_idx = np.nonzero(usable)[0]

@@ -20,6 +20,7 @@ accounting of Section VI-B.
 from __future__ import annotations
 
 import bisect
+import logging
 from dataclasses import dataclass, field
 
 from repro._util import DAY, check_fraction, check_positive, hour_of, merge_intervals
@@ -32,8 +33,11 @@ from repro.habits.threshold import DeltaStrategy
 from repro.radio.bandwidth import LinkModel
 from repro.radio.power import RadioPowerModel, wcdma_model
 from repro.radio.rrc import TruncatedTail
+from repro.telemetry import metrics, tracer
 from repro.traces.events import NetworkActivity, Trace
 from repro.traces.store import TraceStore
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -161,6 +165,14 @@ class NetMaster:
             self.config.degrade_on_insufficient_history
             and not self.sufficiency.sufficient
         )
+        metrics().inc("core.netmaster.trainings")
+        if self.insufficient_history:
+            metrics().inc("core.netmaster.degraded_history")
+            logger.warning(
+                "history insufficient for prediction (%s); "
+                "falling back to duty-cycle-only execution",
+                "; ".join(self.sufficiency.reasons) or "unspecified",
+            )
         params = ProfitParams(
             power=self.config.power, link=self.config.link, et_w=self.config.et_w
         )
@@ -312,7 +324,7 @@ class NetMaster:
         executed.sort(key=lambda pair: pair[0].time)
         if self.config.enable_circuit_breaker:
             self.breaker.record(interrupts, len(day.usages))
-        return DayExecution(
+        execution = DayExecution(
             weekend=weekend,
             plan=plan,
             activities=[a for a, _ in executed],
@@ -325,6 +337,8 @@ class NetMaster:
             duty_serviced=duty_serviced,
             carried_to_gap_end=carried,
         )
+        _record_day(execution, day)
+        return execution
 
     # ------------------------------------------------------------------
     # degraded execution (duty-cycle-only fallback)
@@ -381,7 +395,7 @@ class NetMaster:
                 immediate += 1
 
         executed.sort(key=lambda pair: pair[0].time)
-        return DayExecution(
+        execution = DayExecution(
             weekend=weekend,
             plan=None,
             activities=[a for a, _ in executed],
@@ -395,6 +409,28 @@ class NetMaster:
             carried_to_gap_end=carried,
             degraded=True,
         )
+        _record_day(execution, day)
+        return execution
+
+
+def _record_day(execution: DayExecution, day: Trace) -> None:
+    """Telemetry for one replayed day (no effect on the execution)."""
+    reg = metrics()
+    if reg.enabled:
+        reg.inc("core.netmaster.days")
+        if execution.degraded:
+            reg.inc("core.netmaster.days_degraded")
+        reg.inc("core.netmaster.interrupts", execution.interrupts)
+        reg.inc("core.netmaster.immediate", execution.immediate)
+        reg.inc("core.netmaster.deferred_to_slots", execution.deferred_to_slots)
+        reg.inc("core.netmaster.duty_serviced", execution.duty_serviced)
+        reg.inc("core.netmaster.carried_to_gap_end", execution.carried_to_gap_end)
+    trc = tracer()
+    if trc.enabled:
+        for s in day.screen_sessions:
+            trc.record_span("screen-on", "screen", s.start, s.end)
+        for start, end in execution.wake_windows:
+            trc.record_span("duty-wake", "duty", start, end)
 
 
 def _next_session_start(

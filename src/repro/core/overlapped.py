@@ -30,6 +30,7 @@ import numpy as np
 
 from repro._util import check_fraction, check_positive
 from repro.core.knapsack import knapsack_fptas
+from repro.telemetry import metrics
 
 #: Maximum candidate slots per item (an activity sits between two
 #: adjacent user-active slots).
@@ -139,6 +140,11 @@ def solve_overlapped(
         unknown = set(item.profits) - set(slot_by_id)
         if unknown:
             raise ValueError(f"item {item.item_id} references unknown slots {unknown}")
+    reg = metrics()
+    if reg.enabled:
+        reg.inc("core.overlapped.solves")
+        reg.inc("core.overlapped.slots", len(slots))
+        reg.inc("core.overlapped.items", len(items))
 
     # Step 1 — Duplication: per-slot item lists (an item between two
     # adjacent slots appears in both).

@@ -23,6 +23,7 @@ from repro.core.overlapped import MKPSolution, solve_overlapped
 from repro.core.profit import ProfitParams, ScheduleInstance, build_instance
 from repro.habits.prediction import HabitModel, Slot, SlotPrediction
 from repro.habits.threshold import DeltaStrategy
+from repro.telemetry import metrics, tracer
 
 #: Gap inserted between packed transfers inside a slot; small enough that
 #: the RRC machine keeps the radio in DCH across the whole burst.
@@ -126,7 +127,18 @@ class NetMasterScheduler:
         """Produce the day's scheduling scheme ``S`` (Eq. (6))."""
         prediction = self.habit.user_slots(weekend=weekend, strategy=self.delta)
         instance = build_instance(self.habit, prediction, self.params, weekend=weekend)
-        solution = solve_overlapped(instance.slots, instance.items, eps=self.eps)
+        with tracer().span(
+            "knapsack-solve",
+            "scheduler",
+            slots=len(instance.slots),
+            items=len(instance.items),
+        ):
+            solution = solve_overlapped(instance.slots, instance.items, eps=self.eps)
+        reg = metrics()
+        if reg.enabled:
+            reg.inc("core.scheduler.plans")
+            reg.inc("core.scheduler.items_planned", len(solution.assignment))
+            reg.inc("core.scheduler.items_unplaced", len(instance.unplaced))
         hour_slots: dict[int, list[int]] = {}
         for item_id in sorted(solution.assignment):
             activity = instance.activity_info[item_id]

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.device.kernel import Simulator
 from repro.radio.power import RadioPowerModel
 from repro.radio.rrc import EnergyReport, TailPolicy, simulate
+from repro.telemetry import metrics
 from repro.traces.events import NetworkActivity
 
 
@@ -75,6 +76,7 @@ class NetworkInterface:
         now = self.simulator.now
         if not self.data_enabled:
             self.refused.append((now, activity.app))
+            metrics().inc("device.interface.refused")
             return False
         self.transfers.append(
             TransferRecord(
@@ -84,6 +86,7 @@ class NetworkInterface:
                 payload_bytes=activity.total_bytes,
             )
         )
+        metrics().inc("device.interface.transfers")
         return True
 
     def record_failed_attempt(self, start: float, end: float) -> None:
@@ -95,10 +98,12 @@ class NetworkInterface:
         if end < start:
             raise ValueError(f"invalid failed-attempt window [{start}, {end}]")
         self.failed_windows.append((float(start), float(end)))
+        metrics().inc("device.interface.failed_attempts")
 
     def record_failed_promotion(self) -> None:
         """Account an RRC promotion that failed before any data moved."""
         self.failed_promotions += 1
+        metrics().inc("device.interface.failed_promotions")
 
     # ------------------------------------------------------------------
     # accounting

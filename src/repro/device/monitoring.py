@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.device.interface import NetworkInterface
 from repro.device.kernel import EventHandle, Simulator
 from repro.device.screen import ScreenModel
+from repro.telemetry import metrics
 from repro.traces.events import AppUsage, NetworkActivity, ScreenSession
 from repro.traces.store import TraceStore
 
@@ -97,4 +98,7 @@ class MonitoringComponent:
             self.simulator.cancel(self._sample_timer)
             self._sample_timer = None
         self.store.checkpoint()
+        # Aggregated here rather than per sample — _sample runs every
+        # simulated second of screen-on time, far too hot to instrument.
+        metrics().inc("device.monitoring.samples", self.samples_taken)
         return self.store

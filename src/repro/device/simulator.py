@@ -25,6 +25,7 @@ from repro.device.monitoring import MonitoringComponent
 from repro.device.screen import ScreenModel
 from repro.radio.power import RadioPowerModel, wcdma_model
 from repro.radio.rrc import EnergyReport, TailPolicy
+from repro.telemetry import metrics, tracer
 from repro.traces.events import NetworkActivity, Trace
 from repro.traces.store import TraceStore
 
@@ -134,8 +135,17 @@ class DeviceSimulator:
                 sim.schedule_at(off_start, interface.disable)
                 sim.schedule_at(off_end, interface.enable)
 
-        sim.run(until=DAY)
+        with tracer().span("device-replay", "device", events=len(activities)):
+            sim.run(until=DAY)
         store = monitor.finalize(at=DAY)
+        reg = metrics()
+        if reg.enabled:
+            reg.inc("device.simulator.replays")
+            reg.inc("device.simulator.events_run", sim.events_run)
+            if retries:
+                reg.inc("device.simulator.retries", retries)
+            if forced:
+                reg.inc("device.simulator.forced_deliveries", forced)
         return DeviceRunReport(
             energy=interface.energy(tail_policy),
             store=store,

@@ -50,6 +50,7 @@ from repro.traces.analysis import (
     rate_cdf,
     rate_percentile,
 )
+from repro.telemetry import tracer
 from repro.traces.events import Trace
 from repro.traces.generator import generate_cohort, generate_volunteers
 
@@ -277,24 +278,26 @@ def fig7(
     peak_up_ratios: list[float] = []
 
     prepared = []
-    for trace in volunteers:
-        history, test_days = split_history(trace, n_history_days)
-        policies = {
-            "baseline": NaivePolicy(),
-            "oracle": OraclePolicy(),
-            "netmaster": NetMasterPolicy(history, config or NetMasterConfig()),
-            "delay-batch-10s": DelayBatchPolicy(10.0),
-            "delay-batch-20s": DelayBatchPolicy(20.0),
-            "delay-batch-60s": DelayBatchPolicy(60.0),
-        }
-        prepared.append((trace, test_days, policies))
+    with tracer().span("fig7-train", "experiment", volunteers=len(volunteers)):
+        for trace in volunteers:
+            history, test_days = split_history(trace, n_history_days)
+            policies = {
+                "baseline": NaivePolicy(),
+                "oracle": OraclePolicy(),
+                "netmaster": NetMasterPolicy(history, config or NetMasterConfig()),
+                "delay-batch-10s": DelayBatchPolicy(10.0),
+                "delay-batch-20s": DelayBatchPolicy(20.0),
+                "delay-batch-60s": DelayBatchPolicy(60.0),
+            }
+            prepared.append((trace, test_days, policies))
 
     tasks = [
-        PolicyTask(name=name, policy=policy, days=tuple(test_days), model=model)
-        for _, test_days, policies in prepared
+        PolicyTask(name=f"{trace.user_id}/{name}", policy=policy, days=tuple(test_days), model=model)
+        for trace, test_days, policies in prepared
         for name, policy in policies.items()
     ]
-    grid = iter(run_policy_tasks(tasks, jobs=jobs))
+    with tracer().span("fig7-grid", "experiment", tasks=len(tasks), jobs=jobs):
+        grid = iter(run_policy_tasks(tasks, jobs=jobs))
 
     for trace, test_days, policies in prepared:
         per_policy = {name: next(grid) for name in policies}
@@ -411,7 +414,8 @@ def fig8(
     split = [split_history(t, n_history_days) for t in volunteers]
     all_days = [day for _, days in split for day in days]
 
-    base_metrics = run_policy_over_days(NaivePolicy(), all_days, model)
+    with tracer().span("fig8-baseline", "experiment", days=len(all_days)):
+        base_metrics = run_policy_over_days(NaivePolicy(), all_days, model)
     base_energy = sum(m.energy_j for m in base_metrics)
     base_radio = sum(m.radio_on_s for m in base_metrics)
     base_rate = (
@@ -422,7 +426,8 @@ def fig8(
         PolicyTask(name=f"delay-{d:g}", policy=DelayPolicy(d), days=tuple(all_days), model=model)
         for d in delays_s
     ]
-    sweep = run_policy_tasks(tasks, jobs=jobs)
+    with tracer().span("fig8-sweep", "experiment", tasks=len(tasks), jobs=jobs):
+        sweep = run_policy_tasks(tasks, jobs=jobs)
 
     energy_saving, radio_saving, bw_increase, affected = [], [], [], []
     for metrics in sweep:
@@ -486,7 +491,8 @@ def fig9(
     split = [split_history(t, n_history_days) for t in volunteers]
     all_days = [day for _, days in split for day in days]
 
-    base_metrics = run_policy_over_days(NaivePolicy(), all_days, model)
+    with tracer().span("fig9-baseline", "experiment", days=len(all_days)):
+        base_metrics = run_policy_over_days(NaivePolicy(), all_days, model)
     base_energy = sum(m.energy_j for m in base_metrics)
     base_radio = sum(m.radio_on_s for m in base_metrics)
     base_rate = (
@@ -497,7 +503,8 @@ def fig9(
         PolicyTask(name=f"batch-{s}", policy=BatchPolicy(s), days=tuple(all_days), model=model)
         for s in batch_sizes
     ]
-    sweep = run_policy_tasks(tasks, jobs=jobs)
+    with tracer().span("fig9-sweep", "experiment", tasks=len(tasks), jobs=jobs):
+        sweep = run_policy_tasks(tasks, jobs=jobs)
 
     energy_saving, radio_saving, bw_increase, affected = [], [], [], []
     for metrics in sweep:
@@ -632,11 +639,12 @@ def fig10c(
 
     # Oracle reference saving.
     oracle_e = base_e = 0.0
-    for _, days in split:
-        base = run_policy_over_days(NaivePolicy(), days, model)
-        oracle = run_policy_over_days(OraclePolicy(), days, model)
-        base_e += sum(m.energy_j for m in base)
-        oracle_e += sum(m.energy_j for m in oracle)
+    with tracer().span("fig10c-oracle", "experiment", volunteers=len(split)):
+        for _, days in split:
+            base = run_policy_over_days(NaivePolicy(), days, model)
+            oracle = run_policy_over_days(OraclePolicy(), days, model)
+            base_e += sum(m.energy_j for m in base)
+            oracle_e += sum(m.energy_j for m in oracle)
     oracle_saving = 1.0 - oracle_e / base_e
 
     # Habit models depend only on the history, not on δ: fit once.
@@ -659,7 +667,8 @@ def fig10c(
         for delta in thresholds
         for history, days in split
     ]
-    grid = iter(run_policy_tasks(tasks, jobs=jobs))
+    with tracer().span("fig10c-grid", "experiment", tasks=len(tasks), jobs=jobs):
+        grid = iter(run_policy_tasks(tasks, jobs=jobs))
 
     accuracy, saving = [], []
     for delta in thresholds:

@@ -91,7 +91,17 @@ def run_policy_over_days(
             for day in days
         ]
         return [m for metrics in run_policy_tasks(tasks, jobs=jobs) for m in metrics]
-    return [measure_outcome(policy.execute_day(day), model, day) for day in days]
+    from repro.telemetry import tracer
+
+    trc = tracer()
+    label = getattr(policy, "name", type(policy).__name__)
+    out: list[PolicyDayMetrics] = []
+    for i, day in enumerate(days):
+        with trc.sim_context(f"{label}:d{i + 1}"), trc.span(
+            "replay-day", "evaluation", track=f"replay/{label}", day=i + 1
+        ):
+            out.append(measure_outcome(policy.execute_day(day), model, day))
+    return out
 
 
 def energy_saving(metrics: PolicyDayMetrics, baseline: PolicyDayMetrics) -> float:

@@ -9,6 +9,11 @@ doubles as the full results reproduction.
 
 from __future__ import annotations
 
+import dataclasses
+import math
+
+import numpy as np
+
 from repro.evaluation import experiments as ex
 from repro.evaluation import robustness as rb
 
@@ -212,6 +217,99 @@ def format_approximation(result: ex.ApproximationResult) -> str:
     lines.append(_row("mean ratio", result.mean_ratio))
     lines.append(_row("(1-eps)/2 bound", result.bound))
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# machine-readable export
+# ----------------------------------------------------------------------
+
+#: Per-experiment headline extractors: (label, extractor, PAPER key).
+_HEADLINES = {
+    "fig1a": (
+        ("average screen-off fraction", lambda r: r.average_off_fraction, "fig1a_avg_off"),
+    ),
+    "fig1b": (
+        ("p90 screen-off rate (kBps)", lambda r: r.p90_off_kbps, "fig1b_p90_off"),
+        ("p90 screen-on rate (kBps)", lambda r: r.p90_on_kbps, "fig1b_p90_on"),
+    ),
+    "fig2": (
+        ("average screen-on utilization", lambda r: r.average_utilization, "fig2_util"),
+    ),
+    "fig3": (("mean cross-user Pearson", lambda r: r.average, "fig3_avg"),),
+    "fig4": (("mean day-to-day Pearson", lambda r: r.average, "fig4_avg"),),
+    "fig5": (
+        ("active apps", lambda r: r.n_active, "fig5_active"),
+        ("top app share", lambda r: r.top_share, "fig5_top_share"),
+    ),
+    "fig7": (
+        ("NetMaster mean saving", lambda r: r.netmaster_mean_saving, "fig7_netmaster"),
+        ("delay&batch mean saving", lambda r: r.delay_batch_mean_saving, "fig7_delay_batch"),
+        ("tests within 5% of oracle", lambda r: r.within_5pct_of_oracle, "fig7_within5"),
+        ("worst oracle gap", lambda r: r.worst_oracle_gap, "fig7_worst_gap"),
+        ("radio-on time saving", lambda r: r.mean_radio_time_saving, "fig7_radio"),
+        ("download avg-rate ratio", lambda r: r.mean_down_ratio, "fig7_down"),
+        ("upload avg-rate ratio", lambda r: r.mean_up_ratio, "fig7_up"),
+    ),
+    "fig8": (
+        ("energy saving @ max delay", lambda r: r.energy_saving[-1], "fig8_energy_600"),
+        ("radio saving @ max delay", lambda r: r.radio_time_saving[-1], "fig8_radio_600"),
+        ("bandwidth increase @ max delay", lambda r: r.bandwidth_increase[-1], "fig8_bw_600"),
+        ("affected ratio @ max delay", lambda r: r.affected_ratio[-1], "fig8_affected_600"),
+        ("interactions within 100s gaps", lambda r: r.interactions_within_100s_gaps, "fig8_gap100"),
+    ),
+    "fig9": (
+        ("max radio saving", lambda r: max(r.radio_time_saving), "fig9_radio"),
+        ("max bandwidth increase", lambda r: max(r.bandwidth_increase), "fig9_bw"),
+    ),
+    "fig10c": (("crossover delta", lambda r: r.crossover, "fig10c_crossover"),),
+    "ux": (("interrupt ratio", lambda r: r.interrupt_ratio, "ux_ratio"),),
+    "approx": (
+        ("worst approximation ratio", lambda r: r.worst_ratio, None),
+        ("(1-eps)/2 bound", lambda r: r.bound, None),
+    ),
+}
+
+
+def _sanitize(value):
+    """JSON-safe deep conversion (numpy → python, keys → str)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _sanitize(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return _sanitize(value.tolist())
+    if isinstance(value, np.floating):
+        value = float(value)
+    elif isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)  # strict-JSON consumers cannot parse NaN/Infinity
+    return value
+
+
+def results_to_json(results: dict[str, object]) -> dict:
+    """Machine-readable export of experiment results vs the paper.
+
+    ``results`` maps experiment names (as used by the CLI registry, e.g.
+    ``"fig7"``) to their result dataclasses.  Each entry carries a
+    ``headlines`` list pairing the computed statistic with the paper's
+    reference value (``paper`` is ``None`` where the paper quotes no
+    number) and a fully sanitized ``values`` dump of the result.
+    """
+    experiments = {}
+    for name, result in results.items():
+        headlines = [
+            {
+                "label": label,
+                "measured": _sanitize(extract(result)),
+                "paper": PAPER.get(key) if key else None,
+            }
+            for label, extract, key in _HEADLINES.get(name, ())
+        ]
+        experiments[name] = {"headlines": headlines, "values": _sanitize(result)}
+    return {"schema": 1, "experiments": experiments}
 
 
 def format_robustness(result: rb.RobustnessResult) -> str:

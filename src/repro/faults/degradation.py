@@ -12,9 +12,13 @@ history window) does not permanently cost the user the paper's savings.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro._util import check_fraction
+from repro.telemetry import metrics
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -54,6 +58,15 @@ class CircuitBreaker:
             self.open = True
             self.tripped_count += 1
             self._cooldown_left = self.cooldown_days
+            metrics().inc("faults.breaker.trips")
+            logger.warning(
+                "circuit breaker tripped: %d/%d interrupts (threshold %.2f); "
+                "deferral disabled for %d day(s)",
+                interrupts,
+                interactions,
+                self.threshold,
+                self.cooldown_days,
+            )
         return self.open
 
     def tick_degraded(self) -> bool:

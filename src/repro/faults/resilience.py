@@ -15,15 +15,19 @@ identical to the fault-free pipeline.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from repro._util import DAY
 from repro.faults.injector import FaultInjector
 from repro.faults.retry import RetryPolicy, run_with_retries
+from repro.telemetry import metrics
 
 if TYPE_CHECKING:  # avoid a baselines <-> faults import cycle at runtime
     from repro.baselines.policy import PolicyOutcome
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,5 +117,36 @@ def apply_faults(
         failed_promotions=failed_promotions,
         forced=forced,
         added_delays=tuple(delays),
+    )
+    reg = metrics()
+    if reg.enabled:
+        reg.inc("faults.resilience.passes")
+        reg.inc("faults.resilience.retries", retries)
+        reg.inc("faults.resilience.failed_attempts", failed_attempts)
+        reg.inc("faults.resilience.failed_promotions", failed_promotions)
+        reg.inc("faults.resilience.forced_deliveries", forced)
+        for d in delays:
+            if d > 0:
+                reg.observe("faults.resilience.added_delay_s", d)
+    if forced:
+        # Forced deliveries mean the radio stayed dead right up to the
+        # retry delay bound — previously this was only visible as a
+        # slightly shifted schedule.
+        logger.warning(
+            "day %d: %d/%d transfers hit the retry delay bound and were "
+            "force-delivered (%d failed attempts, %d retries)",
+            day_key,
+            forced,
+            len(outcome.activities),
+            failed_attempts,
+            retries,
+        )
+    logger.debug(
+        "day %d: faulted %d transfers (retries=%d failed=%d mean_delay=%.1fs)",
+        day_key,
+        stats.n_transfers,
+        stats.retries,
+        stats.failed_attempts,
+        stats.added_delay_mean_s,
     )
     return faulted, stats

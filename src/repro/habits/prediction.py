@@ -131,6 +131,14 @@ class HabitModel:
     @classmethod
     def fit(cls, history: Trace) -> "HabitModel":
         """Fit from ``k`` days of monitoring history (Eqs. (2)-(3))."""
+        from repro.telemetry import metrics, tracer
+
+        metrics().inc("habits.fits")
+        with tracer().span("habit-fit", "habits", days=history.n_days):
+            return cls._fit(history)
+
+    @classmethod
+    def _fit(cls, history: Trace) -> "HabitModel":
         use = screen_use_matrix(history)
         net = network_intensity_matrix(history, screen_off_only=True)
         net_bytes = network_bytes_matrix(history, screen_off_only=True)

@@ -30,6 +30,7 @@ from typing import Protocol, Sequence
 
 from repro._util import check_interval, check_positive, merge_intervals
 from repro.radio.power import RadioPowerModel
+from repro.telemetry import metrics, tracer
 
 
 class TailPolicy(Protocol):
@@ -182,6 +183,10 @@ def _run_machine(
     allowances: list[float],
 ) -> EnergyReport:
     """Core RRC walk over disjoint sorted windows with per-window tails."""
+    reg = metrics()
+    if reg.enabled:
+        reg.inc("radio.rrc.simulations")
+        reg.inc("radio.rrc.windows", len(merged))
     if not merged:
         return EnergyReport(
             energy_j=0.0,
@@ -231,6 +236,23 @@ def _run_machine(
                 promo_idle += 1
                 promo_e += model.promo_idle_energy_j
                 promo_s_total += model.promo_idle_dch_s
+
+    if reg.enabled:
+        reg.inc("radio.rrc.promotions_idle", promo_idle)
+        reg.inc("radio.rrc.promotions_fach", promo_fach)
+    trc = tracer()
+    if trc.enabled:
+        # One span per DCH residency plus its (possibly truncated) tail,
+        # on the simulated-seconds timeline.
+        for i, (start, end) in enumerate(merged):
+            trc.record_span("dch", "rrc", start, end)
+            gap = merged[i + 1][0] - end if i + 1 < len(merged) else math.inf
+            budget = min(gap, allowances[i], model.tail_s)
+            dch_part = min(budget, model.dch_tail_s)
+            if dch_part > 0:
+                trc.record_span("tail-dch", "rrc", end, end + dch_part)
+            if budget > dch_part:
+                trc.record_span("tail-fach", "rrc", end + dch_part, end + budget)
 
     radio_on = transfer_s + tail_s + promo_s_total
     return EnergyReport(

@@ -26,6 +26,7 @@ from repro.runtime.cache import (
 from repro.runtime.parallel import (
     ParallelRunner,
     PolicyTask,
+    PolicyTaskError,
     execute_policy_tasks,
     parallel_map,
     run_policy_tasks,
@@ -35,6 +36,7 @@ __all__ = [
     "CacheStats",
     "ParallelRunner",
     "PolicyTask",
+    "PolicyTaskError",
     "TraceCache",
     "cache_stats",
     "clear_cache",

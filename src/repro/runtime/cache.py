@@ -33,6 +33,7 @@ from __future__ import annotations
 import copy
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from collections import OrderedDict
@@ -42,9 +43,12 @@ from typing import Callable
 
 import numpy as np
 
+from repro.telemetry import metrics
 from repro.traces.events import Trace
 from repro.traces.io import trace_from_jsonl, trace_to_jsonl
 from repro.traces.users import UserProfile
+
+logger = logging.getLogger(__name__)
 
 #: Default size of the in-process LRU (whole cohorts, not traces).
 DEFAULT_MAX_ENTRIES = 32
@@ -194,11 +198,14 @@ class TraceCache:
         if cached is not None:
             self._memory.move_to_end(key)
             self.stats.hits += 1
+            metrics().inc("runtime.cache.hits")
             return _copy_cohort(cached)
         traces = self._disk_load(key)
         if traces is not None:
             self.stats.hits += 1
             self.stats.disk_hits += 1
+            metrics().inc("runtime.cache.hits")
+            metrics().inc("runtime.cache.disk_hits")
             self._memory_put(key, traces)
             return _copy_cohort(traces)
         return None
@@ -218,6 +225,7 @@ class TraceCache:
         if cached is not None:
             return cached
         self.stats.misses += 1
+        metrics().inc("runtime.cache.misses")
         traces = factory()
         self.put(key, traces)
         return traces
@@ -256,14 +264,34 @@ class TraceCache:
         manifest_path = entry / "manifest.json"
         try:
             manifest = json.loads(manifest_path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            return None  # plain miss: the entry has never been stored
+        except (OSError, json.JSONDecodeError) as exc:
+            logger.warning(
+                "trace cache: unreadable manifest %s (%s); treating as a miss",
+                manifest_path,
+                exc,
+            )
             return None
         if manifest.get("version") != _DISK_FORMAT_VERSION:
+            logger.warning(
+                "trace cache: entry %s has format version %r (expected %d); "
+                "treating as a miss",
+                entry,
+                manifest.get("version"),
+                _DISK_FORMAT_VERSION,
+            )
             return None
         try:
             return [trace_from_jsonl(entry / name) for name in manifest["files"]]
-        except (OSError, KeyError, ValueError):
+        except (OSError, KeyError, ValueError) as exc:
             # A torn or foreign entry: treat as a miss, regeneration wins.
+            logger.warning(
+                "trace cache: corrupt entry %s (%s: %s); regenerating",
+                entry,
+                type(exc).__name__,
+                exc,
+            )
             return None
 
     def _disk_store(self, key: str, traces: list[Trace]) -> None:
@@ -289,8 +317,13 @@ class TraceCache:
             (tmp / "manifest.json").write_text(json.dumps(manifest, indent=1))
             os.replace(tmp, entry)
             self.stats.disk_stores += 1
-        except OSError:
+        except OSError as exc:
             # Lost a store race (or a full disk): the cache is best-effort.
+            logger.warning(
+                "trace cache: could not store entry %s (%s); continuing uncached",
+                entry,
+                exc,
+            )
             for child in tmp.glob("*"):
                 child.unlink(missing_ok=True)
             if tmp.exists():

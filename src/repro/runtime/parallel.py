@@ -27,6 +27,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from functools import partial
 from pickle import PicklingError
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
@@ -109,22 +110,127 @@ class PolicyTask:
     model: RadioPowerModel
 
 
+class PolicyTaskError(Exception):
+    """A specific grid cell failed; the message names the cell.
+
+    Inherits :class:`Exception` directly (not :class:`RuntimeError`) so
+    :meth:`ParallelRunner.map`'s pool-failure fallback never mistakes a
+    genuine task failure for a broken pool and re-runs the whole grid.
+    Built with a single string argument so it survives pickling back
+    from a worker process intact.
+    """
+
+
+def _cell_label(task: PolicyTask, day_index: int) -> str:
+    return f"{task.name}:d{day_index + 1}"
+
+
+def _cell_error(task: PolicyTask, day_index: int, exc: BaseException) -> PolicyTaskError:
+    return PolicyTaskError(
+        f"policy task {task.name!r} failed on day {day_index + 1}/{len(task.days)} "
+        f"(policy {type(task.policy).__name__}): {type(exc).__name__}: {exc}"
+    )
+
+
 def _measure_task(task: PolicyTask) -> list[PolicyDayMetrics]:
     """Worker: execute and price a policy over its days, in order."""
     # Imported here, not at module top: repro.evaluation pulls in this
     # module (experiments/robustness fan their grids through it), so a
     # top-level import would be circular.
     from repro.evaluation.metrics import measure_outcome
+    from repro.telemetry import tracer
 
-    return [
-        measure_outcome(task.policy.execute_day(day), task.model, day)
-        for day in task.days
-    ]
+    trc = tracer()
+    out: list[PolicyDayMetrics] = []
+    for i, day in enumerate(task.days):
+        with trc.sim_context(_cell_label(task, i)), trc.span(
+            "replay-day", "evaluation", track=f"replay/{task.name}", day=i + 1
+        ):
+            try:
+                out.append(
+                    measure_outcome(task.policy.execute_day(day), task.model, day)
+                )
+            except PolicyTaskError:
+                raise
+            except Exception as exc:
+                raise _cell_error(task, i, exc) from exc
+    return out
 
 
 def _execute_task(task: PolicyTask) -> list[PolicyOutcome]:
     """Worker: execute a policy over its days, returning raw outcomes."""
-    return [task.policy.execute_day(day) for day in task.days]
+    from repro.telemetry import tracer
+
+    trc = tracer()
+    out: list[PolicyOutcome] = []
+    for i, day in enumerate(task.days):
+        with trc.sim_context(_cell_label(task, i)), trc.span(
+            "replay-day", "evaluation", track=f"replay/{task.name}", day=i + 1
+        ):
+            try:
+                out.append(task.policy.execute_day(day))
+            except PolicyTaskError:
+                raise
+            except Exception as exc:
+                raise _cell_error(task, i, exc) from exc
+    return out
+
+
+def _shipped(fn: Callable[[PolicyTask], R], task: PolicyTask, *, with_tracing: bool):
+    """Worker wrapper: run ``fn`` under a fresh registry/tracer and ship
+    the result together with the captured telemetry.
+
+    ``telemetry.isolated`` guarantees the capture covers exactly this
+    task even when ``fork`` hands the worker a copy of the parent's
+    half-filled registry.
+    """
+    from repro import telemetry
+
+    with telemetry.isolated(with_tracing=with_tracing) as (registry, trc):
+        result = fn(task)
+        return result, registry.snapshot(), trc.export_spans()
+
+
+def _measure_task_shipped(task: PolicyTask, *, with_tracing: bool = True):
+    return _shipped(_measure_task, task, with_tracing=with_tracing)
+
+
+def _execute_task_shipped(task: PolicyTask, *, with_tracing: bool = True):
+    return _shipped(_execute_task, task, with_tracing=with_tracing)
+
+
+def _fan_out(
+    tasks: Sequence[PolicyTask],
+    plain_fn: Callable[[PolicyTask], R],
+    shipped_fn: Callable[..., tuple[R, dict, list[dict]]],
+    jobs: int,
+) -> list[R]:
+    """Run a grid, shipping worker telemetry back when it is enabled.
+
+    Serial runs (and runs with all telemetry off) use ``plain_fn``
+    against the process-global registry/tracer.  Parallel runs with
+    telemetry on use ``shipped_fn`` and merge each worker's snapshot and
+    spans back **in task order**, which reproduces the serial registry
+    exactly (see :mod:`repro.telemetry.registry`).
+    """
+    from repro import telemetry
+
+    registry = telemetry.metrics()
+    trc = telemetry.tracer()
+    registry.inc("runtime.parallel.tasks", len(tasks))
+    registry.inc("runtime.parallel.days", sum(len(t.days) for t in tasks))
+
+    serial = jobs == 1 or len(tasks) <= 1
+    if serial or not (registry.enabled or trc.enabled):
+        return ParallelRunner(jobs).map(plain_fn, tasks)
+
+    fn = partial(shipped_fn, with_tracing=trc.enabled)
+    results: list[R] = []
+    for result, snap, spans in ParallelRunner(jobs).map(fn, tasks):
+        registry.merge_snapshot(snap)
+        trc.ingest(spans)
+        results.append(result)
+    return results
 
 
 def run_policy_tasks(
@@ -134,9 +240,10 @@ def run_policy_tasks(
 
     Returns one metrics list per task, in task order — the parallel twin
     of calling :func:`repro.evaluation.metrics.run_policy_over_days`
-    once per task.
+    once per task.  A failing cell raises :class:`PolicyTaskError`
+    naming the task, day and policy.
     """
-    return ParallelRunner(jobs).map(_measure_task, tasks)
+    return _fan_out(tasks, _measure_task, _measure_task_shipped, jobs)
 
 
 def execute_policy_tasks(
@@ -144,4 +251,4 @@ def execute_policy_tasks(
 ) -> list[list[PolicyOutcome]]:
     """Like :func:`run_policy_tasks` but returning raw day outcomes
     (for pipelines that post-process outcomes, e.g. fault injection)."""
-    return ParallelRunner(jobs).map(_execute_task, tasks)
+    return _fan_out(tasks, _execute_task, _execute_task_shipped, jobs)

@@ -1,0 +1,207 @@
+"""Telemetry directory layout, export writer, and the summary report.
+
+A ``--telemetry-out DIR`` run leaves four files behind:
+
+* ``metrics.json`` — the full registry snapshot plus a per-experiment
+  delta (counters/histograms attributed to each experiment that ran);
+* ``spans.jsonl`` — every recorded span, one JSON object per line;
+* ``trace.json`` — the same spans in Chrome trace-event format (open in
+  ``chrome://tracing`` or https://ui.perfetto.dev);
+* ``results.json`` — machine-readable figure results next to the
+  paper's reference numbers (see
+  :func:`repro.evaluation.reporting.results_to_json`).
+
+``python -m repro telemetry-report DIR`` reads them back and renders a
+per-experiment summary: top counters, histogram percentiles, slowest
+wall-clock spans, and the measured-vs-paper headline table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.registry import Histogram
+
+#: File names inside a telemetry output directory.
+METRICS_FILE = "metrics.json"
+SPANS_FILE = "spans.jsonl"
+TRACE_FILE = "trace.json"
+RESULTS_FILE = "results.json"
+
+#: Rows shown per table in the rendered report.
+TOP_COUNTERS = 14
+TOP_SPANS = 12
+
+
+def write_telemetry(
+    out_dir: str | Path,
+    registry,
+    tracer,
+    *,
+    per_experiment: dict[str, dict] | None = None,
+    results: dict | None = None,
+) -> list[Path]:
+    """Write the full telemetry export; returns the written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    metrics_path = out / METRICS_FILE
+    payload = {
+        "schema": 1,
+        "overall": registry.snapshot(),
+        "per_experiment": per_experiment or {},
+        "dropped_spans": getattr(tracer, "dropped", 0),
+    }
+    metrics_path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    written.append(metrics_path)
+
+    spans_path = out / SPANS_FILE
+    tracer.to_jsonl(spans_path)
+    written.append(spans_path)
+
+    trace_path = out / TRACE_FILE
+    tracer.write_chrome(trace_path)
+    written.append(trace_path)
+
+    if results is not None:
+        results_path = out / RESULTS_FILE
+        results_path.write_text(
+            json.dumps(results, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        written.append(results_path)
+    return written
+
+
+# ----------------------------------------------------------------------
+# report rendering
+# ----------------------------------------------------------------------
+
+
+def _histogram_from_snapshot(name: str, snap: dict) -> Histogram:
+    h = Histogram(name, tuple(snap["bounds"]))
+    h.counts = list(snap["counts"])
+    h.count = snap["count"]
+    h.sum_micro = snap["sum_micro"]
+    return h
+
+
+def _fmt_value(v: float) -> str:
+    if v == float("inf"):
+        return "inf"
+    if v >= 1000 or v == int(v):
+        return f"{v:,.0f}"
+    return f"{v:.4g}"
+
+
+def _counter_table(counters: dict[str, int], indent: str = "  ") -> list[str]:
+    rows = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))[:TOP_COUNTERS]
+    if not rows:
+        return [f"{indent}(no counters)"]
+    width = max(len(name) for name, _ in rows)
+    return [f"{indent}{name:<{width}}  {value:>12,d}" for name, value in rows]
+
+
+def _histogram_table(histograms: dict[str, dict], indent: str = "  ") -> list[str]:
+    if not histograms:
+        return [f"{indent}(no histograms)"]
+    width = max(len(name) for name in histograms)
+    lines = [
+        f"{indent}{'histogram':<{width}}  {'count':>9}  {'mean':>10}  "
+        f"{'p50':>10}  {'p90':>10}  {'p99':>10}"
+    ]
+    for name in sorted(histograms):
+        h = _histogram_from_snapshot(name, histograms[name])
+        lines.append(
+            f"{indent}{name:<{width}}  {h.count:>9,d}  {_fmt_value(h.mean):>10}  "
+            f"{_fmt_value(h.percentile(0.5)):>10}  "
+            f"{_fmt_value(h.percentile(0.9)):>10}  "
+            f"{_fmt_value(h.percentile(0.99)):>10}"
+        )
+    return lines
+
+
+def _load_spans(path: Path) -> list[dict]:
+    spans: list[dict] = []
+    if not path.exists():
+        return spans
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def _span_table(spans: list[dict], indent: str = "  ") -> list[str]:
+    wall = [s for s in spans if s.get("domain") == "wall"]
+    wall.sort(key=lambda s: -s["dur_s"])
+    rows = wall[:TOP_SPANS]
+    if not rows:
+        return [f"{indent}(no wall-clock spans)"]
+    lines = [f"{indent}{'span':<40}  {'dur':>10}  track"]
+    for s in rows:
+        label = s["name"][:40]
+        lines.append(f"{indent}{label:<40}  {s['dur_s']:>9.3f}s  {s['track']}")
+    return lines
+
+
+def _headline_table(results: dict, indent: str = "  ") -> list[str]:
+    lines: list[str] = []
+    for name in sorted(results.get("experiments", {})):
+        headlines = results["experiments"][name].get("headlines", [])
+        if not headlines:
+            continue
+        lines.append(f"{indent}{name}:")
+        for row in headlines:
+            paper = row.get("paper")
+            ref = f"   (paper: {paper:.4g})" if paper is not None else ""
+            lines.append(
+                f"{indent}  {row['label']:<42} {row['measured']:.4g}{ref}"
+            )
+    return lines or [f"{indent}(no headline results)"]
+
+
+def format_report(telemetry_dir: str | Path) -> str:
+    """Render the per-experiment telemetry summary for one output dir."""
+    root = Path(telemetry_dir)
+    metrics_path = root / METRICS_FILE
+    if not metrics_path.exists():
+        raise FileNotFoundError(
+            f"no telemetry found: {metrics_path} is missing "
+            "(run an experiment with --telemetry-out first)"
+        )
+    payload = json.loads(metrics_path.read_text(encoding="utf-8"))
+    overall = payload.get("overall", {})
+    per_experiment = payload.get("per_experiment", {})
+    spans = _load_spans(root / SPANS_FILE)
+
+    lines = [f"Telemetry report — {root}"]
+    for name in per_experiment:
+        delta = per_experiment[name]
+        lines.append("")
+        lines.append(f"== {name} ==")
+        lines.append("  top counters:")
+        lines.extend(_counter_table(delta.get("counters", {}), indent="    "))
+        if delta.get("histograms"):
+            lines.extend(_histogram_table(delta["histograms"], indent="    "))
+
+    lines.append("")
+    lines.append("== overall ==")
+    lines.append("  top counters:")
+    lines.extend(_counter_table(overall.get("counters", {}), indent="    "))
+    lines.extend(_histogram_table(overall.get("histograms", {}), indent="  "))
+    lines.append("  slowest wall-clock spans:")
+    lines.extend(_span_table(spans, indent="    "))
+    if payload.get("dropped_spans"):
+        lines.append(f"  (dropped {payload['dropped_spans']} spans past the cap)")
+
+    results_path = root / RESULTS_FILE
+    if results_path.exists():
+        lines.append("")
+        lines.append("== results vs paper ==")
+        lines.extend(
+            _headline_table(json.loads(results_path.read_text(encoding="utf-8")))
+        )
+    return "\n".join(lines)

@@ -277,14 +277,24 @@ def generate_cohort(
         profiles = default_profiles()
 
     def build() -> list[Trace]:
-        root = np.random.SeedSequence(seed)
-        children = root.spawn(len(profiles))
-        return [
-            TraceGenerator(profile, np.random.default_rng(child)).generate(
-                n_days, start_weekday=start_weekday
-            )
-            for profile, child in zip(profiles, children)
-        ]
+        from repro.telemetry import metrics, tracer
+
+        with tracer().span(
+            "generate-cohort", "traces", users=len(profiles), days=n_days
+        ):
+            root = np.random.SeedSequence(seed)
+            children = root.spawn(len(profiles))
+            cohort = [
+                TraceGenerator(profile, np.random.default_rng(child)).generate(
+                    n_days, start_weekday=start_weekday
+                )
+                for profile, child in zip(profiles, children)
+            ]
+        reg = metrics()
+        if reg.enabled:
+            reg.inc("traces.generator.cohorts")
+            reg.inc("traces.generator.traces", len(cohort))
+        return cohort
 
     # Imported lazily so the trace substrate has no hard runtime-package
     # dependency at import time.

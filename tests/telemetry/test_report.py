@@ -1,0 +1,142 @@
+"""Telemetry export files, the rendered report, and results_to_json."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.evaluation.reporting import PAPER, results_to_json
+from repro.telemetry import MetricsRegistry, Tracer
+from repro.telemetry.report import (
+    METRICS_FILE,
+    RESULTS_FILE,
+    SPANS_FILE,
+    TRACE_FILE,
+    format_report,
+    write_telemetry,
+)
+
+
+@pytest.fixture
+def populated():
+    reg = MetricsRegistry()
+    reg.inc("core.netmaster.days", 3)
+    reg.inc("radio.rrc.simulations", 9)
+    reg.observe("core.adjustment.gap_s", 120.0)
+    trc = Tracer()
+    trc.record_span("dch", "rrc", 0.0, 2.0)
+    with trc.span("habit-fit", "habits"):
+        pass
+    return reg, trc
+
+
+class TestWriteTelemetry:
+    def test_writes_all_files(self, tmp_path, populated):
+        reg, trc = populated
+        written = write_telemetry(tmp_path, reg, trc, results={"schema": 1})
+        names = {p.name for p in written}
+        assert names == {METRICS_FILE, SPANS_FILE, TRACE_FILE, RESULTS_FILE}
+        for p in written:
+            assert p.exists()
+
+    def test_results_file_optional(self, tmp_path, populated):
+        reg, trc = populated
+        written = write_telemetry(tmp_path, reg, trc)
+        assert RESULTS_FILE not in {p.name for p in written}
+
+    def test_metrics_payload_shape(self, tmp_path, populated):
+        reg, trc = populated
+        write_telemetry(
+            tmp_path, reg, trc, per_experiment={"fig7": reg.snapshot()}
+        )
+        payload = json.loads((tmp_path / METRICS_FILE).read_text("utf-8"))
+        assert payload["schema"] == 1
+        assert payload["overall"]["counters"]["core.netmaster.days"] == 3
+        assert "fig7" in payload["per_experiment"]
+        assert payload["dropped_spans"] == 0
+
+
+class TestFormatReport:
+    def test_renders_sections(self, tmp_path, populated):
+        reg, trc = populated
+        write_telemetry(
+            tmp_path,
+            reg,
+            trc,
+            per_experiment={"fig7": reg.snapshot()},
+            results=results_to_json({}),
+        )
+        text = format_report(tmp_path)
+        assert "== fig7 ==" in text
+        assert "core.netmaster.days" in text
+        assert "core.adjustment.gap_s" in text  # histogram table
+        assert "habit-fit" in text  # slowest wall spans
+        assert "== overall ==" in text
+
+    def test_headline_section(self, tmp_path, populated):
+        from repro.evaluation.experiments import approximation_ratio
+
+        reg, trc = populated
+        result = approximation_ratio(trials=5)
+        write_telemetry(
+            tmp_path, reg, trc, results=results_to_json({"approx": result})
+        )
+        text = format_report(tmp_path)
+        assert "== results vs paper ==" in text
+        assert "worst approximation ratio" in text
+
+    def test_missing_dir_raises_with_hint(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="--telemetry-out"):
+            format_report(tmp_path / "nope")
+
+
+@dataclass
+class _FakeResult:
+    matrix: np.ndarray
+    ratio: np.floating
+    count: np.integer
+    bad: float
+    nested: dict
+
+
+class TestResultsToJson:
+    def test_sanitizes_numpy_and_nonfinite(self):
+        result = _FakeResult(
+            matrix=np.array([[1.0, 2.0]]),
+            ratio=np.float64(0.5),
+            count=np.int64(7),
+            bad=float("nan"),
+            nested={1: (np.float32(2.0),)},
+        )
+        out = results_to_json({"custom": result})
+        values = out["experiments"]["custom"]["values"]
+        assert values["matrix"] == [[1.0, 2.0]]
+        assert values["ratio"] == 0.5 and isinstance(values["ratio"], float)
+        assert values["count"] == 7 and isinstance(values["count"], int)
+        assert values["bad"] == "nan"
+        assert values["nested"] == {"1": [2.0]}
+        json.dumps(out)  # strict-JSON round-trip must not raise
+
+    def test_headlines_pair_measured_with_paper(self):
+        from repro.evaluation.experiments import approximation_ratio, fig10a
+
+        approx = approximation_ratio(trials=5)
+        out = results_to_json({"approx": approx, "fig10a": fig10a()})
+        headlines = out["experiments"]["approx"]["headlines"]
+        labels = {h["label"] for h in headlines}
+        assert "worst approximation ratio" in labels
+        assert all(isinstance(h["measured"], float) for h in headlines)
+        # fig10a has no paper headline entries but still dumps values
+        assert out["experiments"]["fig10a"]["headlines"] == []
+        assert out["experiments"]["fig10a"]["values"]
+
+    def test_paper_keys_resolve(self):
+        """Every PAPER key referenced by a headline must exist."""
+        from repro.evaluation.reporting import _HEADLINES
+
+        for rows in _HEADLINES.values():
+            for _, _, key in rows:
+                assert key is None or key in PAPER

@@ -68,3 +68,65 @@ class TestCli:
             "ux", "approx", "robustness",
         }
         assert set(_REGISTRY) == expected
+
+
+class TestTelemetryCli:
+    def test_parser_accepts_new_flags(self):
+        args = build_parser().parse_args(
+            ["fig7", "--quick", "--telemetry-out", "t", "--log-level", "info"]
+        )
+        assert args.quick is True
+        assert args.telemetry_out == "t"
+        assert args.log_level == "info"
+
+    def test_parser_defaults_for_new_flags(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.quick is False
+        assert args.telemetry_out is None
+        assert args.log_level == "warning"
+
+    def test_quick_kwargs_are_real_signatures(self):
+        """Every --quick override must name actual driver keywords."""
+        import inspect
+
+        from repro.__main__ import _QUICK
+
+        for name, kwargs in _QUICK.items():
+            params = inspect.signature(_REGISTRY[name][0]).parameters
+            for key in kwargs:
+                assert key in params, f"{name}: bad quick kwarg {key!r}"
+
+    def test_quick_run(self):
+        out = io.StringIO()
+        assert run(["approx"], out=out, quick=True) == 0
+        assert "over 20 instances" in out.getvalue()
+
+    def test_telemetry_out_writes_export(self, tmp_path, capsys):
+        target = tmp_path / "tel"
+        assert run(["fig10a"], out=io.StringIO(), telemetry_out=str(target)) == 0
+        for name in ("metrics.json", "spans.jsonl", "trace.json", "results.json"):
+            assert (target / name).exists(), name
+        assert "telemetry written" in capsys.readouterr().err
+
+    def test_telemetry_report_roundtrip(self, tmp_path, capsys):
+        target = tmp_path / "tel"
+        assert run(["fig10a"], out=io.StringIO(), telemetry_out=str(target)) == 0
+        capsys.readouterr()
+        assert main(["telemetry-report", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry report" in out
+        assert "== overall ==" in out
+
+    def test_telemetry_report_usage_errors(self, tmp_path, capsys):
+        assert main(["telemetry-report"]) == 2
+        assert "usage" in capsys.readouterr().err
+        assert main(["telemetry-report", str(tmp_path), "extra"]) == 2
+        assert main(["telemetry-report", str(tmp_path / "missing")]) == 2
+        assert "no telemetry found" in capsys.readouterr().err
+
+    def test_log_level_configures_logging(self):
+        import logging
+
+        assert main(["list", "--log-level", "error"]) == 0
+        assert logging.getLogger().level == logging.ERROR
+        logging.getLogger().setLevel(logging.WARNING)

@@ -1,9 +1,10 @@
-"""Perf pipeline benchmark: caching, parallel fan-out, FPTAS batch.
+"""Perf pipeline benchmark: caching, parallel fan-out, solver + replay kernels.
 
 Unlike the figure benchmarks this one times the *infrastructure* — the
-content-addressed trace cache, the process-parallel policy sweep and the
-packed-bits knapsack DP — and writes ``BENCH_perf.json`` at the repo
-root so successive PRs can track the perf trajectory.
+content-addressed trace cache (memory and disk tiers), the chunked
+process-parallel policy sweep, the numpy FPTAS kernels and the
+vectorized RRC replay engine — and writes ``BENCH_perf.json`` at the
+repo root so successive PRs can track the perf trajectory.
 
 Run it alone with::
 
@@ -16,26 +17,43 @@ import json
 import os
 from pathlib import Path
 
+import pytest
+
 from repro.runtime.bench import (
     bench_cohort,
     bench_fptas_batch,
     bench_policy_sweep,
+    bench_replay_kernel,
     run_bench,
 )
+from repro.runtime.cache import configure_cache, default_cache
 
 #: Worker count for the sweep benchmarks (never more than the machine has).
 JOBS = max(2, min(4, os.cpu_count() or 2))
 
 
-def test_cohort_cache_cold_vs_warm(report):
-    """A warm in-process cache hit beats regeneration by >= 10x."""
+@pytest.fixture()
+def tmp_cache_dir(tmp_path):
+    """Point the default cache at a throwaway on-disk store."""
+    prev = default_cache().cache_dir
+    configure_cache(cache_dir=tmp_path / "trace-cache")
+    yield tmp_path / "trace-cache"
+    configure_cache(cache_dir=prev)
+
+
+def test_cohort_cache_cold_vs_warm(report, tmp_cache_dir):
+    """A warm in-process cache hit beats regeneration by >= 10x, and the
+    on-disk store sees real traffic (stores on cold, hits on disk-warm)."""
     result = bench_cohort(n_days=21, seed=2014)
     report(
         f"cohort generation: cold {result['cold_s']:.3f}s, "
-        f"warm {result['warm_s']:.5f}s ({result['warm_speedup']:.0f}x)"
+        f"warm {result['warm_s']:.5f}s ({result['warm_speedup']:.0f}x), "
+        f"disk-warm {result['disk_warm_s']:.4f}s"
     )
     assert result["cache"]["hits"] >= 1
     assert result["warm_speedup"] >= 10.0
+    assert result["disk_stores"] > 0
+    assert result["disk_hits"] >= 1
 
 
 def test_policy_sweep_parallel_matches_serial(report):
@@ -45,20 +63,47 @@ def test_policy_sweep_parallel_matches_serial(report):
         f"policy sweep ({result['n_tasks']} tasks): "
         f"serial {result['serial_s']:.3f}s, jobs={result['jobs']} "
         f"{result['parallel_s']:.3f}s ({result['speedup']:.2f}x)"
+        + (" [regression]" if result["parallel_regression"] else "")
     )
     # bench_policy_sweep raises AssertionError itself if results diverge.
     assert result["identical_results"]
     assert result["n_tasks"] == result["n_users"] * 6
+    if result["parallel_regression"]:
+        # Hardware-bound exception: with one core the pool can only lose.
+        assert (os.cpu_count() or 1) == 1, (
+            "parallel sweep regressed on a multi-core host: "
+            f"{result['parallel_s']:.3f}s vs {result['serial_s']:.3f}s serial"
+        )
 
 
 def test_fptas_batch(report):
-    """Batch of per-slot FPTAS solves through the packed-bits DP."""
+    """Per-slot FPTAS solver tier: scalar loop vs batched vs memo-warm."""
     result = bench_fptas_batch()
     report(
         f"fptas batch: {result['n_solves']} solves in {result['batch_s']:.3f}s "
-        f"({result['solves_per_s']:.1f}/s)"
+        f"({result['solves_per_s']:.1f}/s single, "
+        f"{result['batch_solves_per_s']:.1f}/s batched, "
+        f"{result['memo_warm_solves_per_s']:.1f}/s memo-warm)"
     )
     assert result["total_profit"] > 0.0
+    # The numpy DP must stay comfortably clear of the pure-Python loops'
+    # ~16 solves/s (committed pre-kernel baseline); 2x headroom under the
+    # measured ~80/s keeps the gate robust to a loaded runner.
+    assert result["solves_per_s"] >= 40.0
+    assert result["memo_warm_solves_per_s"] > result["batch_solves_per_s"]
+
+
+def test_replay_kernel(report):
+    """Vectorized RRC interval engine throughput."""
+    result = bench_replay_kernel()
+    report(
+        f"replay kernel: {result['n_sims']} sims x {result['n_windows']} "
+        f"windows in {result['replay_s']:.3f}s "
+        f"({result['sims_per_s']:.0f} sims/s, "
+        f"{result['windows_per_s']:.0f} windows/s)"
+    )
+    assert result["total_energy_j"] > 0.0
+    assert result["sims_per_s"] > 0.0
 
 
 def test_write_bench_report(report, tmp_path_factory):
@@ -67,13 +112,20 @@ def test_write_bench_report(report, tmp_path_factory):
     written = run_bench(out, jobs=JOBS)
     on_disk = json.loads(out.read_text())
     assert on_disk["schema"] == 1
-    for section in ("cohort_generation", "policy_sweep", "fptas_batch"):
+    for section in (
+        "cohort_generation",
+        "policy_sweep",
+        "fptas_batch",
+        "replay_kernel",
+    ):
         assert section in on_disk
     assert on_disk["cohort_generation"]["warm_speedup"] >= 10.0
+    assert on_disk["cohort_generation"]["disk_stores"] > 0
     assert on_disk["policy_sweep"]["identical_results"]
     report(
         "BENCH_perf.json: cohort warm speedup "
         f"{written['cohort_generation']['warm_speedup']:.0f}x, "
         f"sweep jobs={written['policy_sweep']['jobs']} speedup "
-        f"{written['policy_sweep']['speedup']:.2f}x"
+        f"{written['policy_sweep']['speedup']:.2f}x, "
+        f"fptas {written['fptas_batch']['solves_per_s']:.1f} solves/s"
     )

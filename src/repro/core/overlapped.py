@@ -29,12 +29,24 @@ from itertools import product
 import numpy as np
 
 from repro._util import check_fraction, check_positive
-from repro.core.knapsack import knapsack_fptas
+from repro.core.knapsack import SolutionMemo, knapsack_fptas_batch
 from repro.telemetry import metrics
 
 #: Maximum candidate slots per item (an activity sits between two
 #: adjacent user-active slots).
 MAX_CANDIDATES = 2
+
+#: Shared per-slot solution memo: sweeps re-solve the same slot knapsack
+#: across policies/days (identical itemset, capacity and ε), so the memo
+#: is process-global rather than per ``solve_overlapped`` call.  Clear it
+#: with :func:`clear_slot_memo` when instances should not be reused
+#: (e.g. in per-test isolation).
+_SLOT_MEMO = SolutionMemo()
+
+
+def clear_slot_memo() -> None:
+    """Drop all memoized slot solutions (testing/benchmark isolation)."""
+    _SLOT_MEMO.clear()
 
 
 @dataclass(frozen=True, slots=True)
@@ -153,8 +165,13 @@ def solve_overlapped(
         for slot_id in item.candidate_slots:
             per_slot_items[slot_id].append(item)
 
-    # Steps 2+3 — Sorting and SinKnap per slot.
+    # Steps 2+3 — Sorting, then one batched SinKnap call over every
+    # non-trivial slot.  The batch shares the process-global slot memo,
+    # so identical (itemset, capacity, ε) sub-instances — common when a
+    # sweep replays the same day under many policies — are solved once.
     chosen_in: dict[int, set[int]] = {}
+    batch_slots: list[tuple[int, list[MKPItem]]] = []
+    batch_problems: list[tuple[np.ndarray, np.ndarray, float]] = []
     for slot in slots:
         candidates = per_slot_items[slot.slot_id]
         if not candidates:
@@ -176,8 +193,12 @@ def solve_overlapped(
         )
         profits = np.array([it.profits[slot.slot_id] for it in candidates])
         weights = np.array([it.weight for it in candidates])
-        solution = knapsack_fptas(profits, weights, slot.capacity, eps=eps)
-        chosen_in[slot.slot_id] = {candidates[i].item_id for i in solution.indices}
+        batch_slots.append((slot.slot_id, candidates))
+        batch_problems.append((profits, weights, slot.capacity))
+    if batch_problems:
+        solutions = knapsack_fptas_batch(batch_problems, eps=eps, memo=_SLOT_MEMO)
+        for (slot_id, candidates), solution in zip(batch_slots, solutions):
+            chosen_in[slot_id] = {candidates[i].item_id for i in solution.indices}
 
     # Step 4a — Filtering: items chosen in both candidate slots keep the
     # tighter placement (smaller C(t_i) − V(n_j)).

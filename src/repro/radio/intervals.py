@@ -1,0 +1,265 @@
+"""Vectorized interval engine for RRC replay.
+
+The RRC accounting in :mod:`repro.radio.rrc` used to walk transfer
+windows one Python iteration at a time; on cohort-scale sweeps that loop
+(and the interval merging feeding it) dominated replay cost.  This module
+reformulates the walk as flat :mod:`numpy` array passes:
+
+* window merging sorts start/end arrays and finds group boundaries with
+  a running ``np.maximum.accumulate`` over the end times;
+* tail handling computes every window's gap, tail budget and DCH/FACH
+  split elementwise (``np.diff`` for durations, ``np.minimum`` chains
+  for the budgets);
+* radio-on intervals extend windows by their budgets and fuse them with
+  the same running-maximum trick, locating each fused group's last
+  member via ``np.searchsorted``.
+
+**Bit-identity contract.**  Every function here must reproduce the
+original scalar loops bit-for-bit (the figure-reproduction invariant).
+Elementwise float arithmetic is exact under vectorization, but
+*reductions are not*: ``np.sum`` accumulates pairwise while the old
+loops accumulated left-to-right.  The engine therefore never sums —
+callers reduce the returned arrays with :func:`sequential_sum`, which
+re-runs the serial left-to-right accumulation over ``ndarray.tolist()``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import check_interval
+
+__all__ = [
+    "ReplayDecomposition",
+    "decompose_replay",
+    "extend_by_tails",
+    "merge_windows",
+    "merge_windows_with_allowances",
+    "pair_durations",
+    "sequential_sum",
+]
+
+
+def sequential_sum(values: np.ndarray, initial: float = 0.0) -> float:
+    """Left-to-right float accumulation, matching a serial ``+=`` loop.
+
+    ``np.sum`` uses pairwise accumulation and returns different low bits;
+    this is the reduction the bit-identity contract requires.  ``initial``
+    seeds the accumulator (a loop whose first ``+=`` happens before the
+    per-element terms must keep that grouping: float addition does not
+    reassociate).
+    """
+    total = float(initial)
+    for v in values.tolist():
+        total += v
+    return total
+
+
+def pair_durations(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Per-interval lengths ``end - start`` (elementwise, exact)."""
+    if starts.size == 0:
+        return np.empty(0)
+    return np.diff(np.stack((starts, ends)), axis=0).ravel()
+
+
+def _as_window_arrays(
+    windows: Sequence[tuple[float, float]],
+) -> tuple[np.ndarray, np.ndarray]:
+    arr = np.asarray(windows, dtype=np.float64)
+    if arr.size == 0:
+        return np.empty(0), np.empty(0)
+    return np.ascontiguousarray(arr[:, 0]), np.ascontiguousarray(arr[:, 1])
+
+
+def _check_windows(starts: np.ndarray, ends: np.ndarray) -> None:
+    bad = np.flatnonzero(starts > ends)
+    if bad.size:
+        i = int(bad[0])
+        check_interval(float(starts[i]), float(ends[i]))
+
+
+def _group_bounds(
+    starts: np.ndarray, run_end: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """First/last member indices (and member→group map) of fused groups.
+
+    ``run_end`` is the running maximum of (possibly extended) end times;
+    a new group opens exactly where a start clears everything before it.
+    """
+    n = starts.size
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    np.greater(starts[1:], run_end[:-1], out=new_group[1:])
+    first = np.flatnonzero(new_group)
+    group_ids = np.cumsum(new_group) - 1
+    last = np.searchsorted(group_ids, np.arange(first.size), side="right") - 1
+    return first, last, group_ids
+
+
+def merge_windows(
+    windows: Sequence[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Vectorized :func:`repro._util.merge_intervals` (``gap=0``).
+
+    Sorts by ``(start, end)`` and fuses wherever a start does not exceed
+    the running maximum end — the same rule, same tie behaviour, same
+    float values as the scalar merge.
+    """
+    starts, ends = _as_window_arrays(windows)
+    if starts.size == 0:
+        return []
+    _check_windows(starts, ends)
+    order = np.lexsort((ends, starts))
+    starts = starts[order]
+    ends = ends[order]
+    run_end = np.maximum.accumulate(ends)
+    first, last, _ = _group_bounds(starts, run_end)
+    return list(zip(starts[first].tolist(), run_end[last].tolist()))
+
+
+def merge_windows_with_allowances(
+    windows: Sequence[tuple[float, float]],
+    window_tails: Sequence[float],
+) -> tuple[list[tuple[float, float]], list[float]]:
+    """Vectorized fast-dormancy merge: fuse windows, carry allowances.
+
+    A fused window keeps the tail allowance of the member that ends last;
+    ties take the larger allowance (the most permissive holder keeps the
+    radio up) — exactly the scalar rule in :mod:`repro.radio.rrc`.
+    """
+    starts, ends = _as_window_arrays(windows)
+    if starts.size == 0:
+        return [], []
+    tails = np.asarray(window_tails, dtype=np.float64)
+    order = np.argsort(starts, kind="stable")
+    starts = starts[order]
+    ends = ends[order]
+    tails = tails[order]
+    # Validate in iteration (sorted) order so the first offending window
+    # raises, matching the scalar loop's error behaviour.
+    bad = np.flatnonzero((starts > ends) | (tails < 0))
+    if bad.size:
+        i = int(bad[0])
+        check_interval(float(starts[i]), float(ends[i]))
+        raise ValueError(
+            f"window tail allowance must be >= 0, got {float(tails[i])}"
+        )
+    run_end = np.maximum.accumulate(ends)
+    first, last, group_ids = _group_bounds(starts, run_end)
+    merged_end = run_end[last]
+    # The carried allowance is the max over members achieving the fused
+    # window's final end (the scalar loop resets on a strictly later end
+    # and maxes on ties, which reduces to exactly this).
+    eligible = ends == merged_end[group_ids]
+    masked = np.where(eligible, tails, -np.inf)
+    allowances = np.maximum.reduceat(masked, first)
+    return (
+        list(zip(starts[first].tolist(), merged_end.tolist())),
+        allowances.tolist(),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayDecomposition:
+    """Per-window arrays of one RRC replay over disjoint sorted windows.
+
+    All arrays are parallel to the merged windows.  ``gaps[i]`` is the
+    idle time before the next window (``inf`` after the last);
+    ``budgets`` is the granted tail per window, split into ``dch_parts``
+    and ``fach_parts``; ``promo_fach``/``promo_idle`` flag which windows
+    are followed by a FACH→DCH or IDLE→DCH re-promotion (never the last).
+    """
+
+    starts: np.ndarray
+    ends: np.ndarray
+    durations: np.ndarray
+    gaps: np.ndarray
+    budgets: np.ndarray
+    dch_parts: np.ndarray
+    fach_parts: np.ndarray
+    promo_fach: np.ndarray
+    promo_idle: np.ndarray
+
+    @property
+    def n_windows(self) -> int:
+        """Number of merged transfer windows in the replay."""
+        return int(self.starts.size)
+
+
+def decompose_replay(
+    merged: Sequence[tuple[float, float]],
+    allowances: Sequence[float],
+    *,
+    tail_s: float,
+    dch_tail_s: float,
+) -> ReplayDecomposition:
+    """Vectorize one RRC walk over disjoint, sorted transfer windows.
+
+    Reproduces, per window ``i`` of the scalar machine::
+
+        gap      = start[i+1] - end[i]          (inf for the last)
+        budget   = min(gap, allowance[i], tail_s)
+        dch_part = min(budget, dch_tail_s)
+        fach     = dch_tail_s-exceeding gap still inside the FACH timer
+        idle     = gap past the (possibly truncated) tail entirely
+
+    as elementwise array passes with identical float results.
+    """
+    starts, ends = _as_window_arrays(merged)
+    n = starts.size
+    if n == 0:
+        empty = np.empty(0)
+        return ReplayDecomposition(
+            starts=empty,
+            ends=empty,
+            durations=empty,
+            gaps=empty,
+            budgets=empty,
+            dch_parts=empty,
+            fach_parts=empty,
+            promo_fach=np.empty(0, dtype=bool),
+            promo_idle=np.empty(0, dtype=bool),
+        )
+    allow = np.asarray(allowances, dtype=np.float64)
+    gaps = np.empty(n)
+    np.subtract(starts[1:], ends[:-1], out=gaps[:-1])
+    gaps[n - 1] = math.inf
+    budgets = np.minimum(np.minimum(gaps, allow), tail_s)
+    dch_parts = np.minimum(budgets, dch_tail_s)
+    fach_parts = budgets - dch_parts
+    has_next = np.ones(n, dtype=bool)
+    has_next[n - 1] = False
+    stay_dch = gaps <= np.minimum(allow, dch_tail_s)
+    within_tail = gaps <= np.minimum(allow, tail_s)
+    promo_fach = has_next & ~stay_dch & within_tail
+    promo_idle = has_next & ~within_tail
+    return ReplayDecomposition(
+        starts=starts,
+        ends=ends,
+        durations=pair_durations(starts, ends),
+        gaps=gaps,
+        budgets=budgets,
+        dch_parts=dch_parts,
+        fach_parts=fach_parts,
+        promo_fach=promo_fach,
+        promo_idle=promo_idle,
+    )
+
+
+def extend_by_tails(decomp: ReplayDecomposition) -> list[tuple[float, float]]:
+    """Radio-on intervals: windows extended by their tail budgets, fused.
+
+    Equivalent to extending each merged window to ``end + budget`` and
+    re-merging — windows whose gaps stay within the tail budget fuse into
+    one radio-on interval.
+    """
+    if decomp.n_windows == 0:
+        return []
+    extended = decomp.ends + decomp.budgets
+    run_end = np.maximum.accumulate(extended)
+    first, last, _ = _group_bounds(decomp.starts, run_end)
+    return list(zip(decomp.starts[first].tolist(), run_end[last].tolist()))

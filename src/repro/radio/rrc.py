@@ -28,7 +28,17 @@ import math
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence
 
-from repro._util import check_interval, check_positive, merge_intervals
+import numpy as np
+
+from repro._util import check_positive
+from repro.radio.intervals import (
+    ReplayDecomposition,
+    decompose_replay,
+    extend_by_tails,
+    merge_windows,
+    merge_windows_with_allowances,
+    sequential_sum,
+)
 from repro.radio.power import RadioPowerModel
 from repro.telemetry import metrics, tracer
 
@@ -134,7 +144,7 @@ def simulate(
         if not isinstance(tail_policy, FullTail):
             raise ValueError("window_tails cannot be combined with a custom tail_policy")
         return _simulate_per_window(windows, model, window_tails)
-    merged = merge_intervals(windows)
+    merged = merge_windows(windows)
     allowances = [tail_policy.max_tail_s()] * len(merged)
     return _run_machine(merged, model, allowances)
 
@@ -145,26 +155,7 @@ def _merge_with_allowances(
     """Merge overlapping windows, carrying each merged window's tail
     allowance: the allowance of the member that ends last (ties take the
     larger allowance — the most permissive holder keeps the radio up)."""
-    order = sorted(range(len(windows)), key=lambda i: windows[i][0])
-    merged: list[tuple[float, float]] = []
-    allowances: list[float] = []
-    for i in order:
-        start, end = float(windows[i][0]), float(windows[i][1])
-        check_interval(start, end)
-        tail = float(window_tails[i])
-        if tail < 0:
-            raise ValueError(f"window tail allowance must be >= 0, got {tail}")
-        if merged and start <= merged[-1][1]:
-            last_start, last_end = merged[-1]
-            if end > last_end:
-                merged[-1] = (last_start, end)
-                allowances[-1] = tail
-            elif end == last_end:
-                allowances[-1] = max(allowances[-1], tail)
-        else:
-            merged.append((start, end))
-            allowances.append(tail)
-    return merged, allowances
+    return merge_windows_with_allowances(windows, window_tails)
 
 
 def _simulate_per_window(
@@ -199,60 +190,48 @@ def _run_machine(
             state_energy_j={"transfer": 0.0, "tail": 0.0, "promo": 0.0},
         )
 
-    transfer_e = tail_e = promo_e = 0.0
-    transfer_s = tail_s = 0.0
-    promo_idle = promo_fach = 0
+    decomp = decompose_replay(
+        merged, allowances, tail_s=model.tail_s, dch_tail_s=model.dch_tail_s
+    )
 
-    # First window always promotes from IDLE.
-    promo_idle += 1
-    promo_e += model.promo_idle_energy_j
-    promo_s_total = model.promo_idle_dch_s
+    # Sequential left-to-right sums over the elementwise arrays: each
+    # accumulator reproduces the serial loop's float accumulation order
+    # exactly (see repro.radio.intervals for the bit-identity contract).
+    transfer_s = sequential_sum(decomp.durations)
+    transfer_e = sequential_sum(decomp.durations * model.p_dch_w)
+    tail_s = sequential_sum(decomp.budgets)
+    tail_e = sequential_sum(
+        decomp.dch_parts * model.p_dch_w + decomp.fach_parts * model.p_fach_w
+    )
 
-    for i, (start, end) in enumerate(merged):
-        allowance = allowances[i]
-        transfer_s += end - start
-        transfer_e += (end - start) * model.p_dch_w
-
-        gap = merged[i + 1][0] - end if i + 1 < len(merged) else math.inf
-        budget = min(gap, allowance, model.tail_s)
-        dch_part = min(budget, model.dch_tail_s)
-        fach_part = budget - dch_part
-        tail_s += budget
-        tail_e += dch_part * model.p_dch_w + fach_part * model.p_fach_w
-
-        if i + 1 < len(merged):
-            if gap <= min(allowance, model.dch_tail_s):
-                # Radio never left DCH: the whole gap was charged as tail,
-                # no re-promotion needed.
-                pass
-            elif gap <= min(allowance, model.tail_s):
-                # Demoted to FACH but not to IDLE.
-                promo_fach += 1
-                promo_e += model.promo_fach_energy_j
-                promo_s_total += model.promo_fach_dch_s
-            else:
-                # Fully idle (either timers expired or the policy cut the
-                # connection): promote from IDLE again.
-                promo_idle += 1
-                promo_e += model.promo_idle_energy_j
-                promo_s_total += model.promo_idle_dch_s
+    # First window always promotes from IDLE; re-promotions follow the
+    # per-gap classification.  The per-window energy/latency arrays keep
+    # the serial ordering of mixed FACH/IDLE promotion constants.
+    promo_idle = 1 + int(np.count_nonzero(decomp.promo_idle))
+    promo_fach = int(np.count_nonzero(decomp.promo_fach))
+    promo_e = sequential_sum(
+        np.where(
+            decomp.promo_fach,
+            model.promo_fach_energy_j,
+            np.where(decomp.promo_idle, model.promo_idle_energy_j, 0.0),
+        ),
+        initial=model.promo_idle_energy_j,
+    )
+    promo_s_total = sequential_sum(
+        np.where(
+            decomp.promo_fach,
+            model.promo_fach_dch_s,
+            np.where(decomp.promo_idle, model.promo_idle_dch_s, 0.0),
+        ),
+        initial=model.promo_idle_dch_s,
+    )
 
     if reg.enabled:
         reg.inc("radio.rrc.promotions_idle", promo_idle)
         reg.inc("radio.rrc.promotions_fach", promo_fach)
     trc = tracer()
     if trc.enabled:
-        # One span per DCH residency plus its (possibly truncated) tail,
-        # on the simulated-seconds timeline.
-        for i, (start, end) in enumerate(merged):
-            trc.record_span("dch", "rrc", start, end)
-            gap = merged[i + 1][0] - end if i + 1 < len(merged) else math.inf
-            budget = min(gap, allowances[i], model.tail_s)
-            dch_part = min(budget, model.dch_tail_s)
-            if dch_part > 0:
-                trc.record_span("tail-dch", "rrc", end, end + dch_part)
-            if budget > dch_part:
-                trc.record_span("tail-fach", "rrc", end + dch_part, end + budget)
+        _record_rrc_spans(trc, decomp)
 
     radio_on = transfer_s + tail_s + promo_s_total
     return EnergyReport(
@@ -265,6 +244,23 @@ def _run_machine(
         window_count=len(merged),
         state_energy_j={"transfer": transfer_e, "tail": tail_e, "promo": promo_e},
     )
+
+
+def _record_rrc_spans(trc, decomp: ReplayDecomposition) -> None:
+    """One span per DCH residency plus its (possibly truncated) tail,
+    on the simulated-seconds timeline."""
+    rows = zip(
+        decomp.starts.tolist(),
+        decomp.ends.tolist(),
+        decomp.budgets.tolist(),
+        decomp.dch_parts.tolist(),
+    )
+    for start, end, budget, dch_part in rows:
+        trc.record_span("dch", "rrc", start, end)
+        if dch_part > 0:
+            trc.record_span("tail-dch", "rrc", end, end + dch_part)
+        if budget > dch_part:
+            trc.record_span("tail-fach", "rrc", end + dch_part, end + budget)
 
 
 def radio_on_intervals(
@@ -293,11 +289,9 @@ def radio_on_intervals(
             raise ValueError("window_tails cannot be combined with a custom tail_policy")
         merged, allowances = _merge_with_allowances(windows, window_tails)
     else:
-        merged = merge_intervals(windows)
+        merged = merge_windows(windows)
         allowances = [tail_policy.max_tail_s()] * len(merged)
-    extended = []
-    for i, (start, end) in enumerate(merged):
-        gap = merged[i + 1][0] - end if i + 1 < len(merged) else math.inf
-        budget = min(gap, allowances[i], model.tail_s)
-        extended.append((start, end + budget))
-    return merge_intervals(extended)
+    decomp = decompose_replay(
+        merged, allowances, tail_s=model.tail_s, dch_tail_s=model.dch_tail_s
+    )
+    return extend_by_tails(decomp)

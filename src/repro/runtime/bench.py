@@ -1,23 +1,31 @@
 """Perf benchmark harness: the numbers behind ``BENCH_perf.json``.
 
-Times the three hot paths the runtime layer optimizes and writes a JSON
-report so subsequent PRs can track the perf trajectory:
+Times the hot paths the runtime layer optimizes — one section per
+optimization tier — and writes a JSON report so subsequent PRs can track
+the perf trajectory:
 
 * **cohort generation** — cold (cache cleared) vs warm (in-process LRU
-  hit) for the paper's 8-user cohort;
+  hit) vs disk-warm (LRU dropped, rehydrated from the on-disk store)
+  for the paper's 8-user cohort;
 * **policy sweep** — a Fig. 7-style (user × policy) grid at 1 and N
-  workers, with a cross-check that every worker count produces identical
-  energy totals;
-* **FPTAS batch** — a batch of ``knapsack_fptas`` solves on random
-  instances (exercises the packed-bits DP take table).
+  workers with chunked dispatch and content-addressed trace shipping,
+  plus a cross-check that every worker count produces identical energy
+  totals.  ``parallel_regression`` flags runs where the workers lost to
+  the serial loop (expected when ``cpu_count == 1``);
+* **FPTAS batch** — the per-slot solver tier: scalar-loop vs batched
+  kernel vs memo-warm batched kernel on identical random instances;
+* **replay kernel** — the vectorized RRC interval engine
+  (:func:`repro.radio.simulate`) on synthetic window lists.
 
 Run it directly::
 
     python -m repro.runtime.bench --jobs 2 --out BENCH_perf.json
     python -m repro.runtime.bench --quick --check   # CI smoke mode
+    python -m repro.runtime.bench --quick --compare BENCH_perf.json
 
 ``--check`` exits non-zero unless the warm-cache cohort path beat the
-cold path — the invariant the CI perf smoke step asserts.
+cold path; ``--compare`` exits non-zero on a >2x regression in solver
+throughput or warm-cohort time versus a committed report.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -38,11 +47,12 @@ from repro.baselines import (
     NetMasterPolicy,
     OraclePolicy,
 )
-from repro.core.knapsack import knapsack_fptas
+from repro.core.knapsack import SolutionMemo, knapsack_fptas, knapsack_fptas_batch
 from repro.core.netmaster import NetMasterConfig
 from repro.evaluation.experiments import split_history
+from repro.radio import simulate
 from repro.radio.power import wcdma_model
-from repro.runtime.cache import cache_stats, clear_cache, default_cache
+from repro.runtime.cache import cache_stats, clear_cache, configure_cache, default_cache
 from repro.runtime.parallel import PolicyTask, run_policy_tasks
 from repro.traces.generator import generate_cohort
 
@@ -59,11 +69,18 @@ def _timed(fn) -> tuple[float, object]:
 
 
 def bench_cohort(n_days: int = 21, seed: int = 2014, warm_repeats: int = 3) -> dict:
-    """Cold vs warm cohort generation through the content-addressed cache."""
+    """Cold vs warm vs disk-warm cohort generation through the cache.
+
+    The disk-warm phase drops the in-process LRU and regenerates, so the
+    cohort must come back from the on-disk JSONL store — the same path
+    pool workers use to rehydrate shipped traces.  Requires the caller
+    to have configured a cache dir (``--cache-dir`` / ``run_bench``);
+    without one the disk fields are ``None``.
+    """
     cache = default_cache()
     was_enabled = cache.enabled
     cache.enabled = True
-    clear_cache()
+    clear_cache(disk=cache.cache_dir is not None)
     try:
         cold_s, cohort = _timed(lambda: generate_cohort(n_days, seed=seed))
         warm_times = []
@@ -72,13 +89,22 @@ def bench_cohort(n_days: int = 21, seed: int = 2014, warm_repeats: int = 3) -> d
             warm_times.append(warm_s)
         warm_s = min(warm_times)
         assert [t.user_id for t in again] == [t.user_id for t in cohort]
+        disk_warm_s = None
+        if cache.cache_dir is not None:
+            cache.clear()  # drop the LRU only; the JSONL store survives
+            disk_warm_s, from_disk = _timed(lambda: generate_cohort(n_days, seed=seed))
+            assert [t.user_id for t in from_disk] == [t.user_id for t in cohort]
+        stats = cache_stats()
         return {
             "n_days": n_days,
             "n_users": len(cohort),
             "cold_s": cold_s,
             "warm_s": warm_s,
             "warm_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
-            "cache": cache_stats(),
+            "disk_warm_s": disk_warm_s,
+            "disk_stores": stats["disk_stores"],
+            "disk_hits": stats["disk_hits"],
+            "cache": stats,
         }
     finally:
         cache.enabled = was_enabled
@@ -126,6 +152,14 @@ def bench_policy_sweep(
             "parallel policy sweep diverged from the serial sweep "
             f"(jobs={jobs}); determinism contract broken"
         )
+    regression = parallel_s > serial_s
+    if regression:
+        print(
+            f"WARNING: parallel sweep regression — jobs={jobs} took "
+            f"{parallel_s:.3f}s vs {serial_s:.3f}s serial "
+            f"(cpu_count={os.cpu_count()}); expected on single-core hosts",
+            file=sys.stderr,
+        )
     return {
         "n_tasks": len(tasks),
         "n_users": len(cohort),
@@ -134,6 +168,7 @@ def bench_policy_sweep(
         "serial_s": serial_s,
         "parallel_s": parallel_s,
         "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        "parallel_regression": regression,
         "identical_results": True,
     }
 
@@ -141,7 +176,16 @@ def bench_policy_sweep(
 def bench_fptas_batch(
     n_solves: int = 40, n_items: int = 120, eps: float = 0.05, seed: int = 11
 ) -> dict:
-    """A batch of FPTAS solves (the per-slot SinKnap hot path)."""
+    """The per-slot SinKnap solver tier, measured three ways.
+
+    ``solves_per_s`` (the headline trajectory number) times the
+    single-solve loop — the same workload every committed
+    ``BENCH_perf.json`` measured — now running on the numpy rolling-array
+    DP.  ``batch_solves_per_s`` times :func:`knapsack_fptas_batch` on the
+    same instances, and ``memo_warm_solves_per_s`` re-runs the batch
+    against a warm :class:`SolutionMemo` (the ``solve_overlapped``
+    steady state, where repeated slot itemsets skip the DP entirely).
+    """
     rng = np.random.default_rng(seed)
     instances = []
     for _ in range(n_solves):
@@ -156,13 +200,69 @@ def bench_fptas_batch(
         )
 
     batch_s, total_profit = _timed(solve_all)
+
+    memo = SolutionMemo()
+    batched_s, batched = _timed(
+        lambda: knapsack_fptas_batch(instances, eps=eps, memo=memo)
+    )
+    memo_s, memoed = _timed(
+        lambda: knapsack_fptas_batch(instances, eps=eps, memo=memo)
+    )
+    batched_profit = sum(sol.profit for sol in batched)
+    if batched_profit != total_profit or batched_profit != sum(
+        sol.profit for sol in memoed
+    ):
+        raise AssertionError(
+            "batched/memoized FPTAS diverged from the single-solve loop"
+        )
+
+    def rate(elapsed: float) -> float:
+        return n_solves / elapsed if elapsed > 0 else float("inf")
+
     return {
         "n_solves": n_solves,
         "n_items": n_items,
         "eps": eps,
         "batch_s": batch_s,
-        "solves_per_s": n_solves / batch_s if batch_s > 0 else float("inf"),
+        "solves_per_s": rate(batch_s),
+        "batch_solves_per_s": rate(batched_s),
+        "memo_warm_solves_per_s": rate(memo_s),
+        "memo_entries": len(memo),
         "total_profit": total_profit,
+    }
+
+
+def bench_replay_kernel(
+    n_sims: int = 200, n_windows: int = 400, seed: int = 5
+) -> dict:
+    """The vectorized RRC interval engine on synthetic window lists.
+
+    Draws one day of Poisson-ish transfer windows and replays it
+    ``n_sims`` times through :func:`repro.radio.simulate` — the tier-2
+    hot path under every policy evaluation day.
+    """
+    rng = np.random.default_rng(seed)
+    starts = np.sort(rng.uniform(0.0, 86_400.0, n_windows))
+    durations = rng.uniform(0.5, 30.0, n_windows)
+    windows = [(float(s), float(s + d)) for s, d in zip(starts, durations)]
+    model = wcdma_model()
+
+    def replay_all() -> float:
+        energy = 0.0
+        for _ in range(n_sims):
+            energy += simulate(windows, model).energy_j
+        return energy
+
+    replay_s, total_energy = _timed(replay_all)
+    return {
+        "n_sims": n_sims,
+        "n_windows": n_windows,
+        "replay_s": replay_s,
+        "sims_per_s": n_sims / replay_s if replay_s > 0 else float("inf"),
+        "windows_per_s": (
+            n_sims * n_windows / replay_s if replay_s > 0 else float("inf")
+        ),
+        "total_energy_j": total_energy,
     }
 
 
@@ -176,20 +276,38 @@ def run_bench(
     *,
     jobs: int = 2,
     quick: bool = False,
+    cache_dir: str | Path | None = None,
 ) -> dict:
     """Run every perf benchmark and (optionally) write ``BENCH_perf.json``.
 
     ``quick`` shrinks the workloads for CI smoke runs; the structure of
-    the report is identical so trend tooling can read both.
+    the report is identical so trend tooling can read both.  The run
+    uses ``cache_dir`` as the on-disk trace store (a throwaway temp dir
+    when ``None``) so the disk-store and trace-shipping paths are always
+    exercised; the previous cache configuration is restored afterwards.
     """
-    if quick:
-        cohort = bench_cohort(n_days=7, warm_repeats=2)
-        sweep = bench_policy_sweep(jobs=jobs, n_days=14, n_history_days=10)
-        fptas = bench_fptas_batch(n_solves=10, n_items=60)
-    else:
-        cohort = bench_cohort()
-        sweep = bench_policy_sweep(jobs=jobs)
-        fptas = bench_fptas_batch()
+    cache = default_cache()
+    prev_dir = cache.cache_dir
+    tmp = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        cache_dir = tmp.name
+    configure_cache(cache_dir=cache_dir)
+    try:
+        if quick:
+            cohort = bench_cohort(n_days=7, warm_repeats=2)
+            sweep = bench_policy_sweep(jobs=jobs, n_days=14, n_history_days=10)
+            fptas = bench_fptas_batch(n_solves=10, n_items=60)
+            replay = bench_replay_kernel(n_sims=50, n_windows=200)
+        else:
+            cohort = bench_cohort()
+            sweep = bench_policy_sweep(jobs=jobs)
+            fptas = bench_fptas_batch()
+            replay = bench_replay_kernel()
+    finally:
+        configure_cache(cache_dir=prev_dir)
+        if tmp is not None:
+            tmp.cleanup()
     report = {
         "schema": 1,
         "quick": quick,
@@ -199,10 +317,39 @@ def run_bench(
         "cohort_generation": cohort,
         "policy_sweep": sweep,
         "fptas_batch": fptas,
+        "replay_kernel": replay,
     }
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
     return report
+
+
+def compare_reports(fresh: dict, baseline: dict, *, factor: float = 2.0) -> list[str]:
+    """Regressions of ``fresh`` vs a committed ``baseline`` report.
+
+    Returns human-readable failure strings for every tracked metric that
+    regressed by more than ``factor`` — solver throughput
+    (``fptas_batch.solves_per_s``, lower is worse) and warm-cache cohort
+    time (``cohort_generation.warm_s``, higher is worse).  Workload
+    sizes may differ between quick and full reports, which only makes
+    the check lenient (smaller instances run faster), never flaky.
+    """
+    failures = []
+    fresh_rate = fresh["fptas_batch"]["solves_per_s"]
+    base_rate = baseline["fptas_batch"]["solves_per_s"]
+    if fresh_rate < base_rate / factor:
+        failures.append(
+            f"fptas_batch.solves_per_s regressed >{factor:g}x: "
+            f"{fresh_rate:.1f}/s vs committed {base_rate:.1f}/s"
+        )
+    fresh_warm = fresh["cohort_generation"]["warm_s"]
+    base_warm = baseline["cohort_generation"]["warm_s"]
+    if fresh_warm > base_warm * factor:
+        failures.append(
+            f"cohort_generation.warm_s regressed >{factor:g}x: "
+            f"{fresh_warm:.4f}s vs committed {base_warm:.4f}s"
+        )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -221,31 +368,73 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit non-zero unless warm-cache cohort generation beat cold",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk trace store for the run (default: throwaway temp dir)",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="PATH",
+        help="committed BENCH_perf.json to diff against; exit non-zero on "
+        "a >2x regression in solver throughput or warm-cohort time",
+    )
     args = parser.parse_args(argv)
-    report = run_bench(args.out, jobs=args.jobs, quick=args.quick)
+    report = run_bench(
+        args.out, jobs=args.jobs, quick=args.quick, cache_dir=args.cache_dir
+    )
     cohort = report["cohort_generation"]
     sweep = report["policy_sweep"]
     fptas = report["fptas_batch"]
+    replay = report["replay_kernel"]
+    disk_warm = (
+        f", disk-warm {cohort['disk_warm_s']:.4f}s"
+        if cohort["disk_warm_s"] is not None
+        else ""
+    )
     print(
         f"cohort generation: cold {cohort['cold_s']:.3f}s, "
         f"warm {cohort['warm_s']:.4f}s ({cohort['warm_speedup']:.1f}x)"
+        f"{disk_warm} [disk stores {cohort['disk_stores']}, "
+        f"hits {cohort['disk_hits']}]"
     )
     print(
         f"policy sweep ({sweep['n_tasks']} tasks): serial {sweep['serial_s']:.3f}s, "
         f"jobs={sweep['jobs']} {sweep['parallel_s']:.3f}s ({sweep['speedup']:.2f}x)"
+        + (" [PARALLEL REGRESSION]" if sweep["parallel_regression"] else "")
     )
     print(
         f"fptas batch: {fptas['n_solves']} solves in {fptas['batch_s']:.3f}s "
-        f"({fptas['solves_per_s']:.1f}/s)"
+        f"({fptas['solves_per_s']:.1f}/s single, "
+        f"{fptas['batch_solves_per_s']:.1f}/s batched, "
+        f"{fptas['memo_warm_solves_per_s']:.1f}/s memo-warm)"
+    )
+    print(
+        f"replay kernel: {replay['n_sims']} sims x {replay['n_windows']} windows "
+        f"in {replay['replay_s']:.3f}s ({replay['sims_per_s']:.1f} sims/s)"
     )
     print(f"report written to {args.out}")
+    failed = False
     if args.check and cohort["warm_s"] >= cohort["cold_s"]:
         print(
             "PERF CHECK FAILED: warm-cache cohort generation was not faster than cold",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if args.compare is not None:
+        try:
+            baseline = json.loads(Path(args.compare).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read --compare report {args.compare}: {exc}", file=sys.stderr)
+            return 2
+        failures = compare_reports(report, baseline)
+        for failure in failures:
+            print(f"PERF CHECK FAILED: {failure}", file=sys.stderr)
+        failed = failed or bool(failures)
+        if not failures:
+            print(f"perf comparison vs {args.compare}: no >2x regressions")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -57,6 +57,23 @@ DEFAULT_MAX_ENTRIES = 32
 _DISK_FORMAT_VERSION = 1
 
 
+@dataclass(frozen=True)
+class TraceRef:
+    """Content-addressed provenance of a trace served by the cache.
+
+    ``generate_cohort`` tags every trace it returns with one of these
+    (``trace.cache_ref``); ``Trace.day_view`` propagates the tag with the
+    day index filled in.  The parallel runner ships refs instead of
+    pickled traces whenever the on-disk store holds the cohort — workers
+    then rehydrate from disk once per process instead of receiving the
+    same trace bytes in every task.
+    """
+
+    key: str
+    user_index: int
+    day_index: int | None = None
+
+
 # ----------------------------------------------------------------------
 # digests
 # ----------------------------------------------------------------------
@@ -230,6 +247,15 @@ class TraceCache:
         self.put(key, traces)
         return traces
 
+    def has_disk_entry(self, key: str) -> bool:
+        """Whether the on-disk store holds a (complete) entry for ``key``.
+
+        Only the manifest's presence is checked — a stored entry is
+        written atomically, so a manifest implies complete trace files.
+        """
+        entry = self._entry_dir(key)
+        return entry is not None and (entry / "manifest.json").exists()
+
     def clear(self, *, disk: bool = False) -> None:
         """Drop the in-memory LRU (and optionally the on-disk store)."""
         self._memory.clear()
@@ -378,6 +404,19 @@ def configure_cache(
     if cache_dir is not ...:
         cache.cache_dir = Path(cache_dir) if cache_dir is not None else None
     return cache
+
+
+def read_disk_cohort(cache_dir: str | Path, key: str) -> list[Trace] | None:
+    """Load a cohort straight from an on-disk store directory.
+
+    The worker-side rehydration entry point for shipped
+    :class:`TraceRef` handles: reads the JSONL entry without touching
+    the process-default cache or any telemetry counters, so rehydrating
+    in a pool worker cannot perturb the merged-registry determinism
+    contract.  Returns ``None`` when the entry is missing or corrupt.
+    """
+    reader = TraceCache(cache_dir=Path(cache_dir))
+    return reader._disk_load(key)
 
 
 def cache_stats() -> dict[str, int]:

@@ -244,7 +244,7 @@ class Trace:
             AppUsage(u.time + shift, u.app, u.duration) for u in self.usages if lo <= u.time < hi
         ]
         activities = [a.moved_to(a.time + shift) for a in self.activities if lo <= a.time < hi]
-        return Trace(
+        view = Trace(
             user_id=self.user_id,
             n_days=1,
             start_weekday=(self.start_weekday + day_index) % 7,
@@ -252,6 +252,12 @@ class Trace:
             usages=usages,
             activities=activities,
         )
+        # Propagate content-addressed provenance (set by generate_cohort)
+        # so a day view can be shipped as a (cohort key, user, day) ref.
+        ref = getattr(self, "cache_ref", None)
+        if ref is not None and ref.day_index is None:
+            view.cache_ref = replace(ref, day_index=day_index)
+        return view
 
     def days(self) -> Iterator["Trace"]:
         """Iterate single-day sub-traces, in order."""

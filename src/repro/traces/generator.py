@@ -298,13 +298,19 @@ def generate_cohort(
 
     # Imported lazily so the trace substrate has no hard runtime-package
     # dependency at import time.
-    from repro.runtime.cache import cohort_cache_key, default_cache
+    from repro.runtime.cache import TraceRef, cohort_cache_key, default_cache
 
     cache = default_cache()
     key = cohort_cache_key(profiles, seed, n_days, start_weekday)
     if key is None or not cache.enabled:
         return build()
-    return cache.get_or_generate(key, build)
+    cohort = cache.get_or_generate(key, build)
+    # Tag each trace with its content-addressed provenance so downstream
+    # fan-outs can ship a reference instead of the trace itself (workers
+    # rehydrate from the on-disk store; see runtime.parallel).
+    for user_index, trace in enumerate(cohort):
+        trace.cache_ref = TraceRef(key=key, user_index=user_index)
+    return cohort
 
 
 def generate_volunteers(

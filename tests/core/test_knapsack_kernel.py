@@ -1,0 +1,171 @@
+"""Vectorized knapsack kernel vs a pure-Python reference DP.
+
+The numpy rolling-array DP in ``core.knapsack`` must match the scalar
+min-weight-per-profit DP (the pre-kernel implementation, ported here as
+the reference) *exactly* — same chosen indices, bit-identical profit and
+weight — on randomized seeded instances and on the degenerate edges:
+zero-profit itemsets, single items, capacity 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.knapsack import (
+    KnapsackSolution,
+    SolutionMemo,
+    knapsack_fptas,
+    knapsack_fptas_batch,
+)
+
+
+# ----------------------------------------------------------------------
+# reference implementation (scalar port of the pre-kernel solver)
+# ----------------------------------------------------------------------
+
+
+def _reference_profit_dp(
+    int_profits: list[int], weights: list[float], capacity: float
+) -> list[int]:
+    """O(n · Σprofit) min-weight DP with an explicit take table."""
+    n = len(int_profits)
+    total = sum(int_profits)
+    if total == 0:
+        return []
+    inf = float("inf")
+    dp = [inf] * (total + 1)
+    dp[0] = 0.0
+    take = [[False] * (total + 1) for _ in range(n)]
+    for i in range(n):
+        q, w = int_profits[i], weights[i]
+        if q == 0:
+            continue
+        for p in range(total, q - 1, -1):
+            cand = dp[p - q] + w
+            if cand < dp[p]:
+                dp[p] = cand
+                take[i][p] = True
+    best_q = max(p for p in range(total + 1) if dp[p] <= capacity)
+    chosen: list[int] = []
+    p = best_q
+    for i in range(n - 1, -1, -1):
+        if p > 0 and take[i][p]:
+            chosen.append(i)
+            p -= int_profits[i]
+    assert p == 0, "reference reconstruction failed"
+    return chosen
+
+
+def _reference_fptas(
+    profits: np.ndarray, weights: np.ndarray, capacity: float, eps: float
+) -> KnapsackSolution:
+    """The pre-kernel ``knapsack_fptas`` pipeline over the reference DP."""
+    usable = weights <= capacity
+    sub_idx = np.nonzero(usable)[0]
+    sub_profits = profits[usable]
+    sub_weights = weights[usable]
+    if sub_profits.size == 0 or sub_profits.max() == 0.0:
+        chosen: list[int] = []
+    else:
+        scale = eps * float(sub_profits.max()) / sub_profits.size
+        scaled = np.floor(sub_profits / scale).astype(np.int64)
+        chosen_sub = _reference_profit_dp(
+            [int(q) for q in scaled], [float(w) for w in sub_weights], capacity
+        )
+        chosen = [int(sub_idx[i]) for i in chosen_sub]
+    idx = tuple(sorted(chosen))
+    return KnapsackSolution(
+        indices=idx,
+        profit=float(profits[list(idx)].sum()) if idx else 0.0,
+        weight=float(weights[list(idx)].sum()) if idx else 0.0,
+    )
+
+
+def _assert_same(actual: KnapsackSolution, expected: KnapsackSolution) -> None:
+    assert actual.indices == expected.indices
+    # Bit-identical, not approx: both sum the same items in index order.
+    assert actual.profit == expected.profit
+    assert actual.weight == expected.weight
+
+
+def _random_instance(rng: np.random.Generator):
+    n = int(rng.integers(1, 15))
+    profits = rng.uniform(0.0, 30.0, n)
+    if rng.random() < 0.2:  # sprinkle exact-zero profits
+        profits[rng.integers(0, n)] = 0.0
+    weights = rng.uniform(0.0, 10.0, n)
+    capacity = float(weights.sum()) * float(rng.uniform(0.0, 1.1))
+    return profits, weights, capacity
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("eps", [0.5, 0.25, 0.1])
+def test_numpy_dp_matches_reference_randomized(seed, eps):
+    rng = np.random.default_rng(1000 + seed)
+    for _ in range(20):
+        profits, weights, capacity = _random_instance(rng)
+        actual = knapsack_fptas(profits, weights, capacity, eps=eps)
+        expected = _reference_fptas(profits, weights, capacity, eps)
+        _assert_same(actual, expected)
+
+
+def test_zero_profit_itemset():
+    sol = knapsack_fptas([0.0, 0.0, 0.0], [1.0, 2.0, 3.0], 10.0, eps=0.1)
+    assert sol.indices == ()
+    assert sol.profit == 0.0
+
+
+def test_single_item_fits():
+    sol = knapsack_fptas([5.0], [2.0], 3.0, eps=0.1)
+    _assert_same(sol, _reference_fptas(np.array([5.0]), np.array([2.0]), 3.0, 0.1))
+    assert sol.indices == (0,)
+
+
+def test_single_item_too_heavy():
+    sol = knapsack_fptas([5.0], [4.0], 3.0, eps=0.1)
+    assert sol.indices == ()
+
+
+def test_capacity_zero():
+    profits = np.array([3.0, 1.0, 4.0])
+    weights = np.array([1.0, 0.0, 2.0])
+    sol = knapsack_fptas(profits, weights, 0.0, eps=0.1)
+    _assert_same(sol, _reference_fptas(profits, weights, 0.0, 0.1))
+    # Only the weightless item is packable.
+    assert sol.indices == (1,)
+
+
+def test_batch_matches_single_solves():
+    rng = np.random.default_rng(77)
+    problems = [_random_instance(rng) for _ in range(12)]
+    batch = knapsack_fptas_batch(problems, eps=0.2)
+    for (p, w, c), sol in zip(problems, batch):
+        _assert_same(sol, knapsack_fptas(p, w, c, eps=0.2))
+
+
+def test_memo_returns_identical_solutions():
+    rng = np.random.default_rng(5)
+    problems = [_random_instance(rng) for _ in range(6)]
+    memo = SolutionMemo()
+    cold = knapsack_fptas_batch(problems, eps=0.2, memo=memo)
+    assert memo.hits == 0
+    warm = knapsack_fptas_batch(problems, eps=0.2, memo=memo)
+    assert memo.hits == len(problems)
+    for a, b in zip(cold, warm):
+        _assert_same(b, a)
+
+
+def test_memo_distinguishes_eps_and_capacity():
+    memo = SolutionMemo()
+    profits, weights = np.array([3.0, 4.0]), np.array([1.0, 2.0])
+    knapsack_fptas_batch([(profits, weights, 2.0)], eps=0.2, memo=memo)
+    knapsack_fptas_batch([(profits, weights, 3.0)], eps=0.2, memo=memo)
+    knapsack_fptas_batch([(profits, weights, 2.0)], eps=0.1, memo=memo)
+    assert memo.hits == 0
+    assert len(memo) == 3

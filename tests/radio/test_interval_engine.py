@@ -1,0 +1,251 @@
+"""Vectorized RRC interval engine vs the scalar reference walk.
+
+``radio.intervals`` (merge → ``np.maximum.accumulate`` tail extension →
+``np.diff``/``np.searchsorted`` state sums) replaced the per-window
+Python loops in ``radio.rrc``.  The replacement must be *bit-identical*:
+every :class:`EnergyReport` field and every radio-on interval produced
+through :func:`simulate`/:func:`radio_on_intervals` has to equal the
+pre-kernel scalar implementation (ported below as the reference) on
+randomized seeded schedules and on the degenerate edges — empty input,
+a single window, zero-length windows, zero/infinite tail allowances.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.radio import (
+    FullTail,
+    TruncatedTail,
+    lte_model,
+    radio_on_intervals,
+    simulate,
+    wcdma_model,
+)
+from repro.radio.intervals import merge_windows, merge_windows_with_allowances
+
+MODELS = [wcdma_model(), lte_model()]
+
+
+# ----------------------------------------------------------------------
+# reference implementation (scalar port of the pre-kernel machine)
+# ----------------------------------------------------------------------
+
+
+def _reference_merge(windows):
+    merged = []
+    for start, end in sorted((float(s), float(e)) for s, e in windows):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _reference_merge_with_allowances(windows, window_tails):
+    order = sorted(range(len(windows)), key=lambda i: windows[i][0])
+    merged, allowances = [], []
+    for i in order:
+        start, end = float(windows[i][0]), float(windows[i][1])
+        tail = float(window_tails[i])
+        if merged and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            if end > last_end:
+                merged[-1] = (last_start, end)
+                allowances[-1] = tail
+            elif end == last_end:
+                allowances[-1] = max(allowances[-1], tail)
+        else:
+            merged.append((start, end))
+            allowances.append(tail)
+    return merged, allowances
+
+
+def _reference_machine(merged, model, allowances):
+    """The pre-kernel ``_run_machine`` accounting loop, verbatim."""
+    if not merged:
+        return {
+            "energy_j": 0.0,
+            "radio_on_s": 0.0,
+            "transfer_s": 0.0,
+            "tail_s": 0.0,
+            "promo_idle_count": 0,
+            "promo_fach_count": 0,
+            "state_energy_j": {"transfer": 0.0, "tail": 0.0, "promo": 0.0},
+        }
+    transfer_e = tail_e = promo_e = 0.0
+    transfer_s = tail_s = 0.0
+    promo_idle = promo_fach = 0
+    promo_idle += 1
+    promo_e += model.promo_idle_energy_j
+    promo_s_total = model.promo_idle_dch_s
+    for i, (start, end) in enumerate(merged):
+        allowance = allowances[i]
+        transfer_s += end - start
+        transfer_e += (end - start) * model.p_dch_w
+        gap = merged[i + 1][0] - end if i + 1 < len(merged) else math.inf
+        budget = min(gap, allowance, model.tail_s)
+        dch_part = min(budget, model.dch_tail_s)
+        fach_part = budget - dch_part
+        tail_s += budget
+        tail_e += dch_part * model.p_dch_w + fach_part * model.p_fach_w
+        if i + 1 < len(merged):
+            if gap <= min(allowance, model.dch_tail_s):
+                pass
+            elif gap <= min(allowance, model.tail_s):
+                promo_fach += 1
+                promo_e += model.promo_fach_energy_j
+                promo_s_total += model.promo_fach_dch_s
+            else:
+                promo_idle += 1
+                promo_e += model.promo_idle_energy_j
+                promo_s_total += model.promo_idle_dch_s
+    return {
+        "energy_j": transfer_e + tail_e + promo_e,
+        "radio_on_s": transfer_s + tail_s + promo_s_total,
+        "transfer_s": transfer_s,
+        "tail_s": tail_s,
+        "promo_idle_count": promo_idle,
+        "promo_fach_count": promo_fach,
+        "state_energy_j": {"transfer": transfer_e, "tail": tail_e, "promo": promo_e},
+    }
+
+
+def _reference_radio_on(merged, model, allowances):
+    extended = []
+    for i, (start, end) in enumerate(merged):
+        gap = merged[i + 1][0] - end if i + 1 < len(merged) else math.inf
+        budget = min(gap, allowances[i], model.tail_s)
+        extended.append((start, end + budget))
+    return _reference_merge(extended)
+
+
+def _assert_report_matches(report, expected):
+    # Exact equality throughout: the engine contract is bit-identity,
+    # not approximation.
+    assert report.energy_j == expected["energy_j"]
+    assert report.radio_on_s == expected["radio_on_s"]
+    assert report.transfer_s == expected["transfer_s"]
+    assert report.tail_s == expected["tail_s"]
+    assert report.promo_idle_count == expected["promo_idle_count"]
+    assert report.promo_fach_count == expected["promo_fach_count"]
+    assert report.state_energy_j == expected["state_energy_j"]
+
+
+def _random_windows(rng: np.random.Generator):
+    n = int(rng.integers(1, 25))
+    starts = rng.uniform(0.0, 600.0, n)
+    durations = rng.uniform(0.0, 40.0, n)  # includes zero-length windows
+    return [(float(s), float(s + d)) for s, d in zip(starts, durations)]
+
+
+def _random_tails(rng: np.random.Generator, n: int):
+    mode = rng.integers(0, 4)
+    if mode == 0:
+        return [0.0] * n
+    if mode == 1:
+        return [math.inf] * n
+    if mode == 2:
+        return [float(t) for t in rng.uniform(0.0, 20.0, n)]
+    tails = [float(t) for t in rng.uniform(0.0, 20.0, n)]
+    for i in range(n):
+        if rng.random() < 0.3:
+            tails[i] = math.inf
+    return tails
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(10))
+@pytest.mark.parametrize("model", MODELS, ids=["wcdma", "lte"])
+def test_simulate_matches_reference_randomized(seed, model):
+    rng = np.random.default_rng(2000 + seed)
+    for _ in range(25):
+        windows = _random_windows(rng)
+        merged = _reference_merge(windows)
+        expected = _reference_machine(merged, model, [math.inf] * len(merged))
+        _assert_report_matches(simulate(windows, model), expected)
+
+
+@pytest.mark.parametrize("seed", range(10))
+@pytest.mark.parametrize("model", MODELS, ids=["wcdma", "lte"])
+def test_per_window_tails_match_reference_randomized(seed, model):
+    rng = np.random.default_rng(3000 + seed)
+    for _ in range(25):
+        windows = _random_windows(rng)
+        tails = _random_tails(rng, len(windows))
+        merged, allowances = _reference_merge_with_allowances(windows, tails)
+        expected = _reference_machine(merged, model, allowances)
+        _assert_report_matches(
+            simulate(windows, model, window_tails=tails), expected
+        )
+        assert radio_on_intervals(
+            windows, model, window_tails=tails
+        ) == _reference_radio_on(merged, model, allowances)
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("model", MODELS, ids=["wcdma", "lte"])
+def test_radio_on_intervals_match_reference(seed, model):
+    rng = np.random.default_rng(4000 + seed)
+    for _ in range(25):
+        windows = _random_windows(rng)
+        merged = _reference_merge(windows)
+        for policy in (FullTail(), TruncatedTail(0.0), TruncatedTail(2.5)):
+            allowances = [policy.max_tail_s()] * len(merged)
+            assert radio_on_intervals(
+                windows, model, policy
+            ) == _reference_radio_on(merged, model, allowances)
+
+
+def test_merge_windows_matches_reference():
+    rng = np.random.default_rng(9)
+    for _ in range(50):
+        windows = _random_windows(rng)
+        assert merge_windows(windows) == _reference_merge(windows)
+
+
+def test_merge_with_allowances_matches_reference():
+    rng = np.random.default_rng(10)
+    for _ in range(50):
+        windows = _random_windows(rng)
+        tails = _random_tails(rng, len(windows))
+        assert merge_windows_with_allowances(
+            windows, tails
+        ) == _reference_merge_with_allowances(windows, tails)
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        for model in MODELS:
+            report = simulate([], model)
+            assert report.energy_j == 0.0
+            assert report.window_count == 0
+            assert radio_on_intervals([], model) == []
+
+    def test_single_window(self):
+        model = MODELS[0]
+        expected = _reference_machine([(5.0, 9.0)], model, [math.inf])
+        _assert_report_matches(simulate([(5.0, 9.0)], model), expected)
+
+    def test_zero_length_window(self):
+        model = MODELS[0]
+        merged = _reference_merge([(4.0, 4.0)])
+        expected = _reference_machine(merged, model, [math.inf])
+        _assert_report_matches(simulate([(4.0, 4.0)], model), expected)
+
+    def test_zero_allowance_everywhere(self):
+        model = MODELS[0]
+        windows = [(0.0, 2.0), (10.0, 11.0)]
+        merged, allowances = _reference_merge_with_allowances(windows, [0.0, 0.0])
+        expected = _reference_machine(merged, model, allowances)
+        report = simulate(windows, model, window_tails=[0.0, 0.0])
+        _assert_report_matches(report, expected)
+        assert report.tail_s == 0.0
+        assert report.promo_idle_count == 2

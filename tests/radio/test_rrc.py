@@ -194,10 +194,19 @@ def test_energy_positive_and_consistent(windows):
 @given(windows=window_lists, extra_start=st.floats(min_value=0.0, max_value=5000.0))
 @settings(max_examples=60, deadline=None)
 def test_adding_work_never_saves_energy(windows, extra_start):
-    """Superset of transfer windows costs at least as much."""
+    """Superset of transfer windows costs at least as much, up to promos.
+
+    Strict monotonicity is false for RRC models with promotion energies:
+    a new window can bridge a gap that previously demoted the radio,
+    eliminating one re-promotion (e.g. windows (0,1) and (7,8) plus a new
+    (1,2) can turn a FACH demotion + promotion into cheaper tail time).
+    A 1-second window bridges at most one promo-bearing gap, so the
+    saving is bounded by the larger promotion energy.
+    """
     base = simulate(windows, MODEL).energy_j
     more = simulate(windows + [(extra_start, extra_start + 1.0)], MODEL).energy_j
-    assert more >= base - 1e-9
+    promo_slack = max(MODEL.promo_idle_energy_j, MODEL.promo_fach_energy_j)
+    assert more >= base - promo_slack - 1e-9
 
 
 @given(windows=window_lists)

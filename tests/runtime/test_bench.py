@@ -24,9 +24,30 @@ def test_report_schema(quick_report):
     assert report["quick"] is True
     assert report["cpu_count"] >= 1
     for section, keys in {
-        "cohort_generation": ("cold_s", "warm_s", "warm_speedup", "cache"),
-        "policy_sweep": ("serial_s", "parallel_s", "speedup", "identical_results"),
-        "fptas_batch": ("batch_s", "solves_per_s", "total_profit"),
+        "cohort_generation": (
+            "cold_s",
+            "warm_s",
+            "warm_speedup",
+            "disk_warm_s",
+            "disk_stores",
+            "disk_hits",
+            "cache",
+        ),
+        "policy_sweep": (
+            "serial_s",
+            "parallel_s",
+            "speedup",
+            "parallel_regression",
+            "identical_results",
+        ),
+        "fptas_batch": (
+            "batch_s",
+            "solves_per_s",
+            "batch_solves_per_s",
+            "memo_warm_solves_per_s",
+            "total_profit",
+        ),
+        "replay_kernel": ("replay_s", "sims_per_s", "windows_per_s"),
     }.items():
         assert set(keys) <= set(report[section]), section
 
@@ -36,6 +57,42 @@ def test_warm_cache_beats_cold(quick_report):
     cohort = report["cohort_generation"]
     assert cohort["warm_s"] < cohort["cold_s"]
     assert cohort["cache"]["hits"] >= 1
+
+
+def test_disk_store_exercised(quick_report):
+    """The bench always runs against an on-disk store (tmp dir default),
+    so disk accounting must show real traffic — the satellite fix for
+    the committed report's ``disk_stores: 0``."""
+    report, _ = quick_report
+    cohort = report["cohort_generation"]
+    assert cohort["disk_stores"] >= 1
+    assert cohort["disk_hits"] >= 1
+    assert cohort["disk_warm_s"] is not None
+
+
+def test_memo_warm_batch_is_fastest(quick_report):
+    report, _ = quick_report
+    fptas = report["fptas_batch"]
+    assert fptas["memo_entries"] >= 1
+    assert fptas["memo_warm_solves_per_s"] > fptas["solves_per_s"]
+
+
+def test_parallel_regression_flag_matches_timings(quick_report):
+    report, _ = quick_report
+    sweep = report["policy_sweep"]
+    assert sweep["parallel_regression"] == (sweep["parallel_s"] > sweep["serial_s"])
+
+
+def test_compare_reports_flags_regressions(quick_report):
+    report, _ = quick_report
+    assert bench.compare_reports(report, report) == []
+    inflated = json.loads(json.dumps(report))
+    inflated["fptas_batch"]["solves_per_s"] = report["fptas_batch"]["solves_per_s"] * 3
+    inflated["cohort_generation"]["warm_s"] = report["cohort_generation"]["warm_s"] / 3
+    failures = bench.compare_reports(report, inflated)
+    assert len(failures) == 2
+    assert any("solves_per_s" in f for f in failures)
+    assert any("warm_s" in f for f in failures)
 
 
 def test_sweep_is_deterministic(quick_report):
@@ -58,3 +115,26 @@ def test_cli_check_mode(tmp_path, capsys):
     stdout = capsys.readouterr().out
     assert "cohort generation" in stdout
     assert "policy sweep" in stdout
+    assert "replay kernel" in stdout
+
+
+def test_cli_compare_mode(tmp_path, capsys, quick_report):
+    report, _ = quick_report
+    out = tmp_path / "perf.json"
+    # Self-comparison can never regress >2x.
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(report))
+    code = bench.main(
+        ["--quick", "--jobs", "2", "--out", str(out), "--compare", str(baseline)]
+    )
+    assert code == 0
+    assert "no >2x regressions" in capsys.readouterr().out
+    # An impossible baseline must fail the comparison.
+    impossible = json.loads(json.dumps(report))
+    impossible["fptas_batch"]["solves_per_s"] = 1e12
+    baseline.write_text(json.dumps(impossible))
+    code = bench.main(
+        ["--quick", "--jobs", "2", "--out", str(out), "--compare", str(baseline)]
+    )
+    assert code == 1
+    assert "PERF CHECK FAILED" in capsys.readouterr().err

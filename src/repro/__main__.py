@@ -30,6 +30,7 @@ from typing import Callable
 from repro.evaluation import experiments as ex
 from repro.evaluation import reporting as rpt
 from repro.evaluation.robustness import robustness as ex_robustness
+from repro.stream.experiment import stream_experiment as ex_stream
 
 #: experiment name -> (driver kwargs-aware runner, formatter)
 _REGISTRY: dict[str, tuple[Callable, Callable]] = {
@@ -48,6 +49,7 @@ _REGISTRY: dict[str, tuple[Callable, Callable]] = {
     "ux": (ex.user_experience, rpt.format_user_experience),
     "approx": (ex.approximation_ratio, rpt.format_approximation),
     "robustness": (ex_robustness, rpt.format_robustness),
+    "stream": (ex_stream, rpt.format_stream),
 }
 
 #: Experiments whose drivers accept a ``seed`` keyword.
@@ -65,10 +67,11 @@ _SEEDABLE = {
     "ux",
     "approx",
     "robustness",
+    "stream",
 }
 
 #: Experiments whose drivers accept a ``jobs`` keyword (process fan-out).
-_PARALLEL = {"fig7", "fig8", "fig9", "fig10c", "robustness"}
+_PARALLEL = {"fig7", "fig8", "fig9", "fig10c", "robustness", "stream"}
 
 #: ``--quick`` keyword overrides: shrunk but still-representative runs.
 #: Every entry keeps the experiment's structure (same policies, same
@@ -99,6 +102,14 @@ _QUICK: dict[str, dict[str, object]] = {
     "ux": {"n_days": 9, "n_history_days": 7},
     "approx": {"trials": 20},
     "robustness": {"n_days": 9, "n_history_days": 7, "rates": (0.0, 0.2)},
+    # 7 training days for the same sufficiency reason; checkpoint every
+    # executed day so the quick run still proves the restore path.
+    "stream": {
+        "n_users": 6,
+        "n_days": 9,
+        "train_days": 7,
+        "checkpoint_every_days": 1,
+    },
 }
 
 #: Valid ``--log-level`` names (stdlib logging levels).

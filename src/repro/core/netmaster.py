@@ -157,7 +157,17 @@ class NetMaster:
         ``degrade_on_insufficient_history`` is off).
         """
         self.store.ingest_trace(history)
-        self.habit = HabitModel.fit(history)
+        return self.adopt_model(HabitModel.fit(history))
+
+    def adopt_model(self, habit: HabitModel) -> HabitModel:
+        """Install an already-fitted habit model (mining done elsewhere).
+
+        Runs the same health check and builds the same scheduler and
+        real-time-adjustment components :meth:`train` would; the online
+        engine (:mod:`repro.stream`) calls this with incrementally mined
+        models instead of refitting from a full history trace.
+        """
+        self.habit = habit
         self.sufficiency = self.habit.data_sufficiency(
             min_days=self.config.min_history_days
         )

@@ -210,6 +210,33 @@ def format_user_experience(result: ex.UserExperienceResult) -> str:
     return "\n".join(lines)
 
 
+def format_stream(result) -> str:
+    """Streaming fleet: causal online NetMaster vs the offline harness."""
+    lines = [
+        f"Streaming fleet — {result.users_streamed} users × {result.n_days} days "
+        f"({result.user_days_streamed} user-days, {result.train_days} training)"
+    ]
+    lines.append(
+        f"  events {result.events} in {result.elapsed_s:.2f}s "
+        f"({result.events_per_s:,.0f} events/s), "
+        f"days executed {result.days_executed}"
+    )
+    lines.append(
+        f"  checkpoints {result.checkpoints}, drift alerts {result.drift_alerts}, "
+        f"degraded days {result.degraded_days}, shed users {result.shed_users}"
+    )
+    lines.append(
+        f"  energy (J): naive {result.naive_energy_j:.0f}, "
+        f"online {result.online_energy_j:.0f}, offline {result.offline_energy_j:.0f}"
+    )
+    lines.append(_row("online saving vs naive", result.online_saving))
+    lines.append(_row("offline saving vs naive", result.offline_saving))
+    lines.append(_row("causality gap (offline-online)", result.online_offline_gap))
+    lines.append(_row("online interrupt ratio", result.online_interrupt_ratio))
+    lines.append(_row("offline interrupt ratio", result.offline_interrupt_ratio))
+    return "\n".join(lines)
+
+
 def format_approximation(result: ex.ApproximationResult) -> str:
     """Lemma IV.1: empirical approximation ratios."""
     lines = [f"Lemma IV.1 — approximation ratio over {result.trials} instances (eps={result.eps})"]
@@ -266,6 +293,13 @@ _HEADLINES = {
     "approx": (
         ("worst approximation ratio", lambda r: r.worst_ratio, None),
         ("(1-eps)/2 bound", lambda r: r.bound, None),
+    ),
+    "stream": (
+        ("online saving vs naive", lambda r: r.online_saving, None),
+        ("offline saving vs naive", lambda r: r.offline_saving, None),
+        ("causality gap", lambda r: r.online_offline_gap, None),
+        ("stream events per second", lambda r: r.events_per_s, None),
+        ("online interrupt ratio", lambda r: r.online_interrupt_ratio, None),
     ),
 }
 

@@ -79,3 +79,17 @@ class CircuitBreaker:
             if self._cooldown_left <= 0:
                 self.open = False
         return self.open
+
+    def state_dict(self) -> dict:
+        """Mutable state as JSON-safe values (for stream checkpoints)."""
+        return {
+            "open": self.open,
+            "tripped_count": self.tripped_count,
+            "cooldown_left": self._cooldown_left,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore state written by :meth:`state_dict`."""
+        self.open = bool(state["open"])
+        self.tripped_count = int(state["tripped_count"])
+        self._cooldown_left = int(state["cooldown_left"])

@@ -24,6 +24,16 @@ from repro.habits.prediction import (
     SlotPrediction,
     prediction_accuracy,
 )
+from repro.habits.serialization import (
+    config_from_dict,
+    config_to_dict,
+    configs_equal,
+    habit_model_from_dict,
+    habit_model_to_dict,
+    habit_models_equal,
+    load_habit_model,
+    save_habit_model,
+)
 from repro.habits.special_apps import SpecialAppRegistry
 from repro.habits.threshold import (
     DeltaStrategy,
@@ -43,15 +53,23 @@ __all__ = [
     "SpecialAppRegistry",
     "WeekdayWeekendDelta",
     "cohort_cross_user_average",
+    "config_from_dict",
+    "config_to_dict",
+    "configs_equal",
     "cross_user_matrix",
     "day_matrix",
+    "habit_model_from_dict",
+    "habit_model_to_dict",
+    "habit_models_equal",
     "intra_user_average",
+    "load_habit_model",
     "mean_offdiagonal",
     "network_bytes_matrix",
     "network_intensity_matrix",
     "pairwise_matrix",
     "pearson",
     "prediction_accuracy",
+    "save_habit_model",
     "screen_use_matrix",
     "split_by_daytype",
     "usage_intensity_matrix",

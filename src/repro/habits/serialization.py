@@ -1,0 +1,264 @@
+"""JSON serialization for fitted habit models and middleware configs.
+
+Stream checkpoints (:mod:`repro.stream`) must persist every per-user
+decision input — the fitted :class:`~repro.habits.prediction.HabitModel`
+and the :class:`~repro.core.netmaster.NetMasterConfig` driving the
+scheduler — and restore them **exactly**: the resumed stream has to make
+byte-identical decisions.  Python's ``json`` emits floats with
+shortest-round-trip ``repr``, so every finite float64 survives a
+dump/load cycle bit-exactly; the helpers here only have to map the
+dataclasses onto plain JSON types and back.
+
+The same round-trip is useful offline: a fitted model can be cached on
+disk next to a cohort and reloaded across runs instead of refitting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.habits.prediction import HabitModel
+from repro.habits.special_apps import SpecialAppRegistry
+from repro.habits.threshold import (
+    DeltaStrategy,
+    FixedDelta,
+    ImpactBasedDelta,
+    WeekdayWeekendDelta,
+)
+
+_MODEL_FORMAT = 1
+_CONFIG_FORMAT = 1
+
+#: The ten hour-level statistic vectors a HabitModel carries.
+_ARRAY_FIELDS = (
+    "weekday_user_probs",
+    "weekend_user_probs",
+    "weekday_net_counts",
+    "weekend_net_counts",
+    "weekday_net_bytes",
+    "weekend_net_bytes",
+    "weekday_net_seconds",
+    "weekend_net_seconds",
+    "weekday_screen_seconds",
+    "weekend_screen_seconds",
+)
+
+
+# ----------------------------------------------------------------------
+# habit models
+# ----------------------------------------------------------------------
+
+
+def registry_to_dict(registry: SpecialAppRegistry) -> dict:
+    """JSON-safe dump of a Special-App registry (sets become sorted lists)."""
+    return {
+        "special": sorted(registry.special),
+        "seen": sorted(registry.seen),
+        "usage_counts": {app: registry.usage_counts[app] for app in sorted(registry.usage_counts)},
+    }
+
+
+def registry_from_dict(data: dict) -> SpecialAppRegistry:
+    """Inverse of :func:`registry_to_dict`."""
+    return SpecialAppRegistry(
+        special=set(data["special"]),
+        seen=set(data["seen"]),
+        usage_counts={str(app): int(n) for app, n in data["usage_counts"].items()},
+    )
+
+
+def habit_model_to_dict(model: HabitModel) -> dict:
+    """JSON-safe dump of a fitted habit model (exact float round-trip)."""
+    out: dict = {
+        "format": _MODEL_FORMAT,
+        "user_id": model.user_id,
+        "n_weekdays": model.n_weekdays,
+        "n_weekends": model.n_weekends,
+        "special_apps": registry_to_dict(model.special_apps),
+    }
+    for name in _ARRAY_FIELDS:
+        out[name] = [float(v) for v in getattr(model, name)]
+    return out
+
+
+def habit_model_from_dict(data: dict) -> HabitModel:
+    """Inverse of :func:`habit_model_to_dict`."""
+    fmt = data.get("format")
+    if fmt != _MODEL_FORMAT:
+        raise ValueError(
+            f"unsupported habit-model format: {fmt!r} "
+            f"(this build reads format {_MODEL_FORMAT})"
+        )
+    arrays = {
+        name: np.asarray(data[name], dtype=np.float64) for name in _ARRAY_FIELDS
+    }
+    for name, arr in arrays.items():
+        if arr.shape != (24,):
+            raise ValueError(f"{name} must have 24 entries, got shape {arr.shape}")
+    return HabitModel(
+        user_id=str(data["user_id"]),
+        n_weekdays=int(data["n_weekdays"]),
+        n_weekends=int(data["n_weekends"]),
+        special_apps=registry_from_dict(data["special_apps"]),
+        **arrays,
+    )
+
+
+def save_habit_model(model: HabitModel, path: str | Path) -> Path:
+    """Write a fitted model as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(habit_model_to_dict(model), indent=2) + "\n")
+    return path
+
+
+def load_habit_model(path: str | Path) -> HabitModel:
+    """Load a model previously written by :func:`save_habit_model`."""
+    return habit_model_from_dict(json.loads(Path(path).read_text()))
+
+
+def habit_models_equal(a: HabitModel, b: HabitModel) -> bool:
+    """Bit-exact equality of two habit models.
+
+    Arrays compare by their raw float64 bytes (so ``-0.0 != 0.0`` and
+    NaN patterns are honoured — stricter than ``np.array_equal``), the
+    Special-App registry by set/dict equality.  This is the contract the
+    online/offline parity tests assert.
+    """
+    if (a.user_id, a.n_weekdays, a.n_weekends) != (b.user_id, b.n_weekdays, b.n_weekends):
+        return False
+    for name in _ARRAY_FIELDS:
+        left = np.ascontiguousarray(getattr(a, name), dtype=np.float64)
+        right = np.ascontiguousarray(getattr(b, name), dtype=np.float64)
+        if left.shape != right.shape or left.tobytes() != right.tobytes():
+            return False
+    return a.special_apps == b.special_apps
+
+
+# ----------------------------------------------------------------------
+# middleware configs
+# ----------------------------------------------------------------------
+
+
+def delta_to_dict(strategy: DeltaStrategy | None) -> dict | None:
+    """JSON tag for the bundled δ strategies (``None`` passes through)."""
+    if strategy is None:
+        return None
+    if isinstance(strategy, FixedDelta):
+        return {"kind": "fixed", "delta": strategy.delta}
+    if isinstance(strategy, WeekdayWeekendDelta):
+        return {
+            "kind": "weekday_weekend",
+            "weekday": strategy.weekday,
+            "weekend": strategy.weekend,
+        }
+    if isinstance(strategy, ImpactBasedDelta):
+        return {"kind": "impact", "interrupt_budget": strategy.interrupt_budget}
+    raise TypeError(
+        f"cannot serialize delta strategy {type(strategy).__name__}; "
+        "only the bundled FixedDelta/WeekdayWeekendDelta/ImpactBasedDelta round-trip"
+    )
+
+
+def delta_from_dict(data: dict | None) -> DeltaStrategy | None:
+    """Inverse of :func:`delta_to_dict`."""
+    if data is None:
+        return None
+    kind = data.get("kind")
+    if kind == "fixed":
+        return FixedDelta(float(data["delta"]))
+    if kind == "weekday_weekend":
+        return WeekdayWeekendDelta(float(data["weekday"]), float(data["weekend"]))
+    if kind == "impact":
+        return ImpactBasedDelta(float(data["interrupt_budget"]))
+    raise ValueError(f"unknown delta strategy kind: {kind!r}")
+
+
+def config_to_dict(config) -> dict:
+    """JSON-safe dump of a :class:`~repro.core.netmaster.NetMasterConfig`."""
+    from repro.radio.power import RadioPowerModel
+
+    power: RadioPowerModel = config.power
+    return {
+        "format": _CONFIG_FORMAT,
+        "power": {
+            "name": power.name,
+            "p_idle_w": power.p_idle_w,
+            "p_dch_w": power.p_dch_w,
+            "p_fach_w": power.p_fach_w,
+            "promo_idle_dch_s": power.promo_idle_dch_s,
+            "promo_idle_dch_w": power.promo_idle_dch_w,
+            "promo_fach_dch_s": power.promo_fach_dch_s,
+            "promo_fach_dch_w": power.promo_fach_dch_w,
+            "dch_tail_s": power.dch_tail_s,
+            "fach_tail_s": power.fach_tail_s,
+        },
+        "link": {"bandwidth_bps": config.link.bandwidth_bps},
+        "et_w": config.et_w,
+        "eps": config.eps,
+        "delta": delta_to_dict(config.delta),
+        "duty_initial_s": config.duty_initial_s,
+        "duty_factor": config.duty_factor,
+        "duty_max_s": config.duty_max_s,
+        "wake_window_s": config.wake_window_s,
+        "guard_s": config.guard_s,
+        "optimize_in_slot_traffic": config.optimize_in_slot_traffic,
+        "min_history_days": config.min_history_days,
+        "degrade_on_insufficient_history": config.degrade_on_insufficient_history,
+        "enable_circuit_breaker": config.enable_circuit_breaker,
+        "breaker_threshold": config.breaker_threshold,
+        "breaker_min_interactions": config.breaker_min_interactions,
+        "breaker_cooldown_days": config.breaker_cooldown_days,
+    }
+
+
+def config_from_dict(data: dict):
+    """Inverse of :func:`config_to_dict`; round-trips to an equal config."""
+    from repro.core.netmaster import NetMasterConfig
+    from repro.radio.bandwidth import LinkModel
+    from repro.radio.power import RadioPowerModel
+
+    fmt = data.get("format")
+    if fmt != _CONFIG_FORMAT:
+        raise ValueError(
+            f"unsupported config format: {fmt!r} "
+            f"(this build reads format {_CONFIG_FORMAT})"
+        )
+    p = data["power"]
+    return NetMasterConfig(
+        power=RadioPowerModel(
+            name=str(p["name"]),
+            p_idle_w=float(p["p_idle_w"]),
+            p_dch_w=float(p["p_dch_w"]),
+            p_fach_w=float(p["p_fach_w"]),
+            promo_idle_dch_s=float(p["promo_idle_dch_s"]),
+            promo_idle_dch_w=float(p["promo_idle_dch_w"]),
+            promo_fach_dch_s=float(p["promo_fach_dch_s"]),
+            promo_fach_dch_w=float(p["promo_fach_dch_w"]),
+            dch_tail_s=float(p["dch_tail_s"]),
+            fach_tail_s=float(p["fach_tail_s"]),
+        ),
+        link=LinkModel(bandwidth_bps=float(data["link"]["bandwidth_bps"])),
+        et_w=float(data["et_w"]),
+        eps=float(data["eps"]),
+        delta=delta_from_dict(data["delta"]),
+        duty_initial_s=float(data["duty_initial_s"]),
+        duty_factor=float(data["duty_factor"]),
+        duty_max_s=float(data["duty_max_s"]),
+        wake_window_s=float(data["wake_window_s"]),
+        guard_s=float(data["guard_s"]),
+        optimize_in_slot_traffic=bool(data["optimize_in_slot_traffic"]),
+        min_history_days=int(data["min_history_days"]),
+        degrade_on_insufficient_history=bool(data["degrade_on_insufficient_history"]),
+        enable_circuit_breaker=bool(data["enable_circuit_breaker"]),
+        breaker_threshold=float(data["breaker_threshold"]),
+        breaker_min_interactions=int(data["breaker_min_interactions"]),
+        breaker_cooldown_days=int(data["breaker_cooldown_days"]),
+    )
+
+
+def configs_equal(a, b) -> bool:
+    """Whether two configs are interchangeable (frozen-dataclass equality)."""
+    return a == b

@@ -15,7 +15,11 @@ the perf trajectory:
 * **FPTAS batch** — the per-slot solver tier: scalar-loop vs batched
   kernel vs memo-warm batched kernel on identical random instances;
 * **replay kernel** — the vectorized RRC interval engine
-  (:func:`repro.radio.simulate`) on synthetic window lists.
+  (:func:`repro.radio.simulate`) on synthetic window lists;
+* **stream** — the online engine end to end: a fleet of personas
+  streamed through :class:`~repro.stream.fleet.FleetService`
+  (incremental mining, causal execution, checkpoint round-trips),
+  headline ``stream_events_per_s``.
 
 Run it directly::
 
@@ -266,6 +270,43 @@ def bench_replay_kernel(
     }
 
 
+def bench_stream(
+    n_users: int = 16,
+    n_days: int = 14,
+    train_days: int = 10,
+    checkpoint_every_days: int = 2,
+    seed: int = 2014,
+) -> dict:
+    """The online streaming engine, end to end, measured as a fleet.
+
+    Streams ``n_users`` synthetic personas through
+    :class:`~repro.stream.fleet.FleetService` — incremental habit
+    mining, causal day execution, in-line checkpoint round-trips — and
+    reports ``stream_events_per_s``, the serving-shaped headline the
+    perf trajectory tracks alongside solver throughput.
+    """
+    # Local import: the stream package pulls the policy stack in.
+    from repro.stream.experiment import fleet_specs
+    from repro.stream.fleet import FleetConfig, FleetService
+
+    specs = fleet_specs(seed=seed, n_users=n_users, n_days=n_days)
+    config = FleetConfig(
+        train_days=train_days, checkpoint_every_days=checkpoint_every_days
+    )
+    result = FleetService(config).run(specs, jobs=1)
+    return {
+        "n_users": n_users,
+        "n_days": n_days,
+        "train_days": train_days,
+        "user_days_streamed": result.user_days_streamed,
+        "days_executed": result.days_executed,
+        "events": result.events,
+        "checkpoints": sum(s.checkpoints for s in result.summaries),
+        "elapsed_s": result.elapsed_s,
+        "stream_events_per_s": result.events_per_s,
+    }
+
+
 # ----------------------------------------------------------------------
 # the full report
 # ----------------------------------------------------------------------
@@ -299,11 +340,15 @@ def run_bench(
             sweep = bench_policy_sweep(jobs=jobs, n_days=14, n_history_days=10)
             fptas = bench_fptas_batch(n_solves=10, n_items=60)
             replay = bench_replay_kernel(n_sims=50, n_windows=200)
+            stream = bench_stream(
+                n_users=4, n_days=9, train_days=7, checkpoint_every_days=1
+            )
         else:
             cohort = bench_cohort()
             sweep = bench_policy_sweep(jobs=jobs)
             fptas = bench_fptas_batch()
             replay = bench_replay_kernel()
+            stream = bench_stream()
     finally:
         configure_cache(cache_dir=prev_dir)
         if tmp is not None:
@@ -318,6 +363,7 @@ def run_bench(
         "policy_sweep": sweep,
         "fptas_batch": fptas,
         "replay_kernel": replay,
+        "stream": stream,
     }
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
@@ -349,6 +395,17 @@ def compare_reports(fresh: dict, baseline: dict, *, factor: float = 2.0) -> list
             f"cohort_generation.warm_s regressed >{factor:g}x: "
             f"{fresh_warm:.4f}s vs committed {base_warm:.4f}s"
         )
+    # Reports from before the streaming engine have no "stream" section;
+    # tolerate that so old baselines stay comparable.
+    base_stream = baseline.get("stream")
+    if base_stream is not None and "stream" in fresh:
+        fresh_eps = fresh["stream"]["stream_events_per_s"]
+        base_eps = base_stream["stream_events_per_s"]
+        if fresh_eps < base_eps / factor:
+            failures.append(
+                f"stream.stream_events_per_s regressed >{factor:g}x: "
+                f"{fresh_eps:.0f}/s vs committed {base_eps:.0f}/s"
+            )
     return failures
 
 
@@ -413,6 +470,13 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"replay kernel: {replay['n_sims']} sims x {replay['n_windows']} windows "
         f"in {replay['replay_s']:.3f}s ({replay['sims_per_s']:.1f} sims/s)"
+    )
+    stream = report["stream"]
+    print(
+        f"stream fleet: {stream['n_users']} users x {stream['n_days']} days, "
+        f"{stream['events']} events in {stream['elapsed_s']:.3f}s "
+        f"({stream['stream_events_per_s']:,.0f} events/s, "
+        f"{stream['checkpoints']} checkpoints)"
     )
     print(f"report written to {args.out}")
     failed = False

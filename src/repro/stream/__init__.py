@@ -1,0 +1,60 @@
+"""Online streaming engine: causal habit mining and scheduling at scale.
+
+The offline pipeline fits :class:`~repro.habits.prediction.HabitModel`
+on a complete history and replays held-out days with the whole trace in
+hand.  On a phone — and in the serving workload the ROADMAP aims at —
+events arrive one at a time and every decision must be causal.  This
+package is that online engine, in four layers:
+
+* :mod:`repro.stream.ingest` — bounded-memory, iterator-based event
+  streams and a multi-user chronological merge;
+* :mod:`repro.stream.online_habits` — :class:`OnlineHabitModel`,
+  incremental hour-level accumulators that reproduce the offline fit
+  bit-exactly after a full pass, plus a drift signal;
+* :mod:`repro.stream.online_netmaster` — :class:`OnlineNetMaster`,
+  the middleware driven at stream time with JSON checkpoint/restore;
+* :mod:`repro.stream.fleet` — a multi-tenant session manager driving
+  thousands of streamed user-days with bounded per-user memory.
+
+``python -m repro stream`` runs the fleet experiment
+(:func:`repro.stream.experiment.stream_experiment`).
+"""
+
+from repro.stream.experiment import StreamResult, fleet_specs, stream_experiment
+from repro.stream.fleet import (
+    FleetConfig,
+    FleetResult,
+    FleetService,
+    FleetUserSpec,
+    UserStreamSummary,
+    stream_one_user,
+)
+from repro.stream.ingest import (
+    StreamEvent,
+    event_time,
+    merge_user_streams,
+    stream_trace,
+    stream_trace_jsonl,
+)
+from repro.stream.online_habits import OnlineHabitModel
+from repro.stream.online_netmaster import CompletedDay, OnlineNetMaster
+
+__all__ = [
+    "CompletedDay",
+    "FleetConfig",
+    "FleetResult",
+    "FleetService",
+    "FleetUserSpec",
+    "OnlineHabitModel",
+    "OnlineNetMaster",
+    "StreamEvent",
+    "StreamResult",
+    "UserStreamSummary",
+    "event_time",
+    "fleet_specs",
+    "merge_user_streams",
+    "stream_experiment",
+    "stream_one_user",
+    "stream_trace",
+    "stream_trace_jsonl",
+]

@@ -1,0 +1,171 @@
+"""The streaming-fleet experiment behind ``python -m repro stream``.
+
+Drives a fleet of randomized personas through the online engine —
+every decision causal, checkpoints exercised in-line — then replays the
+same users' held-out days through the offline
+:class:`~repro.baselines.netmaster_policy.NetMasterPolicy` (full-history
+training, the Section-VI harness) and a naive baseline.  The comparison
+answers the question the offline figures cannot: how much of NetMaster's
+saving survives when the middleware only ever sees the past?
+
+The default fleet — 72 users × 14 days — streams 1 008 user-days; the
+measured throughput (``events_per_s``) is the serving-shaped headline
+tracked in ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import NaivePolicy, NetMasterPolicy
+from repro.evaluation.experiments import split_history
+from repro.runtime.parallel import PolicyTask, run_policy_tasks
+from repro.stream.fleet import (
+    FleetConfig,
+    FleetService,
+    FleetUserSpec,
+    _spec_trace,
+)
+from repro.telemetry import tracer
+
+DEFAULT_SEED = 2014
+DEFAULT_USERS = 72
+DEFAULT_DAYS = 14
+DEFAULT_TRAIN_DAYS = 10
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Everything the streaming-fleet experiment measured."""
+
+    n_users: int
+    n_days: int
+    train_days: int
+    users_streamed: int
+    shed_users: int
+    user_days_streamed: int
+    days_executed: int
+    events: int
+    elapsed_s: float
+    events_per_s: float
+    checkpoints: int
+    drift_alerts: int
+    degraded_days: int
+    naive_energy_j: float
+    online_energy_j: float
+    offline_energy_j: float
+    online_saving: float
+    offline_saving: float
+    online_interrupt_ratio: float
+    offline_interrupt_ratio: float
+
+    @property
+    def online_offline_gap(self) -> float:
+        """Saving the causality constraint costs vs offline training."""
+        return self.offline_saving - self.online_saving
+
+
+def fleet_specs(
+    *, seed: int = DEFAULT_SEED, n_users: int = DEFAULT_USERS, n_days: int = DEFAULT_DAYS
+) -> list[FleetUserSpec]:
+    """Deterministic persona specs for a fleet of ``n_users``."""
+    child_seeds = np.random.SeedSequence(seed).generate_state(n_users)
+    return [
+        FleetUserSpec(user_id=f"stream-{i:04d}", n_days=n_days, seed=int(s))
+        for i, s in enumerate(child_seeds)
+    ]
+
+
+def stream_experiment(
+    *,
+    seed: int = DEFAULT_SEED,
+    n_users: int = DEFAULT_USERS,
+    n_days: int = DEFAULT_DAYS,
+    train_days: int = DEFAULT_TRAIN_DAYS,
+    jobs: int = 1,
+    batch_size: int = 16,
+    checkpoint_every_days: int | None = 2,
+    event_budget: int | None = None,
+) -> StreamResult:
+    """Streaming fleet: causal online NetMaster vs the offline harness."""
+    config = FleetConfig(
+        train_days=train_days,
+        batch_size=batch_size,
+        checkpoint_every_days=checkpoint_every_days,
+        event_budget=event_budget,
+    )
+    specs = fleet_specs(seed=seed, n_users=n_users, n_days=n_days)
+    trc = tracer()
+    with trc.span("fleet-stream", "stream", users=n_users, days=n_days):
+        fleet = FleetService(config).run(specs, jobs=jobs)
+
+    # Offline comparison on the users that actually streamed: NetMaster
+    # trained on the full history prefix (the Fig. 7 harness) and the
+    # naive always-on baseline, over the same held-out days the online
+    # engine executed.
+    power = config.netmaster.power
+    nm_tasks: list[PolicyTask] = []
+    naive_tasks: list[PolicyTask] = []
+    with trc.span("fleet-offline-reference", "stream", users=fleet.users):
+        for spec in specs[: fleet.users]:
+            trace = _spec_trace(spec)
+            history, test_days = split_history(trace, train_days)
+            nm_tasks.append(
+                PolicyTask(
+                    name=f"nm:{spec.user_id}",
+                    policy=NetMasterPolicy(history, config.netmaster),
+                    days=tuple(test_days),
+                    model=power,
+                )
+            )
+            naive_tasks.append(
+                PolicyTask(
+                    name=f"naive:{spec.user_id}",
+                    policy=NaivePolicy(),
+                    days=tuple(test_days),
+                    model=power,
+                )
+            )
+        nm_grid = run_policy_tasks(nm_tasks, jobs=jobs)
+        naive_grid = run_policy_tasks(naive_tasks, jobs=jobs)
+
+    naive_energy = sum(m.energy_j for metrics in naive_grid for m in metrics)
+    offline_energy = sum(m.energy_j for metrics in nm_grid for m in metrics)
+    offline_interrupts = sum(m.interrupts for metrics in nm_grid for m in metrics)
+    offline_interactions = sum(
+        m.user_interactions for metrics in nm_grid for m in metrics
+    )
+    online_energy = sum(s.energy_j for s in fleet.summaries)
+    online_interrupts = sum(s.interrupts for s in fleet.summaries)
+    online_interactions = sum(s.user_interactions for s in fleet.summaries)
+
+    def saving(energy: float) -> float:
+        return 1.0 - energy / naive_energy if naive_energy > 0 else 0.0
+
+    def ratio(interrupts: int, interactions: int) -> float:
+        return interrupts / interactions if interactions > 0 else 0.0
+
+    return StreamResult(
+        n_users=n_users,
+        n_days=n_days,
+        train_days=train_days,
+        users_streamed=fleet.users,
+        shed_users=fleet.shed_users,
+        user_days_streamed=fleet.user_days_streamed,
+        days_executed=fleet.days_executed,
+        events=fleet.events,
+        elapsed_s=fleet.elapsed_s,
+        events_per_s=fleet.events_per_s,
+        checkpoints=sum(s.checkpoints for s in fleet.summaries),
+        drift_alerts=sum(s.drift_alerts for s in fleet.summaries),
+        degraded_days=sum(s.degraded_days for s in fleet.summaries),
+        naive_energy_j=naive_energy,
+        online_energy_j=online_energy,
+        offline_energy_j=offline_energy,
+        online_saving=saving(online_energy),
+        offline_saving=saving(offline_energy),
+        online_interrupt_ratio=ratio(online_interrupts, online_interactions),
+        offline_interrupt_ratio=ratio(offline_interrupts, offline_interactions),
+    )

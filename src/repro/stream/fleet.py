@@ -1,0 +1,288 @@
+"""Multi-tenant fleet service: thousands of streamed user-days.
+
+The fleet drives one :class:`~repro.stream.online_netmaster.OnlineNetMaster`
+per user over that user's event stream, with three serving-shaped
+properties the offline harness never needed:
+
+* **bounded per-user memory** — each finished day is priced immediately
+  (:func:`repro.evaluation.metrics.measure_outcome`) and dropped; only a
+  small numeric :class:`UserStreamSummary` survives per user;
+* **admission batching** — users are admitted in batches over the
+  existing :class:`~repro.runtime.parallel.ParallelRunner`, so a big
+  fleet fans over worker processes with the same telemetry-merge
+  discipline as the evaluation grids;
+* **load shedding** — a configurable event budget: once the streamed
+  event count crosses it, remaining users are shed whole (deterministic
+  — admission order decides who), counted in ``stream.shed_users``.
+
+Checkpointing is exercised in-line: with ``checkpoint_every_days`` set,
+the engine is serialized to JSON and restored every N executed days, so
+a fleet run continuously proves the kill/resume path on live state.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Sequence
+
+from repro.core.netmaster import NetMasterConfig
+from repro.evaluation.metrics import measure_outcome
+from repro.runtime.parallel import shared_runner
+from repro.stream.ingest import stream_trace
+from repro.stream.online_netmaster import OnlineNetMaster
+from repro.telemetry import metrics, tracer
+from repro.traces.events import Trace
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tunables of the fleet service."""
+
+    train_days: int = 10
+    update_model: bool = True
+    window_days: int | None = None
+    decay: float | None = None
+    #: Users admitted per runner submission round.
+    batch_size: int = 16
+    #: Total streamed-event budget; ``None`` admits everyone.
+    event_budget: int | None = None
+    #: Serialize/restore each engine every N executed days (``None`` off).
+    checkpoint_every_days: int | None = None
+    netmaster: NetMasterConfig = field(default_factory=NetMasterConfig)
+
+    def __post_init__(self) -> None:
+        if self.train_days < 1:
+            raise ValueError(f"train_days must be >= 1, got {self.train_days}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.event_budget is not None and self.event_budget < 0:
+            raise ValueError(f"event_budget must be >= 0, got {self.event_budget}")
+        if self.checkpoint_every_days is not None and self.checkpoint_every_days < 1:
+            raise ValueError(
+                f"checkpoint_every_days must be >= 1, got {self.checkpoint_every_days}"
+            )
+
+
+@dataclass(frozen=True)
+class FleetUserSpec:
+    """One tenant: either an explicit trace or a persona seed.
+
+    With ``trace=None`` the worker synthesizes the user from
+    :func:`repro.evaluation.extensions.random_profile` seeded by
+    ``seed`` — the fleet then never holds more than one full trace per
+    worker at a time.
+    """
+
+    user_id: str
+    n_days: int
+    seed: int | None = None
+    start_weekday: int = 0
+    trace: Trace | None = None
+
+
+@dataclass(frozen=True)
+class UserStreamSummary:
+    """The numeric residue of one fully streamed user."""
+
+    user_id: str
+    n_days: int
+    days_executed: int
+    events: int
+    energy_j: float
+    radio_on_s: float
+    interrupts: int
+    user_interactions: int
+    deferred: int
+    degraded_days: int
+    drift_alerts: int
+    checkpoints: int
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of one fleet run."""
+
+    summaries: tuple[UserStreamSummary, ...]
+    shed_users: int
+    elapsed_s: float
+
+    @property
+    def users(self) -> int:
+        """Users fully streamed (admitted, not shed)."""
+        return len(self.summaries)
+
+    @property
+    def events(self) -> int:
+        """Total events streamed across the fleet."""
+        return sum(s.events for s in self.summaries)
+
+    @property
+    def user_days_streamed(self) -> int:
+        """Total days streamed through the engines (incl. training)."""
+        return sum(s.n_days for s in self.summaries)
+
+    @property
+    def days_executed(self) -> int:
+        """Causally executed (post-training) days across the fleet."""
+        return sum(s.days_executed for s in self.summaries)
+
+    @property
+    def events_per_s(self) -> float:
+        """Fleet-level streaming throughput."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.events / self.elapsed_s
+
+
+def stream_one_user(trace: Trace, *, config: FleetConfig) -> UserStreamSummary:
+    """Drive one user's full stream through the online engine.
+
+    Prices every completed day immediately and keeps only scalars —
+    the per-user memory is the engine state plus one day's buffers.
+    With ``checkpoint_every_days`` the engine round-trips through its
+    JSON checkpoint on that cadence, proving resumability in-line.
+    """
+    engine = OnlineNetMaster(
+        trace.user_id,
+        config=config.netmaster,
+        start_weekday=trace.start_weekday,
+        train_days=config.train_days,
+        update_model=config.update_model,
+        window_days=config.window_days,
+        decay=config.decay,
+    )
+    power = config.netmaster.power
+    energy = radio_on = 0.0
+    interrupts = interactions = deferred = 0
+    checkpoints = 0
+    every = config.checkpoint_every_days
+
+    def consume(completed_days) -> int:
+        nonlocal energy, radio_on, interrupts, interactions, deferred
+        for completed in completed_days:
+            m = measure_outcome(completed.outcome(), power, completed.trace)
+            energy += m.energy_j
+            radio_on += m.radio_on_s
+            interrupts += m.interrupts
+            interactions += m.user_interactions
+            deferred += m.deferred
+        return len(completed_days)
+
+    for record in stream_trace(trace):
+        engine.observe(record)
+        if consume(engine.drain()) and every and engine.days_executed % every == 0:
+            engine = OnlineNetMaster.from_json(engine.to_json())
+            checkpoints += 1
+    consume(engine.finish(trace.n_days))
+
+    return UserStreamSummary(
+        user_id=trace.user_id,
+        n_days=trace.n_days,
+        days_executed=engine.days_executed,
+        events=engine.events,
+        energy_j=energy,
+        radio_on_s=radio_on,
+        interrupts=interrupts,
+        user_interactions=interactions,
+        deferred=deferred,
+        degraded_days=engine.days_degraded,
+        drift_alerts=engine.habits.drift_alerts,
+        checkpoints=checkpoints,
+    )
+
+
+# ----------------------------------------------------------------------
+# module-level workers (picklable for the process pool)
+# ----------------------------------------------------------------------
+
+
+def _spec_trace(spec: FleetUserSpec) -> Trace:
+    if spec.trace is not None:
+        return spec.trace
+    if spec.seed is None:
+        raise ValueError(f"user {spec.user_id!r} has neither a trace nor a seed")
+    # Lazy import: evaluation.extensions pulls the policy stack in.
+    import numpy as np
+
+    from repro.evaluation.extensions import random_profile
+    from repro.traces.generator import TraceGenerator
+
+    rng = np.random.default_rng(spec.seed)
+    profile = random_profile(spec.user_id, rng)
+    return TraceGenerator(profile, rng).generate(
+        spec.n_days, start_weekday=spec.start_weekday
+    )
+
+
+def _stream_spec(payload: tuple[FleetUserSpec, FleetConfig]) -> UserStreamSummary:
+    spec, config = payload
+    return stream_one_user(_spec_trace(spec), config=config)
+
+
+def _stream_spec_shipped(
+    payload: tuple[FleetUserSpec, FleetConfig], *, with_tracing: bool = True
+):
+    from repro import telemetry
+
+    with telemetry.isolated(with_tracing=with_tracing) as (registry, trc):
+        result = _stream_spec(payload)
+        return result, registry.snapshot(), trc.export_spans()
+
+
+class FleetService:
+    """Admission-batched multi-tenant driver over the parallel runner."""
+
+    def __init__(self, config: FleetConfig | None = None) -> None:
+        self.config = config or FleetConfig()
+
+    def run(self, specs: Sequence[FleetUserSpec], *, jobs: int = 1) -> FleetResult:
+        """Stream every admitted user; returns summaries in spec order.
+
+        Admission proceeds batch by batch; once the event budget is
+        exhausted the remaining users are shed whole.  ``jobs > 1`` fans
+        each batch over the shared process pool with worker telemetry
+        merged back in admission order (deterministic registries).
+        """
+        config = self.config
+        registry = metrics()
+        start = time.perf_counter()
+        summaries: list[UserStreamSummary] = []
+        shed = 0
+        events_streamed = 0
+        batch_size = config.batch_size
+        for offset in range(0, len(specs), batch_size):
+            if config.event_budget is not None and events_streamed >= config.event_budget:
+                shed = len(specs) - offset
+                registry.inc("stream.shed_users", shed)
+                break
+            batch = list(specs[offset : offset + batch_size])
+            registry.inc("stream.batches")
+            results = self._run_batch(batch, jobs)
+            summaries.extend(results)
+            events_streamed += sum(s.events for s in results)
+            registry.inc("stream.users", len(results))
+        elapsed = time.perf_counter() - start
+        return FleetResult(
+            summaries=tuple(summaries), shed_users=shed, elapsed_s=elapsed
+        )
+
+    def _run_batch(
+        self, batch: list[FleetUserSpec], jobs: int
+    ) -> list[UserStreamSummary]:
+        payloads = [(spec, self.config) for spec in batch]
+        if jobs == 1 or len(payloads) <= 1:
+            return [_stream_spec(p) for p in payloads]
+        registry = metrics()
+        trc = tracer()
+        runner = shared_runner(jobs)
+        if not (registry.enabled or trc.enabled):
+            return runner.map(_stream_spec, payloads)
+        fn = partial(_stream_spec_shipped, with_tracing=trc.enabled)
+        out: list[UserStreamSummary] = []
+        for summary, snap, spans in runner.map(fn, payloads):
+            registry.merge_snapshot(snap)
+            trc.ingest(spans)
+            out.append(summary)
+        return out

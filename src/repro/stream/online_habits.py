@@ -1,0 +1,387 @@
+"""Incremental habit mining: the offline fit, one event at a time.
+
+:class:`OnlineHabitModel` consumes a chronological record stream and
+maintains exactly the per-day hour-level rows the offline fit
+(:meth:`repro.habits.prediction.HabitModel._fit`) derives from a full
+trace: screen-use indicators, screen-off network counts/bytes/seconds,
+and screen-on seconds.  The arithmetic below is a literal port of the
+matrix builders in :mod:`repro.habits.intensity` and
+:mod:`repro.habits.prediction` — same operations, same order, same
+scalars — so after streaming a complete history and closing every day,
+:meth:`OnlineHabitModel.to_model` reproduces ``HabitModel.fit`` on that
+history **bit-exactly** (``habit_models_equal`` exact-byte equality).
+
+Causality: contributions land in *pending* per-day rows as events
+arrive; a day only influences :meth:`to_model` once it is *closed*
+(:meth:`close_day`), which the scheduling layer does at day boundaries.
+Closing also emits a drift score — how far the finished day's screen-use
+row sits from the learned profile — so a fleet can flag users whose
+habits are moving away from their model.
+
+Retention is configurable: the default keeps every closed day (the
+bit-exact mode); ``window_days`` keeps a sliding window per day type;
+``decay`` replaces storage entirely with exponentially-weighted sums.
+Both alternatives trade exact offline parity for adaptivity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+import numpy as np
+
+from repro._util import DAY, HOUR, HOURS_PER_DAY, is_weekend
+from repro.habits.prediction import HabitModel
+from repro.habits.special_apps import SpecialAppRegistry
+from repro.telemetry import metrics
+from repro.traces.events import AppUsage, NetworkActivity, ScreenSession
+from repro.traces.io import TraceRecord
+
+_STATE_FORMAT = 1
+
+#: The five per-day row kinds feeding the fitted model's statistics.
+_KINDS = ("use", "net_counts", "net_bytes", "net_seconds", "screen_seconds")
+
+#: Default drift level that counts as an alert (mean absolute deviation
+#: of a day's 0/1 screen-use row from the learned hour probabilities; a
+#: fully habitual day scores near the profile's own variance, a fully
+#: out-of-profile day approaches 1.0).
+DEFAULT_DRIFT_THRESHOLD = 0.5
+
+
+def _zero_rows() -> dict[str, np.ndarray]:
+    return {kind: np.zeros(HOURS_PER_DAY, dtype=np.float64) for kind in _KINDS}
+
+
+class OnlineHabitModel:
+    """Streaming accumulator equivalent to the offline habit fit.
+
+    Feed records with :meth:`observe` (in chronological order), close
+    days with :meth:`close_day` as stream time crosses midnights, and
+    materialize the current model with :meth:`to_model`.  All state is
+    JSON-checkpointable via :meth:`state_dict`/:meth:`load_state` with
+    exact float round-trip.
+    """
+
+    def __init__(
+        self,
+        user_id: str,
+        *,
+        start_weekday: int = 0,
+        window_days: int | None = None,
+        decay: float | None = None,
+        drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+    ) -> None:
+        if not 0 <= start_weekday < 7:
+            raise ValueError(f"start_weekday must be in [0, 7), got {start_weekday}")
+        if window_days is not None and window_days < 1:
+            raise ValueError(f"window_days must be >= 1, got {window_days}")
+        if decay is not None and not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        if window_days is not None and decay is not None:
+            raise ValueError("window_days and decay are mutually exclusive")
+        self.user_id = user_id
+        self.start_weekday = int(start_weekday)
+        self.window_days = window_days
+        self.decay = decay
+        self.drift_threshold = float(drift_threshold)
+        #: Next day index to close; days close strictly in order.
+        self.next_day = 0
+        #: When frozen, :meth:`close_day` still scores drift but folds
+        #: nothing — the model stops learning (fixed-model deployments).
+        self.frozen = False
+        self.last_drift = 0.0
+        self.drift_alerts = 0
+        # Open (pending) per-day state: rows + special-app observations.
+        self._pending_rows: dict[int, dict[str, np.ndarray]] = {}
+        self._pending_apps: dict[int, dict] = {}
+        # Closed-day state per day type.
+        self._counts = {"weekday": 0, "weekend": 0}
+        if decay is None:
+            maxlen = window_days  # None → unbounded (bit-exact mode)
+            self._rows = {
+                "weekday": deque(maxlen=maxlen),
+                "weekend": deque(maxlen=maxlen),
+            }
+            self._sums = self._weights = None
+        else:
+            self._rows = None
+            self._sums = {"weekday": _zero_rows(), "weekend": _zero_rows()}
+            self._weights = {"weekday": 0.0, "weekend": 0.0}
+        # Special-app knowledge from closed days only.
+        self._used: set[str] = set()
+        self._networked: set[str] = set()
+        self._usage_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # observation (one event at a time)
+    # ------------------------------------------------------------------
+    def observe(self, record: TraceRecord) -> None:
+        """Fold one record into the pending per-day rows."""
+        if isinstance(record, ScreenSession):
+            self.observe_session(record)
+        elif isinstance(record, AppUsage):
+            self.observe_usage(record)
+        elif isinstance(record, NetworkActivity):
+            self.observe_activity(record)
+        else:  # pragma: no cover - TraceRecord is a closed union
+            raise TypeError(f"not a trace record: {type(record).__name__}")
+
+    def observe_many(self, records: Iterable[TraceRecord]) -> None:
+        """Fold a chronological record iterable."""
+        for record in records:
+            self.observe(record)
+
+    def _rows_for(self, day: int) -> dict[str, np.ndarray]:
+        rows = self._pending_rows.get(day)
+        if rows is None:
+            rows = self._pending_rows[day] = _zero_rows()
+        return rows
+
+    def _apps_for(self, day: int) -> dict:
+        apps = self._pending_apps.get(day)
+        if apps is None:
+            apps = self._pending_apps[day] = {"usage_counts": {}, "networked": set()}
+        return apps
+
+    def observe_session(self, session: ScreenSession) -> None:
+        """Port of the screen-use and screen-seconds matrix walks."""
+        # screen_use_matrix: binary used-in-hour indicators.
+        t = session.start
+        last = max(session.start, session.end - 1e-9)
+        while True:
+            day = int(t // DAY)
+            hour = int((t % DAY) // HOUR)
+            self._rows_for(day)["use"][hour] = 1.0
+            next_bin = (np.floor(t / 3600.0) + 1.0) * 3600.0
+            if next_bin > last:
+                break
+            t = next_bin
+        # _screen_seconds_matrix: seconds of screen-on per hour cell.
+        t = session.start
+        while t < session.end:
+            day = int(t // DAY)
+            hour = int((t % DAY) // HOUR)
+            bin_end = (np.floor(t / HOUR) + 1.0) * HOUR
+            seg_end = min(session.end, bin_end)
+            self._rows_for(day)["screen_seconds"][hour] += seg_end - t
+            t = seg_end
+
+    def observe_usage(self, usage: AppUsage) -> None:
+        """Foreground interaction: special-app evidence only."""
+        day = int(usage.time // DAY)
+        counts = self._apps_for(day)["usage_counts"]
+        counts[usage.app] = counts.get(usage.app, 0) + 1
+
+    def observe_activity(self, activity: NetworkActivity) -> None:
+        """Port of the network count/bytes/seconds matrix updates."""
+        day = int(activity.time // DAY)
+        self._apps_for(day)["networked"].add(activity.app)
+        if activity.screen_on:
+            return
+        hour = int((activity.time % DAY) // HOUR)
+        rows = self._rows_for(day)
+        rows["net_counts"][hour] += 1.0
+        rows["net_bytes"][hour] += activity.total_bytes
+        rows["net_seconds"][hour] += activity.duration
+
+    # ------------------------------------------------------------------
+    # day boundaries
+    # ------------------------------------------------------------------
+    def is_weekend_day(self, day: int) -> bool:
+        """Whether stream day ``day`` is a Saturday or Sunday."""
+        return is_weekend(day, self.start_weekday)
+
+    def close_day(self, day: int) -> float:
+        """Fold the finished day into the model; returns its drift score.
+
+        Days close strictly in order.  Events of later days may already
+        sit in pending rows (a midnight-crossing session writes ahead);
+        they stay pending until their own day closes.
+        """
+        if day != self.next_day:
+            raise ValueError(f"days close in order; expected {self.next_day}, got {day}")
+        self.next_day += 1
+        rows = self._pending_rows.pop(day, None) or _zero_rows()
+        apps = self._pending_apps.pop(day, None)
+        daytype = "weekend" if self.is_weekend_day(day) else "weekday"
+
+        drift = self._score_drift(rows["use"], daytype)
+        self.last_drift = drift
+        if self._counts[daytype] > 0 and drift > self.drift_threshold:
+            self.drift_alerts += 1
+            metrics().inc("stream.drift_alerts")
+        metrics().inc("stream.habit_days_closed")
+
+        if self.frozen:
+            return drift
+        self._counts[daytype] += 1
+        if self.decay is None:
+            self._rows[daytype].append(rows)
+        else:
+            sums, g = self._sums[daytype], self.decay
+            for kind in _KINDS:
+                sums[kind] = sums[kind] * g + rows[kind]
+            self._weights[daytype] = self._weights[daytype] * g + 1.0
+        if apps is not None:
+            for app, n in apps["usage_counts"].items():
+                self._used.add(app)
+                self._usage_counts[app] = self._usage_counts.get(app, 0) + n
+            self._networked.update(apps["networked"])
+        return drift
+
+    def close_through(self, day: int) -> None:
+        """Close every still-open day strictly before ``day``."""
+        while self.next_day < day:
+            self.close_day(self.next_day)
+
+    def _score_drift(self, use_row: np.ndarray, daytype: str) -> float:
+        """Mean absolute deviation of a day's use row from the profile."""
+        if self._counts[daytype] == 0:
+            return 0.0
+        return float(np.abs(use_row - self._mean(daytype, "use")).mean())
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+    def _mean(self, daytype: str, kind: str) -> np.ndarray:
+        if self.decay is not None:
+            weight = self._weights[daytype]
+            if weight == 0.0:
+                return np.zeros(HOURS_PER_DAY)
+            return self._sums[daytype][kind] / weight
+        rows = self._rows[daytype]
+        if not rows:
+            return np.zeros(HOURS_PER_DAY)
+        # np.stack yields the same C-contiguous (k, 24) float64 block the
+        # offline fit's boolean row-indexing does, so mean(axis=0) is the
+        # identical reduction — this is the bit-exactness linchpin.
+        return np.stack([day_rows[kind] for day_rows in rows]).mean(axis=0)
+
+    @property
+    def n_weekdays(self) -> int:
+        """Closed weekdays folded into the model."""
+        return self._counts["weekday"]
+
+    @property
+    def n_weekends(self) -> int:
+        """Closed weekend days folded into the model."""
+        return self._counts["weekend"]
+
+    def registry(self) -> SpecialAppRegistry:
+        """Special-app registry from the closed days."""
+        return SpecialAppRegistry(
+            special=self._used & self._networked,
+            seen=self._used | self._networked,
+            usage_counts=dict(self._usage_counts),
+        )
+
+    def to_model(self) -> HabitModel:
+        """The fitted model as of the last closed day."""
+        return HabitModel(
+            user_id=self.user_id,
+            n_weekdays=self.n_weekdays,
+            n_weekends=self.n_weekends,
+            weekday_user_probs=self._mean("weekday", "use"),
+            weekend_user_probs=self._mean("weekend", "use"),
+            weekday_net_counts=self._mean("weekday", "net_counts"),
+            weekend_net_counts=self._mean("weekend", "net_counts"),
+            weekday_net_bytes=self._mean("weekday", "net_bytes"),
+            weekend_net_bytes=self._mean("weekend", "net_bytes"),
+            weekday_net_seconds=self._mean("weekday", "net_seconds"),
+            weekend_net_seconds=self._mean("weekend", "net_seconds"),
+            weekday_screen_seconds=self._mean("weekday", "screen_seconds"),
+            weekend_screen_seconds=self._mean("weekend", "screen_seconds"),
+            special_apps=self.registry(),
+        )
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """All mutable state as JSON-safe values (exact float round-trip)."""
+
+        def rows_out(rows: dict[str, np.ndarray]) -> dict:
+            return {kind: [float(v) for v in rows[kind]] for kind in _KINDS}
+
+        state: dict = {
+            "format": _STATE_FORMAT,
+            "user_id": self.user_id,
+            "start_weekday": self.start_weekday,
+            "window_days": self.window_days,
+            "decay": self.decay,
+            "drift_threshold": self.drift_threshold,
+            "next_day": self.next_day,
+            "frozen": self.frozen,
+            "last_drift": self.last_drift,
+            "drift_alerts": self.drift_alerts,
+            "counts": dict(self._counts),
+            "pending_rows": {str(d): rows_out(r) for d, r in self._pending_rows.items()},
+            "pending_apps": {
+                str(d): {
+                    "usage_counts": dict(a["usage_counts"]),
+                    "networked": sorted(a["networked"]),
+                }
+                for d, a in self._pending_apps.items()
+            },
+            "used": sorted(self._used),
+            "networked": sorted(self._networked),
+            "usage_counts": dict(self._usage_counts),
+        }
+        if self.decay is None:
+            state["rows"] = {
+                daytype: [rows_out(r) for r in rows] for daytype, rows in self._rows.items()
+            }
+        else:
+            state["sums"] = {d: rows_out(s) for d, s in self._sums.items()}
+            state["weights"] = dict(self._weights)
+        return state
+
+    @classmethod
+    def load_state(cls, state: dict) -> "OnlineHabitModel":
+        """Rebuild an accumulator from :meth:`state_dict` output."""
+        fmt = state.get("format")
+        if fmt != _STATE_FORMAT:
+            raise ValueError(
+                f"unsupported online-habit state format: {fmt!r} "
+                f"(this build reads format {_STATE_FORMAT})"
+            )
+
+        def rows_in(data: dict) -> dict[str, np.ndarray]:
+            return {
+                kind: np.asarray(data[kind], dtype=np.float64) for kind in _KINDS
+            }
+
+        model = cls(
+            state["user_id"],
+            start_weekday=int(state["start_weekday"]),
+            window_days=state["window_days"],
+            decay=state["decay"],
+            drift_threshold=float(state["drift_threshold"]),
+        )
+        model.next_day = int(state["next_day"])
+        model.frozen = bool(state["frozen"])
+        model.last_drift = float(state["last_drift"])
+        model.drift_alerts = int(state["drift_alerts"])
+        model._counts = {k: int(v) for k, v in state["counts"].items()}
+        model._pending_rows = {
+            int(d): rows_in(r) for d, r in state["pending_rows"].items()
+        }
+        model._pending_apps = {
+            int(d): {
+                "usage_counts": {a: int(n) for a, n in v["usage_counts"].items()},
+                "networked": set(v["networked"]),
+            }
+            for d, v in state["pending_apps"].items()
+        }
+        model._used = set(state["used"])
+        model._networked = set(state["networked"])
+        model._usage_counts = {a: int(n) for a, n in state["usage_counts"].items()}
+        if model.decay is None:
+            for daytype in ("weekday", "weekend"):
+                model._rows[daytype].extend(rows_in(r) for r in state["rows"][daytype])
+        else:
+            model._sums = {d: rows_in(s) for d, s in state["sums"].items()}
+            model._weights = {d: float(w) for d, w in state["weights"].items()}
+        return model

@@ -1,0 +1,307 @@
+"""Causal scheduling: the NetMaster middleware driven at stream time.
+
+:class:`OnlineNetMaster` consumes one user's chronological record stream
+and runs the full middleware with **no future knowledge**: events buffer
+into the current day as they arrive, and when stream time crosses
+midnight the finished day is executed against the model mined from the
+days *before* it (the habit accumulator folds the day in only after the
+decisions are made).  The first ``train_days`` days are observation-only
+— the paper's monitoring phase — after which every day is planned and
+executed causally, circuit breaker and graceful degradation included.
+
+The engine's entire state — habit accumulators, breaker, partially
+buffered current day, counters — serializes to one JSON document
+(:meth:`state_dict`).  Floats survive JSON bit-exactly, so a stream can
+be killed anywhere (including mid-day) and resumed from the checkpoint
+with byte-identical subsequent decisions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro._util import DAY
+from repro.baselines.policy import PolicyOutcome
+from repro.core.netmaster import DayExecution, NetMaster, NetMasterConfig
+from repro.habits.serialization import config_from_dict, config_to_dict
+from repro.stream.ingest import event_time
+from repro.stream.online_habits import OnlineHabitModel
+from repro.telemetry import metrics
+from repro.traces.events import AppUsage, NetworkActivity, ScreenSession, Trace
+from repro.traces.io import TraceRecord
+
+_STATE_FORMAT = 1
+
+POLICY_NAME = "netmaster-online"
+
+
+@dataclass(frozen=True, slots=True)
+class CompletedDay:
+    """One causally executed day, ready for pricing."""
+
+    day_index: int
+    trace: Trace
+    execution: DayExecution
+
+    def outcome(self) -> PolicyOutcome:
+        """The execution as a policy outcome (same shape as the offline
+        :class:`~repro.baselines.netmaster_policy.NetMasterPolicy`)."""
+        ex = self.execution
+        return PolicyOutcome(
+            policy=POLICY_NAME,
+            activities=ex.activities,
+            activity_tails=ex.activity_tails,
+            extra_windows=ex.wake_windows,
+            interrupts=ex.interrupts,
+            user_interactions=ex.user_interactions,
+            deferred=ex.deferred_to_slots + ex.duty_serviced,
+        )
+
+
+class OnlineNetMaster:
+    """Per-user online engine: observe events, execute days causally.
+
+    Feed records with :meth:`observe`; finished days queue up and are
+    collected with :meth:`drain` (bounded memory when drained
+    regularly).  :meth:`finish` closes the remaining days of a stream
+    whose horizon is known.
+    """
+
+    def __init__(
+        self,
+        user_id: str,
+        *,
+        config: NetMasterConfig | None = None,
+        start_weekday: int = 0,
+        train_days: int = 10,
+        update_model: bool = True,
+        window_days: int | None = None,
+        decay: float | None = None,
+    ) -> None:
+        if train_days < 1:
+            raise ValueError(f"train_days must be >= 1, got {train_days}")
+        self.user_id = user_id
+        self.config = config or NetMasterConfig()
+        self.start_weekday = int(start_weekday)
+        self.train_days = int(train_days)
+        self.update_model = bool(update_model)
+        self.habits = OnlineHabitModel(
+            user_id,
+            start_weekday=start_weekday,
+            window_days=window_days,
+            decay=decay,
+        )
+        self.netmaster = NetMaster(self.config)
+        #: Index of the day currently buffering (monotonic).
+        self.day = 0
+        self._last_time = 0.0
+        self.events = 0
+        self.days_executed = 0
+        self.days_degraded = 0
+        self.interrupts = 0
+        # Per-day event buffers (rebased to the day's midnight), only
+        # kept for days that will actually execute (>= train_days).
+        self._sessions: dict[int, list[ScreenSession]] = {}
+        self._usages: dict[int, list[AppUsage]] = {}
+        self._activities: dict[int, list[NetworkActivity]] = {}
+        self._completed: list[CompletedDay] = []
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def observe(self, record: TraceRecord) -> None:
+        """Fold one record in; closes days as stream time crosses them."""
+        time = event_time(record)
+        if time < self._last_time:
+            raise ValueError(
+                f"stream went backwards: event at t={time} after t={self._last_time}"
+            )
+        self._last_time = time
+        while time >= (self.day + 1) * DAY:
+            self._close_day()
+        self.events += 1
+        metrics().inc("stream.events")
+        self.habits.observe(record)
+        self._buffer(record)
+
+    def observe_many(self, records: Iterable[TraceRecord]) -> None:
+        """Fold a chronological record iterable."""
+        for record in records:
+            self.observe(record)
+
+    def _buffer(self, record: TraceRecord) -> None:
+        """Mirror of ``Trace.day_view`` clipping, applied incrementally."""
+        if isinstance(record, ScreenSession):
+            day = int(record.start // DAY)
+            while day * DAY < record.end:
+                lo, hi = day * DAY, (day + 1) * DAY
+                start, end = max(record.start, lo), min(record.end, hi)
+                if end > start and day >= self.train_days:
+                    self._sessions.setdefault(day, []).append(
+                        ScreenSession(start - lo, end - lo)
+                    )
+                day += 1
+        elif isinstance(record, AppUsage):
+            day = int(record.time // DAY)
+            if day >= self.train_days:
+                self._usages.setdefault(day, []).append(
+                    AppUsage(record.time - day * DAY, record.app, record.duration)
+                )
+        else:
+            day = int(record.time // DAY)
+            if day >= self.train_days:
+                self._activities.setdefault(day, []).append(
+                    record.moved_to(record.time - day * DAY)
+                )
+
+    # ------------------------------------------------------------------
+    # day boundary
+    # ------------------------------------------------------------------
+    def _day_trace(self, day: int) -> Trace:
+        return Trace(
+            user_id=self.user_id,
+            n_days=1,
+            start_weekday=(self.start_weekday + day) % 7,
+            screen_sessions=self._sessions.pop(day, []),
+            usages=self._usages.pop(day, []),
+            activities=self._activities.pop(day, []),
+        )
+
+    def _close_day(self) -> None:
+        day = self.day
+        self.day += 1
+        if day >= self.train_days:
+            # The model is mined from days 0..day-1 only — the habit
+            # accumulator folds `day` in *after* the decisions are made.
+            self.netmaster.adopt_model(self.habits.to_model())
+            if not self.update_model:
+                self.habits.frozen = True
+            trace = self._day_trace(day)
+            execution = self.netmaster.execute_day(trace)
+            self.days_executed += 1
+            self.interrupts += execution.interrupts
+            if execution.degraded:
+                self.days_degraded += 1
+            metrics().inc("stream.user_days")
+            self._completed.append(
+                CompletedDay(day_index=day, trace=trace, execution=execution)
+            )
+        self.habits.close_day(day)
+
+    def finish(self, n_days: int) -> list[CompletedDay]:
+        """Close all days through ``n_days`` and drain the results."""
+        while self.day < n_days:
+            self._close_day()
+        return self.drain()
+
+    def drain(self) -> list[CompletedDay]:
+        """Completed days since the last drain (and release them)."""
+        out = self._completed
+        self._completed = []
+        return out
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full engine state as JSON-safe values.
+
+        Undrained completed days are not part of the state — drain (and
+        price) them before checkpointing.
+        """
+        return {
+            "format": _STATE_FORMAT,
+            "user_id": self.user_id,
+            "start_weekday": self.start_weekday,
+            "train_days": self.train_days,
+            "update_model": self.update_model,
+            "config": config_to_dict(self.config),
+            "day": self.day,
+            "last_time": self._last_time,
+            "events": self.events,
+            "days_executed": self.days_executed,
+            "days_degraded": self.days_degraded,
+            "interrupts": self.interrupts,
+            "habits": self.habits.state_dict(),
+            "breaker": self.netmaster.breaker.state_dict(),
+            "buffers": {
+                str(day): {
+                    "sessions": [[s.start, s.end] for s in self._sessions.get(day, [])],
+                    "usages": [
+                        [u.time, u.app, u.duration] for u in self._usages.get(day, [])
+                    ],
+                    "activities": [
+                        [a.time, a.app, a.down_bytes, a.up_bytes, a.duration, a.screen_on]
+                        for a in self._activities.get(day, [])
+                    ],
+                }
+                for day in sorted(
+                    set(self._sessions) | set(self._usages) | set(self._activities)
+                )
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineNetMaster":
+        """Rebuild an engine from :meth:`state_dict` output.
+
+        The restored engine makes byte-identical decisions on the
+        remaining stream: habit rows, breaker state and day buffers all
+        round-trip through JSON exactly.
+        """
+        fmt = state.get("format")
+        if fmt != _STATE_FORMAT:
+            raise ValueError(
+                f"unsupported stream checkpoint format: {fmt!r} "
+                f"(this build reads format {_STATE_FORMAT})"
+            )
+        engine = cls(
+            state["user_id"],
+            config=config_from_dict(state["config"]),
+            start_weekday=int(state["start_weekday"]),
+            train_days=int(state["train_days"]),
+            update_model=bool(state["update_model"]),
+        )
+        engine.habits = OnlineHabitModel.load_state(state["habits"])
+        engine.netmaster.breaker.load_state(state["breaker"])
+        engine.day = int(state["day"])
+        engine._last_time = float(state["last_time"])
+        engine.events = int(state["events"])
+        engine.days_executed = int(state["days_executed"])
+        engine.days_degraded = int(state["days_degraded"])
+        engine.interrupts = int(state["interrupts"])
+        for day_key, buf in state["buffers"].items():
+            day = int(day_key)
+            if buf["sessions"]:
+                engine._sessions[day] = [
+                    ScreenSession(float(s), float(e)) for s, e in buf["sessions"]
+                ]
+            if buf["usages"]:
+                engine._usages[day] = [
+                    AppUsage(float(t), str(app), float(d)) for t, app, d in buf["usages"]
+                ]
+            if buf["activities"]:
+                engine._activities[day] = [
+                    NetworkActivity(
+                        time=float(t),
+                        app=str(app),
+                        down_bytes=float(down),
+                        up_bytes=float(up),
+                        duration=float(dur),
+                        screen_on=bool(on),
+                    )
+                    for t, app, down, up, dur, on in buf["activities"]
+                ]
+        return engine
+
+    def to_json(self) -> str:
+        """:meth:`state_dict` as a JSON string (checkpoint payload)."""
+        metrics().inc("stream.checkpoints")
+        return json.dumps(self.state_dict())
+
+    @classmethod
+    def from_json(cls, payload: str) -> "OnlineNetMaster":
+        """Restore from :meth:`to_json` output."""
+        return cls.from_state(json.loads(payload))

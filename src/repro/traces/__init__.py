@@ -21,9 +21,11 @@ from repro.traces.apps import AppCatalog, AppModel, default_catalog
 from repro.traces.events import AppUsage, NetworkActivity, ScreenSession, Trace
 from repro.traces.generator import TraceGenerator, generate_cohort, generate_volunteers
 from repro.traces.io import (
+    TraceHeader,
     TraceLoadReport,
     cohort_from_dir,
     cohort_to_dir,
+    iter_trace_records,
     trace_from_csv,
     trace_from_csv_lenient,
     trace_from_jsonl,
@@ -49,6 +51,7 @@ __all__ = [
     "ScreenUtilization",
     "Trace",
     "TraceGenerator",
+    "TraceHeader",
     "TraceLoadReport",
     "TraceStore",
     "TrafficSplit",
@@ -65,6 +68,7 @@ __all__ = [
     "generate_cohort",
     "generate_volunteers",
     "intensity_profile",
+    "iter_trace_records",
     "profile_by_id",
     "rate_cdf",
     "rate_percentile",

@@ -23,11 +23,29 @@ import csv
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterator, Union
 
 from repro._util import DAY
 from repro.traces.events import AppUsage, NetworkActivity, ScreenSession, Trace
 
 _FORMAT_VERSION = 1
+
+#: What :func:`iter_trace_records` yields after the header.
+TraceRecord = Union[ScreenSession, AppUsage, NetworkActivity]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceHeader:
+    """The metadata line of a JSONL trace file.
+
+    Always the first item yielded by :func:`iter_trace_records`; carries
+    everything needed to build a :class:`Trace` around the event records
+    that follow.
+    """
+
+    user_id: str
+    n_days: int
+    start_weekday: int
 
 
 @dataclass
@@ -194,6 +212,88 @@ def _parse_record(
     raise ValueError(f"unknown record kind: {kind!r}")
 
 
+def iter_trace_records(
+    path: str | Path,
+    *,
+    lenient: bool = False,
+    report: TraceLoadReport | None = None,
+) -> Iterator[TraceHeader | TraceRecord]:
+    """Stream the records of a JSONL trace file without building a Trace.
+
+    Yields the :class:`TraceHeader` first, then every validated event
+    record (:class:`ScreenSession` / :class:`AppUsage` /
+    :class:`NetworkActivity`) in file order, holding only one line in
+    memory at a time — the ingestion substrate of :mod:`repro.stream`.
+
+    In strict mode (the default) any malformed line raises, exactly like
+    :func:`trace_from_jsonl`.  With ``lenient=True`` malformed non-header
+    records are skipped and recorded in ``report`` (header problems still
+    raise: the file cannot be interpreted without one).  A file with no
+    header line raises :class:`ValueError` once the iterator is
+    exhausted.
+    """
+    path = Path(path)
+    saw_header = False
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if not saw_header:
+                    if lenient:
+                        raise ValueError(
+                            f"{path}: header line is unreadable: {exc}"
+                        ) from exc
+                    raise
+                if not lenient:
+                    raise
+                if report is not None:
+                    report.skipped.append(
+                        (f"line {lineno}", f"invalid JSON: {exc.msg}")
+                    )
+                continue
+            if not saw_header:
+                header = _check_header(obj, path)
+                saw_header = True
+                yield TraceHeader(
+                    user_id=header["user_id"],
+                    n_days=header["n_days"],
+                    start_weekday=header["start_weekday"],
+                )
+                continue
+            try:
+                yield _parse_record(obj.get("kind"), obj)
+            except (KeyError, TypeError, ValueError) as exc:
+                if not lenient:
+                    raise
+                if report is not None:
+                    report.skipped.append((f"line {lineno}", str(exc)))
+    if not saw_header:
+        raise ValueError(f"{path} has no header line")
+
+
+def _collect_records(
+    records: Iterator[TraceHeader | TraceRecord],
+) -> tuple[TraceHeader, list[ScreenSession], list[AppUsage], list[NetworkActivity]]:
+    """Drain a record iterator into kind-partitioned lists."""
+    header = next(records)
+    assert isinstance(header, TraceHeader)
+    sessions: list[ScreenSession] = []
+    usages: list[AppUsage] = []
+    activities: list[NetworkActivity] = []
+    for record in records:
+        if isinstance(record, ScreenSession):
+            sessions.append(record)
+        elif isinstance(record, AppUsage):
+            usages.append(record)
+        else:
+            activities.append(record)
+    return header, sessions, usages, activities
+
+
 def trace_from_jsonl(path: str | Path) -> Trace:
     """Load a trace previously written by :func:`trace_to_jsonl`.
 
@@ -201,33 +301,13 @@ def trace_from_jsonl(path: str | Path) -> Trace:
     supported format version; any malformed record raises.  Use
     :func:`trace_from_jsonl_lenient` for files of unknown provenance.
     """
-    path = Path(path)
-    header = None
-    sessions: list[ScreenSession] = []
-    usages: list[AppUsage] = []
-    activities: list[NetworkActivity] = []
-    with path.open() as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            obj = json.loads(line)
-            if header is None:
-                header = _check_header(obj, path)
-                continue
-            record = _parse_record(obj.get("kind"), obj)
-            if isinstance(record, ScreenSession):
-                sessions.append(record)
-            elif isinstance(record, AppUsage):
-                usages.append(record)
-            else:
-                activities.append(record)
-    if header is None:
-        raise ValueError(f"{path} has no header line")
+    header, sessions, usages, activities = _collect_records(
+        iter_trace_records(path)
+    )
     return Trace(
-        user_id=header["user_id"],
-        n_days=header["n_days"],
-        start_weekday=header["start_weekday"],
+        user_id=header.user_id,
+        n_days=header.n_days,
+        start_weekday=header.start_weekday,
         screen_sessions=sessions,
         usages=usages,
         activities=activities,
@@ -244,44 +324,22 @@ def trace_from_jsonl_lenient(path: str | Path) -> tuple[Trace, TraceLoadReport]:
     flag contradicts the surviving sessions are repaired rather than
     dropped.
     """
-    path = Path(path)
     report = TraceLoadReport()
-    header = None
-    sessions: list[ScreenSession] = []
-    usages: list[AppUsage] = []
-    activities: list[NetworkActivity] = []
-    with path.open() as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError as exc:
-                if header is None:
-                    raise ValueError(
-                        f"{path}: header line is unreadable: {exc}"
-                    ) from exc
-                report.skipped.append((f"line {lineno}", f"invalid JSON: {exc.msg}"))
-                continue
-            if header is None:
-                header = _check_header(obj, path)
-                continue
-            try:
-                record = _parse_record(obj.get("kind"), obj)
-            except (KeyError, TypeError, ValueError) as exc:
-                report.skipped.append((f"line {lineno}", str(exc)))
-                continue
-            if isinstance(record, ScreenSession):
-                sessions.append(record)
-            elif isinstance(record, AppUsage):
-                usages.append(record)
-            else:
-                activities.append(record)
-    if header is None:
-        raise ValueError(f"{path} has no header line")
+    header, sessions, usages, activities = _collect_records(
+        iter_trace_records(path, lenient=True, report=report)
+    )
     return (
-        _build_trace_lenient(header, sessions, usages, activities, report),
+        _build_trace_lenient(
+            {
+                "user_id": header.user_id,
+                "n_days": header.n_days,
+                "start_weekday": header.start_weekday,
+            },
+            sessions,
+            usages,
+            activities,
+            report,
+        ),
         report,
     )
 

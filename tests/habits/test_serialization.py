@@ -1,0 +1,125 @@
+"""JSON round-trips for habit models and middleware configs."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.netmaster import NetMasterConfig
+from repro.habits import (
+    HabitModel,
+    config_from_dict,
+    config_to_dict,
+    configs_equal,
+    habit_model_from_dict,
+    habit_model_to_dict,
+    habit_models_equal,
+    load_habit_model,
+    save_habit_model,
+)
+from repro.habits.serialization import (
+    delta_from_dict,
+    delta_to_dict,
+    registry_from_dict,
+    registry_to_dict,
+)
+from repro.habits.threshold import (
+    FixedDelta,
+    ImpactBasedDelta,
+    WeekdayWeekendDelta,
+)
+from repro.radio import lte_model
+
+
+class TestHabitModelRoundTrip:
+    def test_dict_round_trip_is_bit_exact(self, volunteers):
+        for trace in volunteers:
+            model = HabitModel.fit(trace)
+            again = habit_model_from_dict(
+                json.loads(json.dumps(habit_model_to_dict(model)))
+            )
+            assert habit_models_equal(model, again)
+
+    def test_file_round_trip(self, volunteer, tmp_path):
+        model = HabitModel.fit(volunteer)
+        path = save_habit_model(model, tmp_path / "model.json")
+        assert habit_models_equal(model, load_habit_model(path))
+
+    def test_registry_round_trip(self, volunteer):
+        registry = HabitModel.fit(volunteer).special_apps
+        assert registry_from_dict(registry_to_dict(registry)) == registry
+
+    def test_equality_is_strict(self, volunteer):
+        model = HabitModel.fit(volunteer)
+        data = habit_model_to_dict(model)
+        data["weekday_user_probs"][3] += 1e-12
+        assert not habit_models_equal(model, habit_model_from_dict(data))
+
+    def test_bad_array_shape_rejected(self, volunteer):
+        data = habit_model_to_dict(HabitModel.fit(volunteer))
+        data["weekday_net_bytes"] = [1.0, 2.0]
+        with pytest.raises(ValueError):
+            habit_model_from_dict(data)
+
+    def test_negative_zero_and_nan_round_trip(self, volunteer):
+        model = HabitModel.fit(volunteer)
+        data = habit_model_to_dict(model)
+        data["weekday_user_probs"][0] = -0.0
+        a = habit_model_from_dict(data)
+        b = habit_model_from_dict(json.loads(json.dumps(data)))
+        assert habit_models_equal(a, b)
+        assert np.signbit(b.weekday_user_probs[0])
+
+
+class TestDeltaRoundTrip:
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            None,
+            FixedDelta(0.25),
+            WeekdayWeekendDelta(0.2, 0.4),
+            ImpactBasedDelta(0.05),
+        ],
+    )
+    def test_bundled_strategies(self, strategy):
+        assert delta_from_dict(delta_to_dict(strategy)) == strategy
+
+    def test_custom_strategy_rejected(self):
+        class Custom:
+            def delta_for(self, *a):  # pragma: no cover - never called
+                return 0.1
+
+        with pytest.raises(TypeError, match="Custom"):
+            delta_to_dict(Custom())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="mystery"):
+            delta_from_dict({"kind": "mystery"})
+
+
+class TestConfigRoundTrip:
+    def test_default_config(self):
+        config = NetMasterConfig()
+        again = config_from_dict(json.loads(json.dumps(config_to_dict(config))))
+        assert configs_equal(config, again)
+
+    def test_custom_config(self):
+        config = NetMasterConfig(
+            power=lte_model(),
+            eps=0.1,
+            delta=WeekdayWeekendDelta(0.15, 0.3),
+            wake_window_s=45.0,
+            enable_circuit_breaker=False,
+            min_history_days=5,
+        )
+        again = config_from_dict(config_to_dict(config))
+        assert configs_equal(config, again)
+        assert not configs_equal(config, NetMasterConfig())
+
+    def test_unknown_format_rejected(self):
+        data = config_to_dict(NetMasterConfig())
+        data["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            config_from_dict(data)

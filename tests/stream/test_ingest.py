@@ -1,0 +1,103 @@
+"""Stream ingestion: chronological merges with bounded memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream import (
+    StreamEvent,
+    event_time,
+    merge_user_streams,
+    stream_trace,
+    stream_trace_jsonl,
+)
+from repro.traces import (
+    AppUsage,
+    NetworkActivity,
+    ScreenSession,
+    trace_to_jsonl,
+)
+
+
+class TestEventTime:
+    def test_session_keyed_on_start(self):
+        assert event_time(ScreenSession(100.0, 200.0)) == 100.0
+
+    def test_usage_and_activity_keyed_on_time(self):
+        assert event_time(AppUsage(5.0, "a", 1.0)) == 5.0
+        assert event_time(NetworkActivity(7.0, "a", 1.0, 1.0, 1.0, False)) == 7.0
+
+
+class TestStreamTrace:
+    def test_complete_and_chronological(self, volunteer):
+        records = list(stream_trace(volunteer))
+        n_expected = (
+            len(volunteer.screen_sessions)
+            + len(volunteer.usages)
+            + len(volunteer.activities)
+        )
+        assert len(records) == n_expected
+        times = [event_time(r) for r in records]
+        assert times == sorted(times)
+
+    def test_tie_break_prefers_sessions_then_usages(self, tiny_trace):
+        # Session and usage both start at t=100; merge stability puts the
+        # session (earlier source) first.
+        records = list(stream_trace(tiny_trace))
+        at_100 = [r for r in records if event_time(r) == 100.0]
+        assert isinstance(at_100[0], ScreenSession)
+        assert isinstance(at_100[1], AppUsage)
+
+    def test_is_lazy(self, volunteer):
+        stream = stream_trace(volunteer)
+        assert not isinstance(stream, (list, tuple))
+        first = next(stream)
+        assert event_time(first) <= event_time(next(stream))
+
+
+class TestStreamTraceJsonl:
+    def test_matches_in_memory_stream(self, volunteer, tmp_path):
+        path = tmp_path / "vol.jsonl"
+        trace_to_jsonl(volunteer, path)
+        header, records = stream_trace_jsonl(path)
+        assert header.user_id == volunteer.user_id
+        assert header.n_days == volunteer.n_days
+        assert header.start_weekday == volunteer.start_weekday
+        streamed = list(records)
+        expected = list(stream_trace(volunteer))
+        assert len(streamed) == len(expected)
+        assert [event_time(r) for r in streamed] == [event_time(r) for r in expected]
+        assert [type(r).__name__ for r in streamed] == [
+            type(r).__name__ for r in expected
+        ]
+
+    def test_lenient_skips_bad_lines(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.jsonl"
+        trace_to_jsonl(tiny_trace, path)
+        with path.open("a") as fh:
+            fh.write("{not json}\n")
+        with pytest.raises(ValueError):
+            list(stream_trace_jsonl(path)[1])
+        _, records = stream_trace_jsonl(path, lenient=True)
+        assert len(list(records)) == len(list(stream_trace(tiny_trace)))
+
+
+class TestMergeUserStreams:
+    def test_chronological_and_tagged(self, volunteers):
+        streams = {t.user_id: stream_trace(t) for t in volunteers}
+        merged = list(merge_user_streams(streams))
+        assert all(isinstance(e, StreamEvent) for e in merged)
+        times = [e.time for e in merged]
+        assert times == sorted(times)
+        per_user = {t.user_id: 0 for t in volunteers}
+        for e in merged:
+            per_user[e.user_id] += 1
+        for t in volunteers:
+            assert per_user[t.user_id] == len(list(stream_trace(t)))
+
+    def test_per_user_order_preserved(self, volunteers):
+        streams = {t.user_id: stream_trace(t) for t in volunteers}
+        seen: dict[str, float] = {}
+        for e in merge_user_streams(streams):
+            assert e.time >= seen.get(e.user_id, float("-inf"))
+            seen[e.user_id] = e.time

@@ -1,0 +1,171 @@
+"""OnlineHabitModel: bit-exact parity with the offline fit."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro._util import DAY, HOUR
+from repro.habits import HabitModel, habit_models_equal
+from repro.stream import OnlineHabitModel, event_time, stream_trace
+from repro.traces import NetworkActivity, ScreenSession
+
+
+def _streamed(trace, **kwargs) -> OnlineHabitModel:
+    online = OnlineHabitModel(
+        trace.user_id, start_weekday=trace.start_weekday, **kwargs
+    )
+    online.observe_many(stream_trace(trace))
+    online.close_through(trace.n_days)
+    return online
+
+
+class TestBitExactParity:
+    def test_matches_offline_fit(self, volunteers):
+        for trace in volunteers:
+            online = _streamed(trace)
+            assert habit_models_equal(online.to_model(), HabitModel.fit(trace))
+
+    def test_registry_matches(self, volunteer):
+        online = _streamed(volunteer)
+        assert online.registry() == HabitModel.fit(volunteer).special_apps
+
+    def test_parity_survives_state_round_trip(self, volunteer):
+        online = OnlineHabitModel(
+            volunteer.user_id, start_weekday=volunteer.start_weekday
+        )
+        records = list(stream_trace(volunteer))
+        cut = len(records) // 2
+        online.observe_many(records[:cut])
+        online.close_through(int(event_time(records[cut]) // DAY))
+        restored = OnlineHabitModel.load_state(
+            json.loads(json.dumps(online.state_dict()))
+        )
+        restored.observe_many(records[cut:])
+        restored.close_through(volunteer.n_days)
+        assert habit_models_equal(restored.to_model(), HabitModel.fit(volunteer))
+
+    def test_state_round_trip_is_byte_identical(self, volunteer):
+        online = _streamed(volunteer)
+        payload = json.dumps(online.state_dict())
+        restored = OnlineHabitModel.load_state(json.loads(payload))
+        assert json.dumps(restored.state_dict()) == payload
+        assert habit_models_equal(restored.to_model(), online.to_model())
+
+    def test_causality_pending_days_excluded(self, volunteer):
+        online = OnlineHabitModel(
+            volunteer.user_id, start_weekday=volunteer.start_weekday
+        )
+        online.observe_many(stream_trace(volunteer))
+        online.close_through(10)  # days 10.. remain pending
+        assert online.n_weekdays + online.n_weekends == 10
+        clipped = HabitModel.fit(_prefix(volunteer, 10))
+        assert habit_models_equal(online.to_model(), clipped)
+
+
+def _prefix(trace, n_days):
+    """The first ``n_days`` of a trace, sessions clipped at the horizon."""
+    horizon = n_days * DAY
+    return type(trace)(
+        user_id=trace.user_id,
+        n_days=n_days,
+        start_weekday=trace.start_weekday,
+        screen_sessions=[
+            ScreenSession(s.start, min(s.end, horizon))
+            for s in trace.screen_sessions
+            if s.start < horizon
+        ],
+        usages=[u for u in trace.usages if u.time < horizon],
+        activities=[a for a in trace.activities if a.time < horizon],
+    )
+
+
+class TestRetentionModes:
+    def test_window_keeps_only_recent_days(self):
+        online = OnlineHabitModel("w", window_days=2)
+        # Day 0: screen use in hour 1; days 1-2: hour 5.  All weekdays.
+        for day, hour in ((0, 1), (1, 5), (2, 5)):
+            online.observe(
+                ScreenSession(day * DAY + hour * HOUR, day * DAY + hour * HOUR + 60.0)
+            )
+            online.close_day(day)
+        probs = online.to_model().weekday_user_probs
+        assert probs[1] == 0.0  # day 0 fell out of the window
+        assert probs[5] == 1.0
+
+    def test_decay_weights_recent_days_higher(self):
+        online = OnlineHabitModel("d", decay=0.5)
+        online.observe(ScreenSession(HOUR, HOUR + 60.0))  # day 0, hour 1
+        online.close_day(0)
+        online.observe(ScreenSession(DAY + 5 * HOUR, DAY + 5 * HOUR + 60.0))
+        online.close_day(1)
+        probs = online.to_model().weekday_user_probs
+        assert probs[5] > probs[1] > 0.0
+
+    def test_window_and_decay_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            OnlineHabitModel("x", window_days=3, decay=0.9)
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(ValueError, match="decay"):
+            OnlineHabitModel("x", decay=1.5)
+
+
+class TestDrift:
+    def test_out_of_profile_day_alerts(self):
+        online = OnlineHabitModel("drift", drift_threshold=0.3)
+        # Five habitual weekdays: screen on during hours 8-9 only.
+        for day in range(4):
+            online.observe(ScreenSession(day * DAY + 8 * HOUR, day * DAY + 10 * HOUR))
+            assert online.close_day(day) <= 0.3
+        assert online.drift_alerts == 0
+        # Day 4 (a weekday): screen on for 16 completely different hours.
+        online.observe(ScreenSession(4 * DAY + 10 * HOUR, 4 * DAY + 24 * HOUR - 1.0))
+        assert online.close_day(4) > 0.3
+        assert online.drift_alerts == 1
+
+    def test_first_day_never_alerts(self):
+        online = OnlineHabitModel("fresh", drift_threshold=0.0)
+        online.observe(ScreenSession(0.0, 12 * HOUR))
+        assert online.close_day(0) == 0.0
+        assert online.drift_alerts == 0
+
+
+class TestLifecycle:
+    def test_days_close_strictly_in_order(self):
+        online = OnlineHabitModel("o")
+        online.close_day(0)
+        with pytest.raises(ValueError, match="in order"):
+            online.close_day(2)
+
+    def test_frozen_scores_but_does_not_learn(self):
+        online = OnlineHabitModel("f")
+        online.observe(ScreenSession(8 * HOUR, 9 * HOUR))
+        online.close_day(0)
+        before = online.to_model()
+        online.frozen = True
+        online.observe(ScreenSession(DAY + 20 * HOUR, DAY + 21 * HOUR))
+        online.close_day(1)
+        assert habit_models_equal(online.to_model(), before)
+        assert online.n_weekdays == 1
+
+    def test_midnight_crossing_session_splits_across_days(self):
+        online = OnlineHabitModel("m")
+        online.observe(ScreenSession(DAY - 30.0, DAY + 30.0))
+        online.close_day(0)
+        day0 = online.to_model()
+        assert day0.weekday_user_probs[23] == 1.0
+        assert day0.weekday_screen_seconds[23] == 30.0
+        online.close_day(1)
+        day1 = online.to_model()
+        assert day1.weekday_user_probs[0] == 0.5  # hour 0 used on day 1 only
+        assert day1.weekday_screen_seconds[0] == 15.0
+
+    def test_screen_on_activities_ignored_in_rows(self):
+        online = OnlineHabitModel("s")
+        online.observe(NetworkActivity(HOUR, "app", 100.0, 10.0, 2.0, True))
+        online.observe(NetworkActivity(2 * HOUR, "app", 100.0, 10.0, 2.0, False))
+        online.close_day(0)
+        counts = online.to_model().weekday_net_counts
+        assert counts[1] == 0.0 and counts[2] == 1.0

@@ -1,0 +1,183 @@
+"""OnlineNetMaster: causal decision parity and checkpoint/restore."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro._util import DAY
+from repro.core.netmaster import NetMaster, NetMasterConfig
+from repro.stream import OnlineNetMaster, event_time, stream_trace
+from repro.traces import ScreenSession, Trace
+
+TRAIN_DAYS = 10
+
+#: Breaker disabled so the offline reference (fresh middleware per day,
+#: breaker state reset) matches the long-lived online engine exactly.
+CONFIG = NetMasterConfig(enable_circuit_breaker=False)
+
+
+def _clipped_prefix(trace: Trace, n_days: int) -> Trace:
+    """The first ``n_days`` as the online engine saw them: sessions that
+    cross the horizon are clipped, not dropped (unlike ``split_history``)."""
+    horizon = n_days * DAY
+    return Trace(
+        user_id=trace.user_id,
+        n_days=n_days,
+        start_weekday=trace.start_weekday,
+        screen_sessions=[
+            ScreenSession(s.start, min(s.end, horizon))
+            for s in trace.screen_sessions
+            if s.start < horizon
+        ],
+        usages=[u for u in trace.usages if u.time < horizon],
+        activities=[a for a in trace.activities if a.time < horizon],
+    )
+
+
+def _signature(execution):
+    return (
+        [
+            (a.time, a.app, a.duration, a.total_bytes, a.screen_on)
+            for a in execution.activities
+        ],
+        list(execution.activity_tails),
+        list(execution.wake_windows),
+        execution.interrupts,
+        execution.user_interactions,
+        execution.degraded,
+    )
+
+
+def _run_stream(trace, *, engine=None, checkpoint_at=None):
+    """Stream a trace, optionally round-tripping through JSON at an
+    event index; returns (engine, completed days in order)."""
+    engine = engine or OnlineNetMaster(
+        trace.user_id,
+        config=CONFIG,
+        start_weekday=trace.start_weekday,
+        train_days=TRAIN_DAYS,
+    )
+    completed = []
+    for i, record in enumerate(stream_trace(trace)):
+        engine.observe(record)
+        completed.extend(engine.drain())
+        if checkpoint_at is not None and i == checkpoint_at:
+            engine = OnlineNetMaster.from_json(engine.to_json())
+    completed.extend(engine.finish(trace.n_days))
+    return engine, completed
+
+
+class TestDecisionParity:
+    def test_every_day_matches_offline_training(self, volunteer):
+        _, completed = _run_stream(volunteer)
+        assert [c.day_index for c in completed] == list(
+            range(TRAIN_DAYS, volunteer.n_days)
+        )
+        for c in completed:
+            reference = NetMaster(CONFIG)
+            reference.train(_clipped_prefix(volunteer, c.day_index))
+            offline = reference.execute_day(volunteer.day_view(c.day_index))
+            assert _signature(c.execution) == _signature(offline)
+
+    def test_outcome_mirrors_execution(self, volunteer):
+        _, completed = _run_stream(volunteer)
+        c = completed[0]
+        outcome = c.outcome()
+        assert outcome.policy == "netmaster-online"
+        assert outcome.activities == c.execution.activities
+        assert outcome.interrupts == c.execution.interrupts
+        assert (
+            outcome.deferred
+            == c.execution.deferred_to_slots + c.execution.duty_serviced
+        )
+
+
+class TestCheckpointRestore:
+    @pytest.mark.parametrize("fraction", [0.55, 0.8])
+    def test_mid_stream_restore_replays_identically(self, volunteer, fraction):
+        records = list(stream_trace(volunteer))
+        # Cut mid-stream, strictly after training so decisions exist on
+        # both sides of the checkpoint.
+        cut = next(
+            i
+            for i, r in enumerate(records)
+            if event_time(r) >= fraction * volunteer.n_days * DAY
+        )
+        _, straight = _run_stream(volunteer)
+        _, forked = _run_stream(volunteer, checkpoint_at=cut)
+        assert [c.day_index for c in forked] == [c.day_index for c in straight]
+        for a, b in zip(straight, forked):
+            assert _signature(a.execution) == _signature(b.execution)
+
+    def test_checkpoint_payload_round_trips_byte_identically(self, volunteer):
+        engine, _ = _run_stream(volunteer)
+        payload = engine.to_json()
+        restored = OnlineNetMaster.from_json(payload)
+        assert restored.to_json() == payload
+
+    def test_restored_counters_match(self, volunteer):
+        engine, _ = _run_stream(volunteer)
+        restored = OnlineNetMaster.from_json(engine.to_json())
+        assert restored.events == engine.events
+        assert restored.days_executed == engine.days_executed
+        assert restored.interrupts == engine.interrupts
+        assert restored.day == engine.day
+
+    def test_undrained_days_must_be_drained_first(self, volunteer):
+        engine = OnlineNetMaster(
+            volunteer.user_id,
+            config=CONFIG,
+            start_weekday=volunteer.start_weekday,
+            train_days=TRAIN_DAYS,
+        )
+        engine.observe_many(stream_trace(volunteer))
+        state = engine.state_dict()
+        # The state is JSON-safe even with undrained days pending...
+        json.dumps(state)
+        # ...but the pending CompletedDays are deliberately not in it.
+        restored = OnlineNetMaster.from_state(state)
+        assert restored.drain() == []
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            OnlineNetMaster.from_state({"format": 99})
+
+
+class TestStreamContract:
+    def test_rejects_time_regression(self, volunteer):
+        engine = OnlineNetMaster(volunteer.user_id, config=CONFIG)
+        engine.observe(ScreenSession(1000.0, 1100.0))
+        with pytest.raises(ValueError, match="backwards"):
+            engine.observe(ScreenSession(500.0, 600.0))
+
+    def test_training_days_produce_no_decisions(self, volunteer):
+        engine = OnlineNetMaster(
+            volunteer.user_id,
+            config=CONFIG,
+            start_weekday=volunteer.start_weekday,
+            train_days=volunteer.n_days,
+        )
+        engine.observe_many(stream_trace(volunteer))
+        assert engine.finish(volunteer.n_days) == []
+        assert engine.days_executed == 0
+
+    def test_drain_releases_memory(self, volunteer):
+        _, completed = _run_stream(volunteer)
+        assert completed  # decisions happened...
+        engine, _ = _run_stream(volunteer)
+        assert engine.drain() == []  # ...and were all drained
+
+    def test_frozen_model_when_updates_disabled(self, volunteer):
+        engine = OnlineNetMaster(
+            volunteer.user_id,
+            config=CONFIG,
+            start_weekday=volunteer.start_weekday,
+            train_days=TRAIN_DAYS,
+            update_model=False,
+        )
+        engine.observe_many(stream_trace(volunteer))
+        engine.finish(volunteer.n_days)
+        assert engine.habits.frozen
+        assert engine.habits.n_weekdays + engine.habits.n_weekends == TRAIN_DAYS

@@ -224,3 +224,71 @@ class TestCohortDir:
         assert len(paths) == 3
         loaded = cohort_from_dir(tmp_path / "cohort")
         assert [t.user_id for t in loaded] == sorted(t.user_id for t in cohort)
+
+
+class TestIterTraceRecords:
+    def test_header_first_then_file_order(self, tiny_trace, tmp_path):
+        from repro.traces import TraceHeader, iter_trace_records
+
+        path = tmp_path / "t.jsonl"
+        trace_to_jsonl(tiny_trace, path)
+        records = list(iter_trace_records(path))
+        header, body = records[0], records[1:]
+        assert isinstance(header, TraceHeader)
+        assert header.user_id == tiny_trace.user_id
+        assert header.n_days == tiny_trace.n_days
+        assert len(body) == (
+            len(tiny_trace.screen_sessions)
+            + len(tiny_trace.usages)
+            + len(tiny_trace.activities)
+        )
+
+    def test_matches_trace_from_jsonl(self, volunteer, tmp_path):
+        from repro.traces import (
+            ScreenSession,
+            Trace,
+            TraceHeader,
+            iter_trace_records,
+        )
+
+        path = tmp_path / "v.jsonl"
+        trace_to_jsonl(volunteer, path)
+        stream = iter_trace_records(path)
+        header = next(stream)
+        assert isinstance(header, TraceHeader)
+        body = list(stream)
+        rebuilt = Trace(
+            user_id=header.user_id,
+            n_days=header.n_days,
+            start_weekday=header.start_weekday,
+            screen_sessions=[r for r in body if isinstance(r, ScreenSession)],
+            usages=[r for r in body if type(r).__name__ == "AppUsage"],
+            activities=[r for r in body if type(r).__name__ == "NetworkActivity"],
+        )
+        _assert_traces_equal(rebuilt, trace_from_jsonl(path))
+
+    def test_lenient_skips_and_reports(self, tiny_trace, tmp_path):
+        from repro.traces import TraceLoadReport, iter_trace_records
+
+        path = tmp_path / "t.jsonl"
+        trace_to_jsonl(tiny_trace, path)
+        with path.open("a") as fh:
+            fh.write('{"kind": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record kind"):
+            list(iter_trace_records(path))
+        report = TraceLoadReport()
+        n_clean = len(list(iter_trace_records(path, lenient=True, report=report))) - 1
+        assert n_clean == (
+            len(tiny_trace.screen_sessions)
+            + len(tiny_trace.usages)
+            + len(tiny_trace.activities)
+        )
+        assert report.n_skipped == 1
+
+    def test_missing_header_raises(self, tmp_path):
+        from repro.traces import iter_trace_records
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="header"):
+            list(iter_trace_records(path))

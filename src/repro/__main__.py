@@ -31,6 +31,7 @@ from repro.evaluation import experiments as ex
 from repro.evaluation import reporting as rpt
 from repro.evaluation.robustness import robustness as ex_robustness
 from repro.stream.experiment import stream_experiment as ex_stream
+from repro.stream.shards.experiment import shards_experiment as ex_shards
 
 #: experiment name -> (driver kwargs-aware runner, formatter)
 _REGISTRY: dict[str, tuple[Callable, Callable]] = {
@@ -50,6 +51,7 @@ _REGISTRY: dict[str, tuple[Callable, Callable]] = {
     "approx": (ex.approximation_ratio, rpt.format_approximation),
     "robustness": (ex_robustness, rpt.format_robustness),
     "stream": (ex_stream, rpt.format_stream),
+    "shards": (ex_shards, rpt.format_shards),
 }
 
 #: Experiments whose drivers accept a ``seed`` keyword.
@@ -68,10 +70,11 @@ _SEEDABLE = {
     "approx",
     "robustness",
     "stream",
+    "shards",
 }
 
 #: Experiments whose drivers accept a ``jobs`` keyword (process fan-out).
-_PARALLEL = {"fig7", "fig8", "fig9", "fig10c", "robustness", "stream"}
+_PARALLEL = {"fig7", "fig8", "fig9", "fig10c", "robustness", "stream", "shards"}
 
 #: ``--quick`` keyword overrides: shrunk but still-representative runs.
 #: Every entry keeps the experiment's structure (same policies, same
@@ -108,6 +111,16 @@ _QUICK: dict[str, dict[str, object]] = {
         "n_users": 6,
         "n_days": 9,
         "train_days": 7,
+        "checkpoint_every_days": 1,
+    },
+    # Small fleet over 2 shards with an aggressive compaction cadence,
+    # so the quick run still crosses a snapshot generation.
+    "shards": {
+        "n_users": 4,
+        "n_days": 9,
+        "train_days": 7,
+        "n_shards": 2,
+        "compact_every_records": 4,
         "checkpoint_every_days": 1,
     },
 }

@@ -9,7 +9,11 @@ simulation codebases.
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
@@ -89,6 +93,38 @@ def hour_of(time_s: float) -> int:
 def day_of(time_s: float) -> int:
     """Trace day index for an absolute trace time in seconds."""
     return int(time_s // DAY)
+
+
+def write_text_atomic(path: str | Path, text: str) -> Path:
+    """Write a text file so a crash can never leave a torn document.
+
+    The payload goes to a temporary file in the destination directory,
+    is flushed and fsynced, and is then renamed over ``path`` with
+    :func:`os.replace` — the same discipline the content-addressed trace
+    store uses.  Readers therefore only ever see the old document or the
+    complete new one, never a half-written hybrid.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def write_json_atomic(path: str | Path, doc: object, *, indent: int | None = None) -> Path:
+    """Atomically write ``doc`` as JSON (see :func:`write_text_atomic`)."""
+    return write_text_atomic(path, json.dumps(doc, indent=indent) + "\n")
 
 
 def merge_intervals(

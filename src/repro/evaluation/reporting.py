@@ -237,6 +237,32 @@ def format_stream(result) -> str:
     return "\n".join(lines)
 
 
+def format_shards(result) -> str:
+    """Sharded durable fleet: crash, recover, equal the unbroken run."""
+    lines = [
+        f"Sharded durable fleet — {result.n_users} users × {result.n_days} days "
+        f"over {result.n_shards} shards ({result.train_days} training)"
+    ]
+    lines.append(
+        f"  events {result.events} in {result.elapsed_s:.2f}s "
+        f"({result.events_per_s:,.0f} events/s), "
+        f"users streamed {result.users_streamed}"
+    )
+    lines.append(
+        f"  crash drill: {result.first_pass_users} users durable before the crash, "
+        f"{result.replayed_records} WAL records replayed in {result.recovery_s * 1e3:.1f}ms"
+    )
+    lines.append(
+        f"  recovery: {result.recovered_users} served from the log, "
+        f"{result.resumed_users} resumed mid-stream, "
+        f"{result.wal_appends} WAL appends, {result.compactions} compactions"
+    )
+    lines.append(
+        f"  recovered run == uninterrupted run: {result.matches_baseline}"
+    )
+    return "\n".join(lines)
+
+
 def format_approximation(result: ex.ApproximationResult) -> str:
     """Lemma IV.1: empirical approximation ratios."""
     lines = [f"Lemma IV.1 — approximation ratio over {result.trials} instances (eps={result.eps})"]

@@ -4,13 +4,20 @@ Everything a real fleet throws at the middleware that the paper's
 offline evaluation does not: failing transfers, radio outages, RRC
 promotion failures, corrupted monitoring traces — plus the retry and
 degradation machinery that keeps the energy savings (and the max-delay
-guarantee) intact under them.
+guarantee) intact under them.  :mod:`repro.faults.storage` extends the
+same discipline to the durability layer: seeded torn writes, truncated
+WALs, and lost or bit-flipped snapshots against a shard directory.
 """
 
 from repro.faults.degradation import CircuitBreaker
 from repro.faults.injector import FaultInjector, FaultPlan, TraceDegradation
 from repro.faults.resilience import FaultStats, apply_faults
 from repro.faults.retry import RetryOutcome, RetryPolicy, run_with_retries
+from repro.faults.storage import (
+    StorageFaultInjector,
+    current_snapshot_path,
+    current_wal_path,
+)
 
 __all__ = [
     "CircuitBreaker",
@@ -19,7 +26,10 @@ __all__ = [
     "FaultStats",
     "RetryOutcome",
     "RetryPolicy",
+    "StorageFaultInjector",
     "TraceDegradation",
     "apply_faults",
+    "current_snapshot_path",
+    "current_wal_path",
     "run_with_retries",
 ]

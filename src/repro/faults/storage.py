@@ -1,0 +1,178 @@
+"""Deterministic storage faults against a shard's durable files.
+
+Where :class:`~repro.faults.injector.FaultInjector` breaks the *radio*,
+:class:`StorageFaultInjector` breaks the *disk*: it mutilates the files
+a :class:`~repro.stream.shards.ShardStore` left behind — a torn final
+WAL write, a mid-record truncation, a vanished or bit-flipped snapshot,
+a lost manifest — exactly the damage a power cut or a bad sector
+inflicts.  Recovery is then expected to shrug: replay what is valid,
+truncate what is torn, salvage around what is gone, and report every
+repair.
+
+The injector deliberately does **not** import the shards package.  It
+locates files purely by the on-disk convention (``MANIFEST.json``,
+``wal-*.jsonl``, ``snapshot-*.json``), so the dependency arrow keeps
+pointing from durability code to fault code in tests, never the other
+way.
+
+Determinism is counter-based like the radio injector: every random
+choice (which byte to flip, where to cut) is keyed by
+``(channel, invocation-index)`` through a Philox generator, so a seeded
+storage-fault schedule is reproducible regardless of call order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+#: Philox channel assignments — one per independent decision family.
+_CH_TEAR = 0
+_CH_TRUNCATE = 1
+_CH_FLIP_POS = 2
+_CH_FLIP_BIT = 3
+
+#: Bytes of garbage appended by a torn write (arbitrary, incomplete).
+_TORN_BYTES = b'9f2a11c0 {"type":"day","user_id":"torn'
+
+
+def _manifest(shard_dir: Path) -> dict | None:
+    try:
+        doc = json.loads((shard_dir / "MANIFEST.json").read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def _newest(shard_dir: Path, pattern: str) -> Path | None:
+    candidates = sorted(shard_dir.glob(pattern))
+    return candidates[-1] if candidates else None
+
+
+def current_wal_path(shard_dir: str | Path) -> Path | None:
+    """The live WAL of a shard directory (manifest first, then newest)."""
+    shard_dir = Path(shard_dir)
+    doc = _manifest(shard_dir)
+    if doc and isinstance(doc.get("wal"), str):
+        path = shard_dir / doc["wal"]
+        if path.exists():
+            return path
+    return _newest(shard_dir, "wal-*.jsonl")
+
+
+def current_snapshot_path(shard_dir: str | Path) -> Path | None:
+    """The live snapshot of a shard directory, if any."""
+    shard_dir = Path(shard_dir)
+    doc = _manifest(shard_dir)
+    if doc and isinstance(doc.get("snapshot"), str):
+        path = shard_dir / doc["snapshot"]
+        if path.exists():
+            return path
+    return _newest(shard_dir, "snapshot-*.json")
+
+
+@dataclass
+class StorageFaultInjector:
+    """Inflicts seeded, reproducible damage on shard storage."""
+
+    seed: int = 0
+    #: Count of faults actually landed (files existed to damage).
+    injected: int = field(default=0, init=False)
+
+    def _uniform(self, channel: int, index: int) -> float:
+        bitgen = np.random.Philox(
+            key=self.seed & 0xFFFFFFFFFFFFFFFF, counter=[channel, 0, 0, index]
+        )
+        return float(np.random.Generator(bitgen).random())
+
+    # ------------------------------------------------------------------
+    # WAL faults
+    # ------------------------------------------------------------------
+    def tear_wal(self, shard_dir: str | Path) -> Path | None:
+        """Append an unterminated partial record — a torn final write.
+
+        Models a process killed between ``write()`` and the newline
+        reaching the file.  Recovery must keep every whole record and
+        truncate the tail.  Returns the damaged path, or ``None`` if the
+        shard has no WAL.
+        """
+        wal = current_wal_path(shard_dir)
+        if wal is None:
+            return None
+        cut = int(self._uniform(_CH_TEAR, self.injected) * (len(_TORN_BYTES) - 1)) + 1
+        with open(wal, "ab") as fh:
+            fh.write(_TORN_BYTES[:cut])
+        self.injected += 1
+        return wal
+
+    def truncate_wal(self, shard_dir: str | Path) -> Path | None:
+        """Chop the WAL mid-record — a truncated file after power loss.
+
+        Cuts a random number of bytes off the end (at least one, never
+        the whole file unless it is a single record).  Recovery must
+        replay the surviving prefix and repair the boundary.
+        """
+        wal = current_wal_path(shard_dir)
+        if wal is None:
+            return None
+        size = wal.stat().st_size
+        if size == 0:
+            return None
+        cut = int(self._uniform(_CH_TRUNCATE, self.injected) * (size - 1)) + 1
+        with open(wal, "r+b") as fh:
+            fh.truncate(size - cut)
+        self.injected += 1
+        return wal
+
+    # ------------------------------------------------------------------
+    # snapshot faults
+    # ------------------------------------------------------------------
+    def drop_snapshot(self, shard_dir: str | Path) -> Path | None:
+        """Delete the snapshot out from under the manifest.
+
+        Recovery must fall back to whatever full states the WAL tail
+        still carries and say so in its report.
+        """
+        snapshot = current_snapshot_path(shard_dir)
+        if snapshot is None:
+            return None
+        snapshot.unlink()
+        self.injected += 1
+        return snapshot
+
+    def corrupt_snapshot(self, shard_dir: str | Path) -> Path | None:
+        """Flip one bit of the snapshot — a bad sector.
+
+        The manifest's content hash must catch this; recovery treats the
+        snapshot as lost rather than loading poisoned state.
+        """
+        snapshot = current_snapshot_path(shard_dir)
+        if snapshot is None:
+            return None
+        data = bytearray(snapshot.read_bytes())
+        if not data:
+            return None
+        pos = int(self._uniform(_CH_FLIP_POS, self.injected) * len(data))
+        bit = int(self._uniform(_CH_FLIP_BIT, self.injected) * 8)
+        data[pos] ^= 1 << bit
+        snapshot.write_bytes(bytes(data))
+        self.injected += 1
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # manifest faults
+    # ------------------------------------------------------------------
+    def drop_manifest(self, shard_dir: str | Path) -> Path | None:
+        """Delete the manifest — the commit pointer itself is gone.
+
+        Recovery must fall back to scanning for the newest generation.
+        """
+        manifest = Path(shard_dir) / "MANIFEST.json"
+        if not manifest.exists():
+            return None
+        manifest.unlink()
+        self.injected += 1
+        return manifest

@@ -19,7 +19,10 @@ the perf trajectory:
 * **stream** — the online engine end to end: a fleet of personas
   streamed through :class:`~repro.stream.fleet.FleetService`
   (incremental mining, causal execution, checkpoint round-trips),
-  headline ``stream_events_per_s``.
+  headline ``stream_events_per_s``;
+* **shard recovery** — the durable sharded fleet: sustained WAL-logged
+  throughput (``durable_events_per_s``) and crash-recovery replay time
+  at growing WAL lengths (``recovery_points``).
 
 Run it directly::
 
@@ -307,6 +310,100 @@ def bench_stream(
     }
 
 
+def bench_shard_recovery(
+    n_users: int = 16,
+    n_days: int = 14,
+    train_days: int = 10,
+    n_shards: int = 2,
+    checkpoint_every_days: int = 2,
+    seed: int = 2014,
+) -> dict:
+    """The durable sharded fleet: sustained throughput and recovery time.
+
+    Streams the same fleet as :func:`bench_stream` through
+    :class:`~repro.stream.shards.ShardedFleetService` — every day close
+    a CRC-framed WAL append — and reports the sustained durable
+    throughput (``durable_events_per_s``) plus its cost relative to the
+    non-durable fleet (``durability_overhead``).  Recovery is then timed
+    at growing WAL-prefix lengths (``recovery_points``): each point
+    rebuilds shard directories holding that many records and times a
+    full :meth:`~repro.stream.shards.ShardStore.recover`, giving the
+    replay cost a crashed fleet pays before serving resumes.
+    """
+    # Local import: the stream package pulls the policy stack in.
+    from repro.stream.experiment import fleet_specs
+    from repro.stream.fleet import FleetConfig
+    from repro.stream.shards import (
+        ShardConfig,
+        ShardedFleetService,
+        ShardStore,
+        read_wal,
+    )
+
+    specs = fleet_specs(seed=seed, n_users=n_users, n_days=n_days)
+    config = FleetConfig(
+        train_days=train_days, checkpoint_every_days=checkpoint_every_days
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-shards-") as root:
+        root = Path(root)
+        # Compaction off: every record stays in generation 0, so the
+        # recovery points below sample the worst-case replay cost.
+        shards = ShardConfig(
+            root=root / "live", n_shards=n_shards, compact_every_records=1_000_000
+        )
+        service = ShardedFleetService(config, shards=shards)
+        result = service.run(specs, jobs=1)
+        per_shard = [read_wal(store.wal_path).records for store in service.stores]
+        total_records = sum(len(records) for records in per_shard)
+
+        recovery_points = []
+        for frac in (0.25, 0.5, 1.0):
+            point_root = root / f"recover-{int(frac * 100):03d}"
+            count = 0
+            for i, records in enumerate(per_shard):
+                prefix = records[: round(len(records) * frac)]
+                writer = ShardStore(
+                    point_root / f"shard-{i:03d}", compact_every_records=1_000_000
+                )
+                for record in prefix:
+                    writer.append(record)
+                count += len(prefix)
+            stores = [
+                ShardStore(point_root / f"shard-{i:03d}") for i in range(n_shards)
+            ]
+            recovery_s, reports = _timed(
+                lambda stores=stores: [store.recover() for store in stores]
+            )
+            replayed = sum(r.replayed_records for r in reports)
+            if replayed != count:
+                raise AssertionError(
+                    f"recovery replayed {replayed} records, expected {count}"
+                )
+            recovery_points.append(
+                {
+                    "wal_records": count,
+                    "recovery_s": recovery_s,
+                    "records_per_s": count / recovery_s if recovery_s > 0 else float("inf"),
+                }
+            )
+
+    full = recovery_points[-1]
+    return {
+        "n_users": n_users,
+        "n_days": n_days,
+        "train_days": train_days,
+        "n_shards": n_shards,
+        "events": result.events,
+        "wal_records": total_records,
+        "wal_appends": sum(store.appends for store in service.stores),
+        "elapsed_s": result.elapsed_s,
+        "durable_events_per_s": result.events_per_s,
+        "recovery_points": recovery_points,
+        "full_recovery_s": full["recovery_s"],
+        "recovery_records_per_s": full["records_per_s"],
+    }
+
+
 # ----------------------------------------------------------------------
 # the full report
 # ----------------------------------------------------------------------
@@ -343,12 +440,16 @@ def run_bench(
             stream = bench_stream(
                 n_users=4, n_days=9, train_days=7, checkpoint_every_days=1
             )
+            shard_recovery = bench_shard_recovery(
+                n_users=4, n_days=9, train_days=7, checkpoint_every_days=1
+            )
         else:
             cohort = bench_cohort()
             sweep = bench_policy_sweep(jobs=jobs)
             fptas = bench_fptas_batch()
             replay = bench_replay_kernel()
             stream = bench_stream()
+            shard_recovery = bench_shard_recovery()
     finally:
         configure_cache(cache_dir=prev_dir)
         if tmp is not None:
@@ -364,6 +465,7 @@ def run_bench(
         "fptas_batch": fptas,
         "replay_kernel": replay,
         "stream": stream,
+        "shard_recovery": shard_recovery,
     }
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
@@ -405,6 +507,23 @@ def compare_reports(fresh: dict, baseline: dict, *, factor: float = 2.0) -> list
             failures.append(
                 f"stream.stream_events_per_s regressed >{factor:g}x: "
                 f"{fresh_eps:.0f}/s vs committed {base_eps:.0f}/s"
+            )
+    # Likewise for reports from before the durable sharded fleet.
+    base_shards = baseline.get("shard_recovery")
+    if base_shards is not None and "shard_recovery" in fresh:
+        fresh_deps = fresh["shard_recovery"]["durable_events_per_s"]
+        base_deps = base_shards["durable_events_per_s"]
+        if fresh_deps < base_deps / factor:
+            failures.append(
+                f"shard_recovery.durable_events_per_s regressed >{factor:g}x: "
+                f"{fresh_deps:.0f}/s vs committed {base_deps:.0f}/s"
+            )
+        fresh_rps = fresh["shard_recovery"]["recovery_records_per_s"]
+        base_rps = base_shards["recovery_records_per_s"]
+        if fresh_rps < base_rps / factor:
+            failures.append(
+                f"shard_recovery.recovery_records_per_s regressed >{factor:g}x: "
+                f"{fresh_rps:.0f}/s vs committed {base_rps:.0f}/s"
             )
     return failures
 
@@ -477,6 +596,14 @@ def main(argv: list[str] | None = None) -> int:
         f"{stream['events']} events in {stream['elapsed_s']:.3f}s "
         f"({stream['stream_events_per_s']:,.0f} events/s, "
         f"{stream['checkpoints']} checkpoints)"
+    )
+    shards = report["shard_recovery"]
+    print(
+        f"shard recovery: {shards['n_users']} users over {shards['n_shards']} shards, "
+        f"{shards['wal_records']} WAL records "
+        f"({shards['durable_events_per_s']:,.0f} durable events/s); "
+        f"full replay {shards['full_recovery_s'] * 1e3:.1f}ms "
+        f"({shards['recovery_records_per_s']:,.0f} records/s)"
     )
     print(f"report written to {args.out}")
     failed = False

@@ -14,10 +14,15 @@ package is that online engine, in four layers:
 * :mod:`repro.stream.online_netmaster` — :class:`OnlineNetMaster`,
   the middleware driven at stream time with JSON checkpoint/restore;
 * :mod:`repro.stream.fleet` — a multi-tenant session manager driving
-  thousands of streamed user-days with bounded per-user memory.
+  thousands of streamed user-days with bounded per-user memory;
+* :mod:`repro.stream.shards` — sharded durable fleet state: per-shard
+  write-ahead logs, snapshot compaction, crash recovery, and per-shard
+  load shedding under failure.
 
 ``python -m repro stream`` runs the fleet experiment
-(:func:`repro.stream.experiment.stream_experiment`).
+(:func:`repro.stream.experiment.stream_experiment`);
+``python -m repro shards`` runs the crash-recovery experiment
+(:func:`repro.stream.shards.shards_experiment`).
 """
 
 from repro.stream.experiment import StreamResult, fleet_specs, stream_experiment
@@ -37,9 +42,26 @@ from repro.stream.ingest import (
     stream_trace_jsonl,
 )
 from repro.stream.online_habits import OnlineHabitModel
-from repro.stream.online_netmaster import CompletedDay, OnlineNetMaster
+from repro.stream.online_netmaster import (
+    CheckpointError,
+    CheckpointLoad,
+    CompletedDay,
+    OnlineNetMaster,
+    load_checkpoint,
+)
+from repro.stream.shards import (
+    ShardConfig,
+    ShardedFleetResult,
+    ShardedFleetService,
+    ShardsResult,
+    ShardStore,
+    shard_of,
+    shards_experiment,
+)
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointLoad",
     "CompletedDay",
     "FleetConfig",
     "FleetResult",
@@ -47,12 +69,20 @@ __all__ = [
     "FleetUserSpec",
     "OnlineHabitModel",
     "OnlineNetMaster",
+    "ShardConfig",
+    "ShardStore",
+    "ShardedFleetResult",
+    "ShardedFleetService",
+    "ShardsResult",
     "StreamEvent",
     "StreamResult",
     "UserStreamSummary",
     "event_time",
     "fleet_specs",
+    "load_checkpoint",
     "merge_user_streams",
+    "shard_of",
+    "shards_experiment",
     "stream_experiment",
     "stream_one_user",
     "stream_trace",

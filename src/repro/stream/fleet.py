@@ -22,18 +22,24 @@ a fleet run continuously proves the kill/resume path on live state.
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from functools import partial
+from pathlib import Path
 from typing import Sequence
 
+from repro._util import write_json_atomic
 from repro.core.netmaster import NetMasterConfig
 from repro.evaluation.metrics import measure_outcome
 from repro.runtime.parallel import shared_runner
 from repro.stream.ingest import stream_trace
-from repro.stream.online_netmaster import OnlineNetMaster
+from repro.stream.online_netmaster import CheckpointError, OnlineNetMaster
 from repro.telemetry import metrics, tracer
 from repro.traces.events import Trace
+
+#: Schema version of the fleet checkpoint document.
+_FLEET_CHECKPOINT_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -99,6 +105,98 @@ class UserStreamSummary:
     drift_alerts: int
     checkpoints: int
 
+    def as_dict(self) -> dict:
+        """JSON-safe dump (floats survive bit-exactly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "UserStreamSummary":
+        """Rebuild from :meth:`as_dict` output, byte-identical."""
+        return cls(
+            user_id=str(doc["user_id"]),
+            n_days=int(doc["n_days"]),
+            days_executed=int(doc["days_executed"]),
+            events=int(doc["events"]),
+            energy_j=float(doc["energy_j"]),
+            radio_on_s=float(doc["radio_on_s"]),
+            interrupts=int(doc["interrupts"]),
+            user_interactions=int(doc["user_interactions"]),
+            deferred=int(doc["deferred"]),
+            degraded_days=int(doc["degraded_days"]),
+            drift_alerts=int(doc["drift_alerts"]),
+            checkpoints=int(doc["checkpoints"]),
+        )
+
+
+@dataclass
+class SummaryAccumulator:
+    """Running scalar totals of one user's stream.
+
+    Shared by :func:`stream_one_user` and the durable sharded streamer
+    (:mod:`repro.stream.shards`): the accumulator is the part of a
+    user's serving state that is *not* inside the engine, and it
+    round-trips through JSON bit-exactly so a write-ahead log record can
+    carry it next to the engine checkpoint.
+    """
+
+    energy_j: float = 0.0
+    radio_on_s: float = 0.0
+    interrupts: int = 0
+    user_interactions: int = 0
+    deferred: int = 0
+    checkpoints: int = 0
+
+    def consume(self, completed_days, power) -> int:
+        """Price completed days immediately and fold in the scalars."""
+        for completed in completed_days:
+            m = measure_outcome(completed.outcome(), power, completed.trace)
+            self.energy_j += m.energy_j
+            self.radio_on_s += m.radio_on_s
+            self.interrupts += m.interrupts
+            self.user_interactions += m.user_interactions
+            self.deferred += m.deferred
+        return len(completed_days)
+
+    def state_dict(self) -> dict:
+        """JSON-safe state (floats survive bit-exactly)."""
+        return {
+            "energy_j": self.energy_j,
+            "radio_on_s": self.radio_on_s,
+            "interrupts": self.interrupts,
+            "user_interactions": self.user_interactions,
+            "deferred": self.deferred,
+            "checkpoints": self.checkpoints,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SummaryAccumulator":
+        """Rebuild from :meth:`state_dict` output."""
+        return cls(
+            energy_j=float(state["energy_j"]),
+            radio_on_s=float(state["radio_on_s"]),
+            interrupts=int(state["interrupts"]),
+            user_interactions=int(state["user_interactions"]),
+            deferred=int(state["deferred"]),
+            checkpoints=int(state["checkpoints"]),
+        )
+
+    def summary(self, engine: OnlineNetMaster, n_days: int) -> UserStreamSummary:
+        """Freeze the totals into the per-user fleet summary."""
+        return UserStreamSummary(
+            user_id=engine.user_id,
+            n_days=n_days,
+            days_executed=engine.days_executed,
+            events=engine.events,
+            energy_j=self.energy_j,
+            radio_on_s=self.radio_on_s,
+            interrupts=self.interrupts,
+            user_interactions=self.user_interactions,
+            deferred=self.deferred,
+            degraded_days=engine.days_degraded,
+            drift_alerts=engine.habits.drift_alerts,
+            checkpoints=self.checkpoints,
+        )
+
 
 @dataclass(frozen=True)
 class FleetResult:
@@ -154,43 +252,16 @@ def stream_one_user(trace: Trace, *, config: FleetConfig) -> UserStreamSummary:
         decay=config.decay,
     )
     power = config.netmaster.power
-    energy = radio_on = 0.0
-    interrupts = interactions = deferred = 0
-    checkpoints = 0
+    acc = SummaryAccumulator()
     every = config.checkpoint_every_days
-
-    def consume(completed_days) -> int:
-        nonlocal energy, radio_on, interrupts, interactions, deferred
-        for completed in completed_days:
-            m = measure_outcome(completed.outcome(), power, completed.trace)
-            energy += m.energy_j
-            radio_on += m.radio_on_s
-            interrupts += m.interrupts
-            interactions += m.user_interactions
-            deferred += m.deferred
-        return len(completed_days)
 
     for record in stream_trace(trace):
         engine.observe(record)
-        if consume(engine.drain()) and every and engine.days_executed % every == 0:
+        if acc.consume(engine.drain(), power) and every and engine.days_executed % every == 0:
             engine = OnlineNetMaster.from_json(engine.to_json())
-            checkpoints += 1
-    consume(engine.finish(trace.n_days))
-
-    return UserStreamSummary(
-        user_id=trace.user_id,
-        n_days=trace.n_days,
-        days_executed=engine.days_executed,
-        events=engine.events,
-        energy_j=energy,
-        radio_on_s=radio_on,
-        interrupts=interrupts,
-        user_interactions=interactions,
-        deferred=deferred,
-        degraded_days=engine.days_degraded,
-        drift_alerts=engine.habits.drift_alerts,
-        checkpoints=checkpoints,
-    )
+            acc.checkpoints += 1
+    acc.consume(engine.finish(trace.n_days), power)
+    return acc.summary(engine, trace.n_days)
 
 
 # ----------------------------------------------------------------------
@@ -236,6 +307,55 @@ class FleetService:
 
     def __init__(self, config: FleetConfig | None = None) -> None:
         self.config = config or FleetConfig()
+
+    @staticmethod
+    def checkpoint(path: str | Path, result: FleetResult) -> Path:
+        """Persist a fleet document atomically (temp file + ``os.replace``).
+
+        The whole document reaches the filesystem through
+        :func:`repro._util.write_json_atomic` — the content-addressed
+        trace store's discipline — so a crash mid-checkpoint leaves
+        either the previous complete document or the new complete one,
+        never a half-written fleet.  Scalars survive JSON bit-exactly,
+        so :meth:`load_checkpoint` rebuilds an equal :class:`FleetResult`.
+        """
+        doc = {
+            "format": _FLEET_CHECKPOINT_FORMAT,
+            "summaries": [s.as_dict() for s in result.summaries],
+            "shed_users": result.shed_users,
+            "elapsed_s": result.elapsed_s,
+        }
+        metrics().inc("stream.fleet_checkpoints")
+        return write_json_atomic(path, doc, indent=1)
+
+    @staticmethod
+    def load_checkpoint(path: str | Path) -> FleetResult:
+        """Read a fleet document back; raises :class:`CheckpointError`
+        on truncated/corrupt JSON or an unknown schema version."""
+        try:
+            doc = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable fleet checkpoint {path}: {type(exc).__name__}: {exc}"
+            ) from exc
+        fmt = doc.get("format") if isinstance(doc, dict) else None
+        if fmt != _FLEET_CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"unsupported fleet checkpoint format: {fmt!r} "
+                f"(this build reads format {_FLEET_CHECKPOINT_FORMAT})"
+            )
+        try:
+            return FleetResult(
+                summaries=tuple(
+                    UserStreamSummary.from_dict(s) for s in doc["summaries"]
+                ),
+                shed_users=int(doc["shed_users"]),
+                elapsed_s=float(doc["elapsed_s"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"corrupt fleet checkpoint {path}: {type(exc).__name__}: {exc}"
+            ) from exc
 
     def run(self, specs: Sequence[FleetUserSpec], *, jobs: int = 1) -> FleetResult:
         """Stream every admitted user; returns summaries in spec order.

@@ -32,9 +32,45 @@ from repro.telemetry import metrics
 from repro.traces.events import AppUsage, NetworkActivity, ScreenSession, Trace
 from repro.traces.io import TraceRecord
 
+#: Schema version stamped into every engine checkpoint ("format" field).
 _STATE_FORMAT = 1
 
 POLICY_NAME = "netmaster-online"
+
+
+class CheckpointError(ValueError):
+    """A stream checkpoint could not be parsed or restored.
+
+    Raised instead of letting a raw :class:`json.JSONDecodeError` /
+    :class:`KeyError` escape from a truncated or corrupt checkpoint —
+    callers handling durability faults can catch one exception type.
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    the old format-mismatch error keep working.
+    """
+
+
+@dataclass(frozen=True)
+class CheckpointLoad:
+    """Outcome of a lenient checkpoint load (``strict=False``).
+
+    ``engine`` is ``None`` when nothing was recoverable; otherwise it is
+    a usable engine, possibly rebuilt around salvaged parts.  ``issues``
+    lists, in human-readable form, everything that was wrong with the
+    document and what the loader did about it.
+    """
+
+    engine: "OnlineNetMaster | None"
+    issues: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether the checkpoint loaded completely, with no repairs."""
+        return self.engine is not None and not self.issues
+
+    @property
+    def salvaged(self) -> bool:
+        """Whether a damaged checkpoint still yielded a usable engine."""
+        return self.engine is not None and bool(self.issues)
 
 
 @dataclass(frozen=True, slots=True)
@@ -249,41 +285,104 @@ class OnlineNetMaster:
 
         The restored engine makes byte-identical decisions on the
         remaining stream: habit rows, breaker state and day buffers all
-        round-trip through JSON exactly.
+        round-trip through JSON exactly.  Raises
+        :class:`CheckpointError` on an unknown schema version or a
+        structurally broken document.
         """
+        engine = cls._restore(state, issues=None)
+        assert engine is not None  # strict mode raises instead
+        return engine
+
+    @classmethod
+    def _restore(
+        cls, state: object, issues: list[str] | None
+    ) -> "OnlineNetMaster | None":
+        """Shared strict/lenient restore.
+
+        ``issues=None`` is strict: any problem raises
+        :class:`CheckpointError`.  With a list, problems are recorded
+        there and as much of the engine as possible is salvaged —
+        damaged day buffers are dropped, a damaged breaker resets to
+        closed, missing counters default to zero.  Only an unusable core
+        (identity, config, or habit accumulators) returns ``None``.
+        """
+        lenient = issues is not None
+
+        def problem(msg: str) -> None:
+            if lenient:
+                issues.append(msg)
+            else:
+                raise CheckpointError(msg)
+
+        if not isinstance(state, dict):
+            problem(f"checkpoint is not a JSON object (got {type(state).__name__})")
+            return None
         fmt = state.get("format")
         if fmt != _STATE_FORMAT:
-            raise ValueError(
+            problem(
                 f"unsupported stream checkpoint format: {fmt!r} "
                 f"(this build reads format {_STATE_FORMAT})"
             )
-        engine = cls(
-            state["user_id"],
-            config=config_from_dict(state["config"]),
-            start_weekday=int(state["start_weekday"]),
-            train_days=int(state["train_days"]),
-            update_model=bool(state["update_model"]),
-        )
-        engine.habits = OnlineHabitModel.load_state(state["habits"])
-        engine.netmaster.breaker.load_state(state["breaker"])
-        engine.day = int(state["day"])
-        engine._last_time = float(state["last_time"])
-        engine.events = int(state["events"])
-        engine.days_executed = int(state["days_executed"])
-        engine.days_degraded = int(state["days_degraded"])
-        engine.interrupts = int(state["interrupts"])
-        for day_key, buf in state["buffers"].items():
-            day = int(day_key)
-            if buf["sessions"]:
-                engine._sessions[day] = [
+            if lenient:
+                issues[-1] += "; attempting to read it as the current format"
+        try:
+            engine = cls(
+                str(state["user_id"]),
+                config=config_from_dict(state["config"]),
+                start_weekday=int(state["start_weekday"]),
+                train_days=int(state["train_days"]),
+                update_model=bool(state["update_model"]),
+            )
+            engine.habits = OnlineHabitModel.load_state(state["habits"])
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            problem(
+                "checkpoint core state (identity/config/habits) is unusable "
+                f"({type(exc).__name__}: {exc}); nothing salvageable"
+            )
+            return None
+        try:
+            engine.netmaster.breaker.load_state(state["breaker"])
+        except (KeyError, TypeError, ValueError) as exc:
+            problem(
+                f"breaker state unreadable ({type(exc).__name__}: {exc}); "
+                "salvaged with a fresh (closed) breaker"
+            )
+            if not lenient:
+                return None  # pragma: no cover - problem() raised already
+        for attr, key, convert in (
+            ("day", "day", int),
+            ("_last_time", "last_time", float),
+            ("events", "events", int),
+            ("days_executed", "days_executed", int),
+            ("days_degraded", "days_degraded", int),
+            ("interrupts", "interrupts", int),
+        ):
+            try:
+                setattr(engine, attr, convert(state[key]))
+            except (KeyError, TypeError, ValueError) as exc:
+                problem(
+                    f"counter {key!r} unreadable ({type(exc).__name__}: {exc}); "
+                    "salvaged as its reset value"
+                )
+        buffers = state.get("buffers")
+        if not isinstance(buffers, dict):
+            problem(
+                f"day buffers missing or malformed (got {type(buffers).__name__}); "
+                "salvaged with empty buffers"
+            )
+            buffers = {}
+        for day_key, buf in buffers.items():
+            try:
+                day = int(day_key)
+                sessions = [
                     ScreenSession(float(s), float(e)) for s, e in buf["sessions"]
                 ]
-            if buf["usages"]:
-                engine._usages[day] = [
+                usages = [
                     AppUsage(float(t), str(app), float(d)) for t, app, d in buf["usages"]
                 ]
-            if buf["activities"]:
-                engine._activities[day] = [
+                activities = [
                     NetworkActivity(
                         time=float(t),
                         app=str(app),
@@ -294,6 +393,18 @@ class OnlineNetMaster:
                     )
                     for t, app, down, up, dur, on in buf["activities"]
                 ]
+            except (KeyError, TypeError, ValueError) as exc:
+                problem(
+                    f"day buffer {day_key!r} corrupt ({type(exc).__name__}: {exc}); "
+                    "salvaged by dropping that day's buffered events"
+                )
+                continue
+            if sessions:
+                engine._sessions[day] = sessions
+            if usages:
+                engine._usages[day] = usages
+            if activities:
+                engine._activities[day] = activities
         return engine
 
     def to_json(self) -> str:
@@ -303,5 +414,43 @@ class OnlineNetMaster:
 
     @classmethod
     def from_json(cls, payload: str) -> "OnlineNetMaster":
-        """Restore from :meth:`to_json` output."""
-        return cls.from_state(json.loads(payload))
+        """Restore from :meth:`to_json` output.
+
+        Raises :class:`CheckpointError` (never a raw
+        :class:`json.JSONDecodeError`) when the payload is truncated or
+        corrupt.
+        """
+        try:
+            state = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint JSON is truncated or corrupt: {exc}"
+            ) from exc
+        return cls.from_state(state)
+
+
+def load_checkpoint(payload: str, *, strict: bool = True) -> CheckpointLoad:
+    """Load an :class:`OnlineNetMaster` checkpoint with explicit errors.
+
+    ``strict=True`` behaves like :meth:`OnlineNetMaster.from_json` —
+    any damage raises :class:`CheckpointError` — but returns the result
+    wrapped in a :class:`CheckpointLoad` (``issues`` empty).
+
+    ``strict=False`` never raises: the loader salvages what it can
+    (dropping corrupt day buffers, resetting an unreadable breaker,
+    defaulting broken counters) and reports every repair in
+    ``issues``.  A document damaged beyond use yields
+    ``CheckpointLoad(engine=None, issues=(...,))``.
+    """
+    if strict:
+        return CheckpointLoad(engine=OnlineNetMaster.from_json(payload))
+    issues: list[str] = []
+    try:
+        state = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        return CheckpointLoad(
+            engine=None,
+            issues=(f"checkpoint JSON is truncated or corrupt: {exc}",),
+        )
+    engine = OnlineNetMaster._restore(state, issues=issues)
+    return CheckpointLoad(engine=engine, issues=tuple(issues))

@@ -1,0 +1,429 @@
+"""Sharded durable fleet service: the fleet loop on top of shard WALs.
+
+:class:`ShardedFleetService` makes the same admission and shedding
+decisions as the plain :class:`~repro.stream.fleet.FleetService` — users
+in spec order, batch-granular event budget, shed-whole semantics — while
+every day a user closes is durably logged to that user's shard *before*
+the service moves on.  Sharding is a durability and isolation concern,
+not a scheduling one: the decisions (and hence the summaries) are
+byte-identical to the single-process fleet at the same seeds, including
+under load shedding.  Killing the process mid-fleet and constructing a
+fresh service over the same root resumes exactly where the WALs end —
+finished users are served from their logged summaries, the in-flight
+user restarts from its last closed day, and untouched shards replay
+nothing.
+
+On top of the fleet semantics, shards add one orthogonal control: a
+*per-shard* event budget (:attr:`ShardConfig.shard_event_budget`).  A
+shard whose completed-event count has crossed the budget at the start of
+a batch stops admitting new users — they are shed deterministically and
+counted in ``shard.shed_users`` — while the other shards keep serving.
+That is the failure-isolation story: one hot shard degrades alone.
+
+Parallel mode (``jobs > 1``) fans user streams over the shared process
+pool; workers *record* their day-close deltas instead of writing them,
+and the parent appends every record to the owning shard in admission
+order — the WALs end up byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from itertools import islice
+from pathlib import Path
+from typing import Sequence
+
+from repro.stream.fleet import (
+    FleetConfig,
+    FleetUserSpec,
+    SummaryAccumulator,
+    UserStreamSummary,
+    _spec_trace,
+)
+from repro.stream.ingest import stream_trace
+from repro.stream.online_netmaster import OnlineNetMaster
+from repro.stream.shards.store import (
+    RecoveryReport,
+    ShardStore,
+    UserShardState,
+    shard_of,
+)
+from repro.telemetry import metrics, tracer
+from repro.traces.events import Trace
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Layout and budgets of the sharded store."""
+
+    root: Path
+    n_shards: int = 4
+    #: Compact a shard once its WAL holds this many records.
+    compact_every_records: int = 64
+    #: fsync every WAL append (power-loss durability; slower).
+    fsync: bool = False
+    #: Completed events a single shard may hold before it stops
+    #: admitting new users (``None`` = unbounded).  Orthogonal to the
+    #: fleet-wide :attr:`~repro.stream.fleet.FleetConfig.event_budget`.
+    shard_event_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "root", Path(self.root))
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.shard_event_budget is not None and self.shard_event_budget < 0:
+            raise ValueError(
+                f"shard_event_budget must be >= 0, got {self.shard_event_budget}"
+            )
+
+    def shard_path(self, index: int) -> Path:
+        return self.root / f"shard-{index:03d}"
+
+
+class _RecordingSink:
+    """Collects day-close payloads instead of writing them (for workers)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def log_day(self, user_id: str, engine_state: dict, acc_state: dict) -> None:
+        self.records.append(
+            {"type": "day", "user_id": user_id, "engine": engine_state, "acc": acc_state}
+        )
+
+    def log_done(
+        self, user_id: str, engine_state: dict, acc_state: dict, summary: dict
+    ) -> None:
+        self.records.append(
+            {
+                "type": "done",
+                "user_id": user_id,
+                "engine": engine_state,
+                "acc": acc_state,
+                "summary": summary,
+            }
+        )
+
+
+def stream_user_durable(
+    trace: Trace,
+    *,
+    config: FleetConfig,
+    sink,
+    resume: UserShardState | None = None,
+) -> UserStreamSummary:
+    """Drive one user's stream, logging every day close to ``sink``.
+
+    Mirrors :func:`repro.stream.fleet.stream_one_user` decision for
+    decision (including the in-line checkpoint cadence), adding one
+    side effect: after each completed day the engine and accumulator
+    states go to ``sink.log_day`` — *after* any cadence round-trip, so a
+    crash-resume replays the incremented checkpoint counter and stays
+    byte-identical to the uninterrupted run.  With ``resume`` holding a
+    prior day-close state, streaming restarts from the record after the
+    last durable day (``engine.events`` counts observed records, so the
+    resume offset is exact).
+    """
+    if resume is not None and resume.resumable:
+        engine = OnlineNetMaster.from_state(resume.engine_state)
+        acc = SummaryAccumulator.from_state(resume.acc_state)
+        stream = islice(stream_trace(trace), engine.events, None)
+        metrics().inc("shard.resumed_users")
+    else:
+        engine = OnlineNetMaster(
+            trace.user_id,
+            config=config.netmaster,
+            start_weekday=trace.start_weekday,
+            train_days=config.train_days,
+            update_model=config.update_model,
+            window_days=config.window_days,
+            decay=config.decay,
+        )
+        acc = SummaryAccumulator()
+        stream = stream_trace(trace)
+    power = config.netmaster.power
+    every = config.checkpoint_every_days
+
+    for record in stream:
+        engine.observe(record)
+        if acc.consume(engine.drain(), power):
+            if every and engine.days_executed % every == 0:
+                engine = OnlineNetMaster.from_json(engine.to_json())
+                acc.checkpoints += 1
+            sink.log_day(trace.user_id, engine.state_dict(), acc.state_dict())
+    acc.consume(engine.finish(trace.n_days), power)
+    summary = acc.summary(engine, trace.n_days)
+    sink.log_done(
+        trace.user_id, engine.state_dict(), acc.state_dict(), summary.as_dict()
+    )
+    return summary
+
+
+# ----------------------------------------------------------------------
+# module-level workers (picklable for the process pool)
+# ----------------------------------------------------------------------
+
+
+def _stream_spec_durable(
+    payload: tuple[FleetUserSpec, FleetConfig, dict | None],
+) -> tuple[UserStreamSummary, list[dict]]:
+    spec, config, resume_doc = payload
+    resume = None
+    if resume_doc is not None:
+        resume = UserShardState(
+            user_id=spec.user_id,
+            engine_state=resume_doc.get("engine"),
+            acc_state=resume_doc.get("acc"),
+        )
+    sink = _RecordingSink()
+    summary = stream_user_durable(
+        _spec_trace(spec), config=config, sink=sink, resume=resume
+    )
+    return summary, sink.records
+
+
+def _stream_spec_durable_shipped(
+    payload: tuple[FleetUserSpec, FleetConfig, dict | None],
+    *,
+    with_tracing: bool = True,
+):
+    from repro import telemetry
+
+    with telemetry.isolated(with_tracing=with_tracing) as (registry, trc):
+        summary, records = _stream_spec_durable(payload)
+        return summary, records, registry.snapshot(), trc.export_spans()
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Durability accounting of one shard after a run."""
+
+    shard: int
+    users: int
+    done_users: int
+    events: int
+    generation: int
+    wal_records: int
+    appends: int
+    compactions: int
+    shed_users: int
+
+
+@dataclass(frozen=True)
+class ShardedFleetResult:
+    """Outcome of one sharded fleet run.
+
+    ``summaries``/``shed_users`` have exactly the
+    :class:`~repro.stream.fleet.FleetResult` semantics; the extra fields
+    report what the durability layer did.
+    """
+
+    summaries: tuple[UserStreamSummary, ...]
+    shed_users: int
+    elapsed_s: float
+    shard_shed_users: int
+    resumed_users: int
+    recovered_users: int
+    shard_stats: tuple[ShardStats, ...]
+
+    @property
+    def users(self) -> int:
+        """Users fully streamed (admitted, not shed)."""
+        return len(self.summaries)
+
+    @property
+    def events(self) -> int:
+        """Total events streamed across the fleet."""
+        return sum(s.events for s in self.summaries)
+
+    @property
+    def user_days_streamed(self) -> int:
+        """Total days streamed through the engines (incl. training)."""
+        return sum(s.n_days for s in self.summaries)
+
+    @property
+    def days_executed(self) -> int:
+        """Causally executed (post-training) days across the fleet."""
+        return sum(s.days_executed for s in self.summaries)
+
+    @property
+    def events_per_s(self) -> float:
+        """Fleet-level streaming throughput."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.events / self.elapsed_s
+
+
+class ShardedFleetService:
+    """Durable, crash-recoverable fleet over N WAL-backed shards."""
+
+    def __init__(
+        self, config: FleetConfig | None = None, *, shards: ShardConfig
+    ) -> None:
+        self.config = config or FleetConfig()
+        self.shards = shards
+        self.stores = [
+            ShardStore(
+                shards.shard_path(i),
+                compact_every_records=shards.compact_every_records,
+                fsync=shards.fsync,
+            )
+            for i in range(shards.n_shards)
+        ]
+        self.recoveries: tuple[RecoveryReport, ...] = ()
+
+    def store_for(self, user_id: str) -> ShardStore:
+        """The shard that owns ``user_id`` (pure routing function)."""
+        return self.stores[shard_of(user_id, self.shards.n_shards)]
+
+    def recover(self) -> tuple[RecoveryReport, ...]:
+        """Replay every shard from disk; safe on an empty root."""
+        trc = tracer()
+        with trc.span("shard-recovery", "shards", shards=len(self.stores)):
+            self.recoveries = tuple(store.recover() for store in self.stores)
+        return self.recoveries
+
+    def run(
+        self, specs: Sequence[FleetUserSpec], *, jobs: int = 1
+    ) -> ShardedFleetResult:
+        """Stream every admitted user durably; summaries in spec order.
+
+        The admission loop is the fleet loop: batch by batch, global
+        event budget checked at batch starts, remaining users shed
+        whole.  Users whose shard already holds their completed summary
+        (prior run, recovered) are served from the log without
+        recomputation — their events still count against the budget, so
+        the decisions match an uninterrupted single run.
+        """
+        config = self.config
+        registry = metrics()
+        start = time.perf_counter()
+        summaries: list[UserStreamSummary] = []
+        shed = 0
+        shard_shed = 0
+        resumed = 0
+        recovered = 0
+        events_streamed = 0
+        batch_size = config.batch_size
+        for offset in range(0, len(specs), batch_size):
+            if config.event_budget is not None and events_streamed >= config.event_budget:
+                shed = len(specs) - offset
+                registry.inc("stream.shed_users", shed)
+                break
+            batch = list(specs[offset : offset + batch_size])
+            registry.inc("stream.batches")
+            # Per-shard admission: budgets are read once, at the start
+            # of the batch, so jobs=1 and jobs=N make the same calls.
+            over_budget = self._over_budget_shards()
+            slots: list[UserStreamSummary | None] = [None] * len(batch)
+            todo: list[tuple[int, FleetUserSpec, dict | None]] = []
+            for i, spec in enumerate(batch):
+                state = self.store_for(spec.user_id).get(spec.user_id)
+                if state is not None and state.done and state.summary is not None:
+                    slots[i] = UserStreamSummary.from_dict(state.summary)
+                    recovered += 1
+                    continue
+                if shard_of(spec.user_id, self.shards.n_shards) in over_budget:
+                    shard_shed += 1
+                    registry.inc("shard.shed_users")
+                    continue
+                resume_doc = None
+                if state is not None and state.resumable:
+                    resume_doc = {"engine": state.engine_state, "acc": state.acc_state}
+                    resumed += 1
+                todo.append((i, spec, resume_doc))
+            for i, summary in self._run_batch(todo, jobs):
+                slots[i] = summary
+            batch_summaries = [s for s in slots if s is not None]
+            summaries.extend(batch_summaries)
+            events_streamed += sum(s.events for s in batch_summaries)
+            registry.inc("stream.users", len(batch_summaries))
+        elapsed = time.perf_counter() - start
+        return ShardedFleetResult(
+            summaries=tuple(summaries),
+            shed_users=shed,
+            elapsed_s=elapsed,
+            shard_shed_users=shard_shed,
+            resumed_users=resumed,
+            recovered_users=recovered,
+            shard_stats=self.stats(shard_shed),
+        )
+
+    def _over_budget_shards(self) -> frozenset[int]:
+        budget = self.shards.shard_event_budget
+        if budget is None:
+            return frozenset()
+        return frozenset(
+            i for i, store in enumerate(self.stores) if store.events >= budget
+        )
+
+    def stats(self, shard_shed: int = 0) -> tuple[ShardStats, ...]:
+        """Per-shard durability accounting (shed count is fleet-wide)."""
+        out = []
+        for i, store in enumerate(self.stores):
+            users = store.users
+            out.append(
+                ShardStats(
+                    shard=i,
+                    users=len(users),
+                    done_users=sum(1 for s in users.values() if s.done),
+                    events=store.events,
+                    generation=store.generation,
+                    wal_records=store.wal_records,
+                    appends=store.appends,
+                    compactions=store.compactions,
+                    shed_users=shard_shed,
+                )
+            )
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+    def _run_batch(
+        self, todo: list[tuple[int, FleetUserSpec, dict | None]], jobs: int
+    ) -> list[tuple[int, UserStreamSummary]]:
+        if not todo:
+            return []
+        if jobs == 1 or len(todo) <= 1:
+            out = []
+            for i, spec, resume_doc in todo:
+                store = self.store_for(spec.user_id)
+                resume = store.get(spec.user_id) if resume_doc is not None else None
+                summary = stream_user_durable(
+                    _spec_trace(spec), config=self.config, sink=store, resume=resume
+                )
+                out.append((i, summary))
+            return out
+        return self._run_batch_parallel(todo, jobs)
+
+    def _run_batch_parallel(
+        self, todo: list[tuple[int, FleetUserSpec, dict | None]], jobs: int
+    ) -> list[tuple[int, UserStreamSummary]]:
+        from repro.runtime.parallel import shared_runner
+
+        registry = metrics()
+        trc = tracer()
+        runner = shared_runner(jobs)
+        payloads = [(spec, self.config, resume_doc) for _, spec, resume_doc in todo]
+        if not (registry.enabled or trc.enabled):
+            results = runner.map(_stream_spec_durable, payloads)
+            shipped = [(summary, records, None, None) for summary, records in results]
+        else:
+            fn = partial(_stream_spec_durable_shipped, with_tracing=trc.enabled)
+            shipped = runner.map(fn, payloads)
+        out: list[tuple[int, UserStreamSummary]] = []
+        # Appends happen in admission order, so the WALs are
+        # byte-identical to what a serial run would have written.
+        for (i, spec, _), (summary, records, snap, spans) in zip(todo, shipped):
+            if snap is not None:
+                registry.merge_snapshot(snap)
+            if spans is not None:
+                trc.ingest(spans)
+            store = self.store_for(spec.user_id)
+            for record in records:
+                store.append(record)
+            out.append((i, summary))
+        return out

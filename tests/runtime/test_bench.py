@@ -48,6 +48,15 @@ def test_report_schema(quick_report):
             "total_profit",
         ),
         "replay_kernel": ("replay_s", "sims_per_s", "windows_per_s"),
+        "stream": ("events", "elapsed_s", "stream_events_per_s"),
+        "shard_recovery": (
+            "wal_records",
+            "wal_appends",
+            "durable_events_per_s",
+            "recovery_points",
+            "full_recovery_s",
+            "recovery_records_per_s",
+        ),
     }.items():
         assert set(keys) <= set(report[section]), section
 
@@ -93,6 +102,26 @@ def test_compare_reports_flags_regressions(quick_report):
     assert len(failures) == 2
     assert any("solves_per_s" in f for f in failures)
     assert any("warm_s" in f for f in failures)
+
+
+def test_shard_recovery_points_grow_with_wal_length(quick_report):
+    report, _ = quick_report
+    shards = report["shard_recovery"]
+    points = shards["recovery_points"]
+    assert len(points) == 3
+    counts = [p["wal_records"] for p in points]
+    assert counts == sorted(counts)
+    assert counts[-1] == shards["wal_records"]
+    assert all(p["recovery_s"] > 0 for p in points)
+    assert shards["durable_events_per_s"] > 0
+
+
+def test_compare_tolerates_baselines_without_shard_section(quick_report):
+    report, _ = quick_report
+    old = json.loads(json.dumps(report))
+    del old["shard_recovery"]
+    del old["stream"]
+    assert bench.compare_reports(report, old) == []
 
 
 def test_sweep_is_deterministic(quick_report):

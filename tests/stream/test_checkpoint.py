@@ -1,0 +1,93 @@
+"""OnlineNetMaster checkpoint hardening: strict errors, lenient salvage."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.stream import CheckpointError, OnlineNetMaster, load_checkpoint, stream_trace
+
+
+@pytest.fixture()
+def payload(volunteer):
+    engine = OnlineNetMaster(volunteer.user_id, train_days=10)
+    for record in stream_trace(volunteer):
+        engine.observe(record)
+        engine.drain()
+    return engine.to_json()
+
+
+class TestStrict:
+    def test_clean_checkpoint_loads_ok(self, payload):
+        load = load_checkpoint(payload)
+        assert load.ok and not load.salvaged
+        assert load.engine.events > 0
+
+    def test_truncated_json_raises_checkpoint_error(self, payload):
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            load_checkpoint(payload[: len(payload) // 2])
+
+    def test_unknown_format_raises_checkpoint_error(self, payload):
+        doc = json.loads(payload)
+        doc["format"] = 999
+        with pytest.raises(CheckpointError, match="format"):
+            load_checkpoint(json.dumps(doc))
+
+    def test_checkpoint_error_is_a_value_error(self):
+        # Pre-hardening callers caught ValueError; they must keep working.
+        assert issubclass(CheckpointError, ValueError)
+
+    def test_from_json_never_leaks_json_decode_error(self):
+        with pytest.raises(CheckpointError):
+            OnlineNetMaster.from_json("{not json")
+
+
+class TestLenient:
+    def test_truncated_json_reports_instead_of_raising(self, payload):
+        load = load_checkpoint(payload[: len(payload) // 2], strict=False)
+        assert load.engine is None
+        assert not load.ok
+        assert any("truncated or corrupt" in issue for issue in load.issues)
+
+    def test_corrupt_day_buffer_is_dropped_and_reported(self, payload):
+        doc = json.loads(payload)
+        day_key = next(iter(doc["buffers"]), None)
+        if day_key is None:
+            doc["buffers"]["0"] = {}
+            day_key = "0"
+        doc["buffers"][day_key] = {"sessions": "not-a-list"}
+        load = load_checkpoint(json.dumps(doc), strict=False)
+        assert load.salvaged
+        assert any(f"day buffer '{day_key}'" in issue for issue in load.issues)
+
+    def test_broken_breaker_salvages_fresh_breaker(self, payload):
+        doc = json.loads(payload)
+        doc["breaker"] = {"bogus": True}
+        load = load_checkpoint(json.dumps(doc), strict=False)
+        assert load.salvaged
+        assert any("breaker" in issue for issue in load.issues)
+
+    def test_broken_counter_defaults_and_reports(self, payload):
+        doc = json.loads(payload)
+        doc["events"] = "many"
+        load = load_checkpoint(json.dumps(doc), strict=False)
+        assert load.salvaged
+        assert load.engine.events == 0
+        assert any("'events'" in issue for issue in load.issues)
+
+    def test_unusable_core_reports_nothing_salvageable(self, payload):
+        doc = json.loads(payload)
+        del doc["habits"]
+        load = load_checkpoint(json.dumps(doc), strict=False)
+        assert load.engine is None
+        assert any("nothing salvageable" in issue for issue in load.issues)
+
+    def test_salvaged_engine_keeps_streaming(self, volunteer, payload):
+        doc = json.loads(payload)
+        doc["breaker"] = {"bogus": True}
+        load = load_checkpoint(json.dumps(doc), strict=False)
+        engine = load.engine
+        completed = engine.finish(volunteer.n_days)
+        assert engine.day == volunteer.n_days
+        assert isinstance(completed, list)

@@ -1,0 +1,70 @@
+"""FleetService.checkpoint: atomic writes, exact round-trips, errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.netmaster import NetMasterConfig
+from repro.stream import CheckpointError, FleetConfig, FleetService, FleetUserSpec
+
+CONFIG = FleetConfig(
+    train_days=10, netmaster=NetMasterConfig(enable_circuit_breaker=False)
+)
+
+
+@pytest.fixture(scope="module")
+def result(volunteers):
+    specs = [
+        FleetUserSpec(user_id=t.user_id, n_days=t.n_days, trace=t) for t in volunteers
+    ]
+    return FleetService(CONFIG).run(specs)
+
+
+class TestRoundTrip:
+    def test_load_rebuilds_an_equal_result(self, result, tmp_path):
+        path = tmp_path / "fleet.json"
+        FleetService.checkpoint(path, result)
+        loaded = FleetService.load_checkpoint(path)
+        assert loaded.summaries == result.summaries
+        assert loaded.shed_users == result.shed_users
+        assert loaded.elapsed_s == result.elapsed_s
+
+    def test_write_leaves_no_temp_files(self, result, tmp_path):
+        FleetService.checkpoint(tmp_path / "fleet.json", result)
+        assert [p.name for p in tmp_path.iterdir()] == ["fleet.json"]
+
+    def test_overwrite_is_atomic_replace(self, result, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text("old document")
+        FleetService.checkpoint(path, result)
+        doc = json.loads(path.read_text())
+        assert doc["format"] == 1
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="unreadable"):
+            FleetService.load_checkpoint(tmp_path / "nope.json")
+
+    def test_truncated_json(self, result, tmp_path):
+        path = tmp_path / "fleet.json"
+        FleetService.checkpoint(path, result)
+        path.write_text(path.read_text()[:40])
+        with pytest.raises(CheckpointError, match="unreadable"):
+            FleetService.load_checkpoint(path)
+
+    def test_unknown_format(self, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps({"format": 99, "summaries": []}))
+        with pytest.raises(CheckpointError, match="format"):
+            FleetService.load_checkpoint(path)
+
+    def test_structurally_broken_document(self, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text(
+            json.dumps({"format": 1, "summaries": [{"user_id": "u"}]})
+        )
+        with pytest.raises(CheckpointError, match="corrupt"):
+            FleetService.load_checkpoint(path)

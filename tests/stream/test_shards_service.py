@@ -1,0 +1,170 @@
+"""ShardedFleetService: byte-equality with the fleet, shedding, budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.netmaster import NetMasterConfig
+from repro.stream import (
+    FleetConfig,
+    FleetService,
+    FleetUserSpec,
+    ShardConfig,
+    ShardedFleetService,
+    shard_of,
+)
+
+CONFIG = FleetConfig(
+    train_days=10, netmaster=NetMasterConfig(enable_circuit_breaker=False)
+)
+
+
+def _specs(volunteers):
+    return [
+        FleetUserSpec(user_id=t.user_id, n_days=t.n_days, trace=t) for t in volunteers
+    ]
+
+
+def _shards(tmp_path, **kwargs):
+    kwargs.setdefault("n_shards", 2)
+    return ShardConfig(root=tmp_path / "shards", **kwargs)
+
+
+class TestFleetEquality:
+    """The property the whole layer is gated on: sharded == fleet."""
+
+    def test_matches_fleet_service_byte_for_byte(self, volunteers, tmp_path):
+        base = FleetService(CONFIG).run(_specs(volunteers))
+        sharded = ShardedFleetService(CONFIG, shards=_shards(tmp_path)).run(
+            _specs(volunteers)
+        )
+        assert sharded.summaries == base.summaries
+        assert sharded.shed_users == base.shed_users
+
+    def test_matches_under_load_shedding(self, volunteers, tmp_path):
+        config = FleetConfig(
+            train_days=10,
+            batch_size=1,
+            event_budget=1,
+            netmaster=CONFIG.netmaster,
+        )
+        base = FleetService(config).run(_specs(volunteers))
+        sharded = ShardedFleetService(config, shards=_shards(tmp_path)).run(
+            _specs(volunteers)
+        )
+        assert sharded.summaries == base.summaries
+        assert sharded.shed_users == base.shed_users == len(volunteers) - 1
+
+    def test_matches_with_checkpoint_cadence(self, volunteers, tmp_path):
+        config = FleetConfig(
+            train_days=10, checkpoint_every_days=1, netmaster=CONFIG.netmaster
+        )
+        base = FleetService(config).run(_specs(volunteers))
+        sharded = ShardedFleetService(config, shards=_shards(tmp_path)).run(
+            _specs(volunteers)
+        )
+        assert sharded.summaries == base.summaries
+
+    def test_parallel_matches_serial(self, volunteers, tmp_path):
+        serial = ShardedFleetService(CONFIG, shards=_shards(tmp_path / "a")).run(
+            _specs(volunteers)
+        )
+        parallel = ShardedFleetService(CONFIG, shards=_shards(tmp_path / "b")).run(
+            _specs(volunteers), jobs=2
+        )
+        assert parallel.summaries == serial.summaries
+
+    def test_parallel_writes_identical_wals(self, volunteers, tmp_path):
+        a = ShardedFleetService(CONFIG, shards=_shards(tmp_path / "a"))
+        a.run(_specs(volunteers))
+        b = ShardedFleetService(CONFIG, shards=_shards(tmp_path / "b"))
+        b.run(_specs(volunteers), jobs=2)
+        for sa, sb in zip(a.stores, b.stores):
+            assert sa.wal_path.read_bytes() == sb.wal_path.read_bytes()
+
+
+class TestDurability:
+    def test_second_run_is_served_from_the_log(self, volunteers, tmp_path):
+        shards = _shards(tmp_path)
+        first = ShardedFleetService(CONFIG, shards=shards)
+        a = first.run(_specs(volunteers))
+        second = ShardedFleetService(CONFIG, shards=shards)
+        second.recover()
+        b = second.run(_specs(volunteers))
+        assert b.summaries == a.summaries
+        assert b.recovered_users == len(volunteers)
+        # Nothing streams twice: no new WAL appends on the second pass.
+        assert all(store.appends == 0 for store in second.stores)
+
+    def test_users_route_to_their_hashed_shard(self, volunteers, tmp_path):
+        shards = _shards(tmp_path)
+        service = ShardedFleetService(CONFIG, shards=shards)
+        service.run(_specs(volunteers))
+        for trace in volunteers:
+            owner = shard_of(trace.user_id, shards.n_shards)
+            for i, store in enumerate(service.stores):
+                assert (store.get(trace.user_id) is not None) == (i == owner)
+
+    def test_recover_on_fresh_root_is_safe(self, tmp_path):
+        service = ShardedFleetService(CONFIG, shards=_shards(tmp_path))
+        reports = service.recover()
+        assert all(not r.existed for r in reports)
+
+
+class TestPerShardBudget:
+    def test_hot_shard_sheds_alone(self, volunteers, tmp_path):
+        # Stream everyone once so shard event counts are known...
+        shards = _shards(tmp_path, shard_event_budget=1)
+        service = ShardedFleetService(CONFIG, shards=shards)
+        first = service.run(_specs(volunteers))
+        assert first.users == len(volunteers)  # budgets bite at *admission*
+        # ...then admit a fresh user routed to each shard: only users on
+        # now-over-budget shards are shed, others stream fine.
+        fresh = [
+            FleetUserSpec(user_id=f"fresh-{i}", n_days=3, seed=100 + i)
+            for i in range(6)
+        ]
+        over = {
+            i for i, store in enumerate(service.stores) if store.events >= 1
+        }
+        second = service.run(fresh)
+        expect_shed = sum(
+            1 for s in fresh if shard_of(s.user_id, shards.n_shards) in over
+        )
+        assert second.shard_shed_users == expect_shed
+        assert second.users == len(fresh) - expect_shed
+
+    def test_shedding_is_deterministic_across_jobs(self, volunteers, tmp_path):
+        specs = _specs(volunteers) + [
+            FleetUserSpec(user_id=f"extra-{i}", n_days=3, seed=50 + i)
+            for i in range(4)
+        ]
+        results = []
+        for name, jobs in (("a", 1), ("b", 2)):
+            shards = _shards(tmp_path / name, shard_event_budget=1)
+            service = ShardedFleetService(
+                FleetConfig(
+                    train_days=2, batch_size=2, netmaster=CONFIG.netmaster
+                ),
+                shards=shards,
+            )
+            results.append(service.run(specs, jobs=jobs))
+        assert results[0].summaries == results[1].summaries
+        assert results[0].shard_shed_users == results[1].shard_shed_users
+
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardConfig(root=tmp_path, n_shards=0)
+        with pytest.raises(ValueError, match="shard_event_budget"):
+            ShardConfig(root=tmp_path, shard_event_budget=-1)
+
+
+class TestStats:
+    def test_stats_cover_every_shard(self, volunteers, tmp_path):
+        shards = _shards(tmp_path, n_shards=3)
+        service = ShardedFleetService(CONFIG, shards=shards)
+        result = service.run(_specs(volunteers))
+        assert len(result.shard_stats) == 3
+        assert sum(s.done_users for s in result.shard_stats) == len(volunteers)
+        assert sum(s.events for s in result.shard_stats) == result.events
+        assert result.events_per_s > 0

@@ -44,13 +44,25 @@ class PolicyOutcome:
 
     def transfer_windows(self) -> list[tuple[float, float]]:
         """Transfer intervals only (idle wake-ups are priced separately)."""
-        return [a.interval for a in self.activities]
+        # Same tuples as ``a.interval`` without the two property hops —
+        # this listcomp runs once per priced cell.
+        return [(a.time, a.time + a.duration) for a in self.activities]
 
-    def _priced_windows(self) -> list[tuple[float, float]]:
+    def priced_windows(self) -> list[tuple[float, float]]:
         """Transfer windows plus the partial windows of failed attempts."""
         return self.transfer_windows() + list(self.failed_windows)
 
-    def _window_tails(self) -> list[float] | None:
+    def priced_tail_policy(self) -> TailPolicy | None:
+        """The tail policy the RRC pricing pass should use.
+
+        ``None`` when per-activity tails are set — the allowances carry
+        the tail semantics and the simulator must not also apply a
+        policy-level cutoff.
+        """
+        return self.tail_policy if self.activity_tails is None else None
+
+    def priced_window_tails(self) -> list[float] | None:
+        """Per-window tail allowances aligned with :meth:`priced_windows`."""
         if self.activity_tails is None:
             return None
         if len(self.activity_tails) != len(self.activities):
@@ -70,6 +82,8 @@ class PolicyOutcome:
         exchanges control signalling without a data promotion — modelled
         as a FACH-level window (FACH promotion + FACH power).
         """
+        if not self.extra_windows:
+            return 0.0
         return sum(
             model.promo_fach_energy_j + model.p_fach_w * (hi - lo)
             for lo, hi in self.extra_windows
@@ -83,11 +97,20 @@ class PolicyOutcome:
         each failed promotion is charged one IDLE→DCH promotion.
         """
         base = simulate(
-            self._priced_windows(),
+            self.priced_windows(),
             model,
-            self.tail_policy if self.activity_tails is None else None,
-            window_tails=self._window_tails(),
+            self.priced_tail_policy(),
+            window_tails=self.priced_window_tails(),
         )
+        return self.finalize_energy(base, model)
+
+    def finalize_energy(self, base: EnergyReport, model: RadioPowerModel) -> EnergyReport:
+        """Fold wake-up and fault surcharges into a base RRC report.
+
+        Split out of :meth:`energy` so the columnar batch pricer
+        (:mod:`repro.core.batch`) can apply the identical scalar
+        adjustment to reports produced by the lane kernel.
+        """
         wake_e = self.wake_energy_j(model)
         extra_e = wake_e + self.failed_promotions * model.promo_idle_energy_j
         if extra_e == 0.0:
@@ -120,11 +143,17 @@ class PolicyOutcome:
         though no data moves.
         """
         intervals = radio_on_intervals(
-            self._priced_windows(),
+            self.priced_windows(),
             model,
-            self.tail_policy if self.activity_tails is None else None,
-            window_tails=self._window_tails(),
+            self.priced_tail_policy(),
+            window_tails=self.priced_window_tails(),
         )
+        return self.merge_radio_on(intervals)
+
+    def merge_radio_on(
+        self, intervals: list[tuple[float, float]]
+    ) -> list[tuple[float, float]]:
+        """Fuse RRC radio-on intervals with the idle wake windows."""
         from repro._util import merge_intervals
 
         return merge_intervals(list(intervals) + list(self.extra_windows))
@@ -143,10 +172,29 @@ class PolicyOutcome:
             return 0.0
         return self.affected_user_activities / self.user_interactions
 
-    def validate_payload(self, day: Trace) -> None:
-        """Check payload conservation against the source day."""
-        src = sum(a.total_bytes for a in day.activities)
-        out = sum(a.total_bytes for a in self.activities)
+    def validate_payload(
+        self,
+        day: Trace,
+        *,
+        src_bytes: float | None = None,
+        out_bytes: float | None = None,
+    ) -> None:
+        """Check payload conservation against the source day.
+
+        ``src_bytes`` / ``out_bytes`` let batch pricers pass precomputed
+        activity-payload sums (grids reuse the same day across policies);
+        they must equal the sums computed here.
+        """
+        src = (
+            sum(a.total_bytes for a in day.activities)
+            if src_bytes is None
+            else src_bytes
+        )
+        out = (
+            sum(a.total_bytes for a in self.activities)
+            if out_bytes is None
+            else out_bytes
+        )
         if abs(src - out) > 1e-6 * max(src, 1.0):
             raise ValueError(
                 f"{self.policy}: payload not conserved ({src} -> {out} bytes)"

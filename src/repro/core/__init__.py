@@ -1,6 +1,7 @@
 """Core NetMaster contribution: scheduling, knapsacks, duty cycle."""
 
 from repro.core.adjustment import GapServicer, GapServiceResult, RealTimeAdjustment
+from repro.core.batch import measure_outcomes_columnar, run_policy_tasks_columnar
 from repro.core.channel_aware import (
     ChannelComparison,
     PlacedBatch,
@@ -30,8 +31,10 @@ from repro.core.overlapped import (
     MKPItem,
     MKPSlot,
     MKPSolution,
+    clear_slot_memo,
     solve_exact_bruteforce,
     solve_overlapped,
+    solve_overlapped_batch,
 )
 from repro.core.profit import (
     DEFAULT_ET,
@@ -72,19 +75,23 @@ __all__ = [
     "SleepScheme",
     "adjacent_slots",
     "build_instance",
+    "clear_slot_memo",
     "compare_placements",
     "expected_activities",
     "knapsack_bruteforce",
     "knapsack_exact",
     "knapsack_fptas",
     "knapsack_greedy",
+    "measure_outcomes_columnar",
     "place_blind",
     "place_channel_aware",
     "placement_profit",
     "radio_on_fraction_after",
+    "run_policy_tasks_columnar",
     "slot_capacity_bytes",
     "solve_exact_bruteforce",
     "solve_overlapped",
+    "solve_overlapped_batch",
     "wakeup_count",
     "wakeup_times",
 ]

@@ -19,6 +19,7 @@ All solvers return a :class:`KnapsackSolution`.
 from __future__ import annotations
 
 import math
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from itertools import combinations
@@ -258,15 +259,43 @@ class SolutionMemo:
     :func:`knapsack_fptas_batch` within a batch and by
     :func:`repro.core.overlapped.solve_overlapped` across solves (the
     per-slot sub-problems of an evaluation sweep repeat heavily).
+
+    ``maxsize`` defaults to the ``REPRO_SOLVER_MEMO_MAX`` environment
+    variable (else 512), so long-lived fleet processes can cap the
+    module-global slot memo without code changes.  Evictions are counted
+    on the instance (``evictions``) and on the ``solver.memo_evictions``
+    telemetry counter.
     """
 
-    def __init__(self, maxsize: int = 512) -> None:
+    DEFAULT_MAXSIZE = 512
+
+    def __init__(self, maxsize: int | None = None) -> None:
+        if maxsize is None:
+            maxsize = self._default_maxsize()
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._data: OrderedDict[tuple, KnapsackSolution] = OrderedDict()
+
+    @classmethod
+    def _default_maxsize(cls) -> int:
+        raw = os.environ.get("REPRO_SOLVER_MEMO_MAX")
+        if raw is None:
+            return cls.DEFAULT_MAXSIZE
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SOLVER_MEMO_MAX must be a positive integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"REPRO_SOLVER_MEMO_MAX must be a positive integer, got {raw!r}"
+            )
+        return value
 
     @staticmethod
     def key(
@@ -295,8 +324,15 @@ class SolutionMemo:
     def put(self, key: tuple, solution: KnapsackSolution) -> None:
         self._data[key] = solution
         self._data.move_to_end(key)
+        evicted = 0
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
+            evicted += 1
+        if evicted:
+            self.evictions += evicted
+            reg = metrics()
+            if reg.enabled:
+                reg.inc("solver.memo_evictions", evicted)
 
     def clear(self) -> None:
         self._data.clear()

@@ -12,7 +12,11 @@ from dataclasses import dataclass
 
 from repro._util import total_length
 from repro.baselines.policy import PolicyOutcome, SchedulingPolicy
-from repro.radio.bandwidth import UtilizationStats, utilization
+from repro.radio.bandwidth import (
+    UtilizationStats,
+    utilization_from_digest,
+    utilization_over_time,
+)
 from repro.radio.power import RadioPowerModel
 from repro.traces.events import Trace
 
@@ -53,12 +57,52 @@ def measure_outcome(
     outcome.validate_payload(day)
     report = outcome.energy(model)
     radio_on = outcome.radio_on(model)
+    return assemble_day_metrics(outcome, report, radio_on)
+
+
+def assemble_day_metrics(
+    outcome: PolicyOutcome,
+    report,
+    radio_on: list[tuple[float, float]],
+    *,
+    digest: tuple[float, float, float, float, float] | None = None,
+) -> PolicyDayMetrics:
+    """Build the metric set from an already-priced outcome.
+
+    Shared by :func:`measure_outcome` and the columnar batch pricer
+    (:mod:`repro.core.batch`) so both assemble byte-identical rows.
+    """
+    return assemble_day_metrics_from_time(
+        outcome, report, total_length(radio_on), digest=digest
+    )
+
+
+def assemble_day_metrics_from_time(
+    outcome: PolicyOutcome,
+    report,
+    radio_on_s: float,
+    *,
+    digest: tuple[float, float, float, float, float] | None = None,
+) -> PolicyDayMetrics:
+    """:func:`assemble_day_metrics` with the radio-on time pre-totalled.
+
+    The columnar pricer computes merged radio-on lengths inside the lane
+    kernel; entering with the scalar skips rebuilding interval lists
+    while producing bit-identical rows.  ``digest`` optionally supplies
+    the precomputed :func:`repro.radio.bandwidth.activity_digest` of
+    ``outcome.activities`` so the batch pricer's single cached pass also
+    serves the utilization stats.
+    """
+    if digest is None:
+        bandwidth = utilization_over_time(outcome.activities, radio_on_s)
+    else:
+        bandwidth = utilization_from_digest(digest, radio_on_s)
     return PolicyDayMetrics(
         policy=outcome.policy,
         energy_j=report.energy_j,
-        radio_on_s=total_length(radio_on),
+        radio_on_s=radio_on_s,
         transfer_s=report.transfer_s,
-        bandwidth=utilization(outcome.activities, radio_on),
+        bandwidth=bandwidth,
         interrupts=outcome.interrupts,
         user_interactions=outcome.user_interactions,
         affected_user_activities=outcome.affected_user_activities,
@@ -72,6 +116,7 @@ def run_policy_over_days(
     model: RadioPowerModel,
     *,
     jobs: int = 1,
+    columnar: bool = False,
 ) -> list[PolicyDayMetrics]:
     """Execute and measure a policy over several held-out days.
 
@@ -81,7 +126,31 @@ def run_policy_over_days(
     loop.  Stateful policies (e.g. NetMaster's circuit breaker) always
     replay serially here — parallelize them at the grid level with
     :func:`repro.runtime.parallel.run_policy_tasks` instead.
+
+    ``columnar=True`` executes the days as usual but prices all outcomes
+    through the lane kernel in one batch (:mod:`repro.core.batch`) —
+    bit-identical results, one array pass instead of ``len(days)``.
     """
+    label = getattr(policy, "name", type(policy).__name__)
+    if columnar:
+        # Imported lazily: repro.core.batch prices via evaluation.metrics.
+        from repro.core.batch import run_policy_tasks_columnar
+        from repro.runtime.parallel import PolicyTask
+
+        if jobs > 1 and len(days) > 1 and getattr(policy, "day_independent", False):
+            tasks = [
+                PolicyTask(name="day", policy=policy, days=(day,), model=model)
+                for day in days
+            ]
+        else:
+            tasks = [
+                PolicyTask(name=label, policy=policy, days=tuple(days), model=model)
+            ]
+        return [
+            m
+            for metrics in run_policy_tasks_columnar(tasks, jobs=jobs)
+            for m in metrics
+        ]
     if jobs > 1 and len(days) > 1 and getattr(policy, "day_independent", False):
         # Imported lazily: repro.runtime.parallel imports this module.
         from repro.runtime.parallel import PolicyTask, run_policy_tasks
@@ -94,7 +163,6 @@ def run_policy_over_days(
     from repro.telemetry import tracer
 
     trc = tracer()
-    label = getattr(policy, "name", type(policy).__name__)
     out: list[PolicyDayMetrics] = []
     for i, day in enumerate(days):
         with trc.sim_context(f"{label}:d{i + 1}"), trc.span(

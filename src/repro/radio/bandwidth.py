@@ -18,8 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
 from repro._util import check_positive, total_length
 from repro.traces.events import NetworkActivity
 
@@ -83,17 +81,66 @@ def utilization(
     per-activity instantaneous rates, which no scheduler can raise because
     they are set by the channel (paper, Section VI-A).
     """
-    on_time = total_length(radio_on)
-    down = sum(a.down_bytes for a in activities)
-    up = sum(a.up_bytes for a in activities)
-    if activities:
-        peak_down = float(np.max([a.down_bytes / a.duration for a in activities]))
-        peak_up = float(np.max([a.up_bytes / a.duration for a in activities]))
-    else:
-        peak_down = peak_up = 0.0
+    return utilization_over_time(activities, total_length(radio_on))
+
+
+def activity_digest(
+    activities: Sequence[NetworkActivity],
+) -> tuple[float, float, float, float, float]:
+    """``(down, up, peak_down, peak_up, payload)`` in one pass.
+
+    Each component is bit-equal to its standalone reduction: the sums
+    add left-to-right from zero exactly as ``sum()`` over per-field
+    generators would, the peaks keep the running maximum exactly as
+    ``max()`` would, and ``payload`` adds per-activity
+    ``total_bytes`` (= ``down + up``) in the same order as
+    ``sum(a.total_bytes for a in activities)``.  Interleaving them in
+    one loop changes no intermediate value — this sits under every
+    priced cell, and the columnar batch pricer caches it per list.
+    """
+    down = up = payload = 0.0
+    peak_down = peak_up = 0.0
+    first = True
+    for a in activities:
+        d = a.down_bytes
+        u = a.up_bytes
+        down += d
+        up += u
+        payload += d + u
+        d_rate = d / a.duration
+        u_rate = u / a.duration
+        if first:
+            peak_down = d_rate
+            peak_up = u_rate
+            first = False
+        else:
+            if d_rate > peak_down:
+                peak_down = d_rate
+            if u_rate > peak_up:
+                peak_up = u_rate
+    return (down, up, peak_down, peak_up, payload)
+
+
+def utilization_from_digest(
+    digest: tuple[float, float, float, float, float], on_time: float
+) -> UtilizationStats:
+    """Finish :func:`utilization` from a precomputed activity digest."""
+    down, up, peak_down, peak_up, _ = digest
     return UtilizationStats(
         avg_down_bps=down / on_time if on_time > 0 else 0.0,
         avg_up_bps=up / on_time if on_time > 0 else 0.0,
         peak_down_bps=peak_down,
         peak_up_bps=peak_up,
     )
+
+
+def utilization_over_time(
+    activities: Sequence[NetworkActivity], on_time: float
+) -> UtilizationStats:
+    """:func:`utilization` with the radio-on time already totalled.
+
+    The columnar batch pricer computes merged radio-on lengths inside
+    the lane kernel, so it enters here with the scalar directly; the
+    stats are bit-identical to the interval-list entry point.
+    """
+    return utilization_from_digest(activity_digest(activities), on_time)

@@ -1,0 +1,769 @@
+"""Columnar multi-lane replay: many RRC problems per numpy pass.
+
+:mod:`repro.radio.intervals` vectorized *one* replay; cohort-scale sweeps
+still paid one Python round-trip through that engine per (user, day,
+policy) cell.  This module packs many independent replay problems —
+"lanes" — into a single structure-of-arrays representation (concatenated
+window ``starts``/``ends`` plus per-lane ``offsets``) and runs the whole
+pipeline (merge, allowance merge, decomposition, tail extension, energy
+reduction) across all lanes in a handful of array passes:
+
+* lane-major sorting via ``np.lexsort`` with the lane id as the primary
+  key reproduces each lane's private sort;
+* the running-maximum merge becomes a *segmented* cumulative maximum
+  (Hillis–Steele doubling scan) that resets at lane boundaries;
+* per-lane left-to-right energy sums use a padded-row cumulative sum
+  (one zero-padded row per lane, seeded with the lane's initial term)
+  instead of ``np.add.reduceat``, whose pairwise accumulation would
+  break the bit-identity contract.
+
+**Bit-identity contract.**  Every lane's result is bit-for-bit equal to
+running the per-lane :mod:`repro.radio.intervals` /
+:func:`repro.radio.rrc.simulate` path on that lane alone.  Elementwise
+arithmetic is exact under batching; sorts stay per-lane-stable because
+``np.lexsort`` is stable and the lane id dominates; the segmented scan
+only ever *selects* one of its float inputs (max is associative); and
+the padded cumulative sums append only trailing ``+0.0`` terms, which
+cannot change an accumulator that is never ``-0.0`` (all summed series
+here start from a ``>= +0.0`` initial and add ``>= +0.0`` terms).
+
+Memory note: the padded sum materializes ``n_lanes × (max_lane_len + 1)``
+rows, so one pathologically long lane among many short ones inflates the
+pad.  Grid cells (one day of one user) are naturally same-order-of-
+magnitude, which keeps the pad dense.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import chain
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import check_interval
+from repro.radio.intervals import ReplayDecomposition, pair_durations
+from repro.radio.power import RadioPowerModel
+from repro.radio.rrc import (
+    EnergyReport,
+    FullTail,
+    TailPolicy,
+    _record_rrc_spans,
+)
+from repro.telemetry import metrics, tracer
+
+__all__ = [
+    "LaneDecomposition",
+    "LaneWindows",
+    "decompose_lanes",
+    "extend_lanes_by_tails",
+    "lane_ids",
+    "lane_sequential_sums",
+    "merge_lanes",
+    "merge_lanes_with_allowances",
+    "pack_lanes",
+    "replay_many",
+    "segmented_cummax",
+    "simulate_many",
+]
+
+_EMPTY_F = np.empty(0)
+_EMPTY_B = np.empty(0, dtype=bool)
+
+
+@dataclass(frozen=True, slots=True)
+class LaneWindows:
+    """Ragged windows of many lanes in structure-of-arrays form.
+
+    ``starts``/``ends`` concatenate every lane's windows lane-major;
+    ``offsets`` has ``n_lanes + 1`` entries with lane ``i`` occupying
+    ``starts[offsets[i]:offsets[i + 1]]``.
+    """
+
+    starts: np.ndarray
+    ends: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of lanes (including empty ones)."""
+        return int(self.offsets.size - 1)
+
+    @property
+    def n_windows(self) -> int:
+        """Total windows across all lanes."""
+        return int(self.starts.size)
+
+    def counts(self) -> np.ndarray:
+        """Per-lane window counts."""
+        return np.diff(self.offsets)
+
+    def lane(self, i: int) -> list[tuple[float, float]]:
+        """Lane ``i``'s windows as the per-lane list-of-tuples form."""
+        lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
+        return list(zip(self.starts[lo:hi].tolist(), self.ends[lo:hi].tolist()))
+
+
+def pack_lanes(
+    window_lists: Sequence[Sequence[tuple[float, float]]],
+) -> LaneWindows:
+    """Pack per-lane window lists into one :class:`LaneWindows`."""
+    n_lanes = len(window_lists)
+    counts = np.fromiter(
+        (len(w) for w in window_lists), dtype=np.intp, count=n_lanes
+    )
+    offsets = np.zeros(n_lanes + 1, dtype=np.intp)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+    if total == 0:
+        return LaneWindows(starts=_EMPTY_F, ends=_EMPTY_F, offsets=offsets)
+    # One flat conversion with a preallocated target: cheaper than a
+    # per-lane asarray/concatenate when the grid has hundreds of small
+    # lanes, and cheaper than asarray on a list of tuples.
+    flat: list[tuple[float, float]] = []
+    for w in window_lists:
+        flat.extend(w)
+    stacked = np.fromiter(
+        chain.from_iterable(flat), dtype=np.float64, count=2 * total
+    ).reshape(-1, 2)
+    return LaneWindows(
+        starts=np.ascontiguousarray(stacked[:, 0]),
+        ends=np.ascontiguousarray(stacked[:, 1]),
+        offsets=offsets,
+    )
+
+
+def lane_ids(offsets: np.ndarray) -> np.ndarray:
+    """Member → lane map: ``lane_ids(offsets)[j]`` is window ``j``'s lane."""
+    return np.repeat(np.arange(offsets.size - 1, dtype=np.intp), np.diff(offsets))
+
+
+def segmented_cummax(values: np.ndarray, head: np.ndarray) -> np.ndarray:
+    """Per-segment running maximum, resetting where ``head`` is True.
+
+    Hillis–Steele doubling scan: at stride ``d`` each position takes the
+    max of itself and the value ``d`` back, unless a segment head lies in
+    between (tracked by OR-ing the head flags along).  Exact by
+    construction — max only ever returns one of its float inputs.
+    """
+    out = values.astype(np.float64, copy=True)
+    blocked = np.array(head, dtype=bool, copy=True)
+    n = out.size
+    d = 1
+    while d < n:
+        # np.where materializes a fresh array, so the in-place maximum
+        # never aliases its shifted input.
+        np.maximum(
+            out[d:],
+            np.where(blocked[d:], -np.inf, out[:-d]),
+            out=out[d:],
+        )
+        blocked[d:] |= blocked[:-d].copy()
+        d <<= 1
+    return out
+
+
+def _lane_heads(offsets: np.ndarray, n: int) -> np.ndarray:
+    """Boolean head mask: True at the first window of each non-empty lane."""
+    head = np.zeros(n, dtype=bool)
+    head[offsets[:-1][np.diff(offsets) > 0]] = True
+    return head
+
+
+def _group_lanes(
+    starts: np.ndarray,
+    run_end: np.ndarray,
+    head: np.ndarray,
+    lids: np.ndarray,
+    n_lanes: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Fused-group bounds across all lanes at once.
+
+    Mirrors ``intervals._group_bounds`` with one extra rule: a lane head
+    always opens a group (the running maximum never carries across
+    lanes).  Returns ``(first, last, group_ids, merged_offsets)``.
+    """
+    n = starts.size
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    np.greater(starts[1:], run_end[:-1], out=new_group[1:])
+    new_group |= head
+    first = np.flatnonzero(new_group)
+    group_ids = np.cumsum(new_group) - 1
+    last = np.empty_like(first)
+    last[:-1] = first[1:] - 1
+    last[-1] = n - 1
+    merged_offsets = np.searchsorted(
+        lids[first], np.arange(n_lanes + 1), side="left"
+    ).astype(np.intp)
+    return first, last, group_ids, merged_offsets
+
+
+def merge_lanes(lanes: LaneWindows) -> LaneWindows:
+    """All-lane :func:`repro.radio.intervals.merge_windows` in one pass.
+
+    Each lane of the result equals ``merge_windows(lanes.lane(i))``
+    bit-for-bit: the lane-major ``lexsort`` reproduces every lane's
+    private ``(start, end)`` sort, and the segmented running maximum
+    reproduces its private ``np.maximum.accumulate``.
+    """
+    n = lanes.n_windows
+    if n == 0:
+        return LaneWindows(
+            starts=_EMPTY_F, ends=_EMPTY_F, offsets=lanes.offsets.copy()
+        )
+    # Validate in concatenated input order — identical to looping lanes
+    # and letting each lane's merge_windows raise on its first bad window.
+    bad = np.flatnonzero(lanes.starts > lanes.ends)
+    if bad.size:
+        i = int(bad[0])
+        check_interval(float(lanes.starts[i]), float(lanes.ends[i]))
+    lids = lane_ids(lanes.offsets)
+    order = np.lexsort((lanes.ends, lanes.starts, lids))
+    starts = lanes.starts[order]
+    ends = lanes.ends[order]
+    lids = lids[order]
+    head = np.empty(n, dtype=bool)
+    head[0] = True
+    np.not_equal(lids[1:], lids[:-1], out=head[1:])
+    run_end = segmented_cummax(ends, head)
+    first, last, _, merged_offsets = _group_lanes(
+        starts, run_end, head, lids, lanes.n_lanes
+    )
+    return LaneWindows(
+        starts=starts[first], ends=run_end[last], offsets=merged_offsets
+    )
+
+
+def merge_lanes_with_allowances(
+    lanes: LaneWindows, window_tails: np.ndarray
+) -> tuple[LaneWindows, np.ndarray]:
+    """All-lane fast-dormancy merge, carrying per-window tail allowances.
+
+    Per lane this is exactly
+    :func:`repro.radio.intervals.merge_windows_with_allowances`: sort by
+    start (stable), fuse on the running maximum end, and give each fused
+    window the largest allowance among members achieving its final end.
+    """
+    n = lanes.n_windows
+    if n == 0:
+        return (
+            LaneWindows(
+                starts=_EMPTY_F, ends=_EMPTY_F, offsets=lanes.offsets.copy()
+            ),
+            _EMPTY_F,
+        )
+    tails = np.asarray(window_tails, dtype=np.float64)
+    lids = lane_ids(lanes.offsets)
+    order = np.lexsort((lanes.starts, lids))
+    starts = lanes.starts[order]
+    ends = lanes.ends[order]
+    tails = tails[order]
+    lids = lids[order]
+    # Validate in lane-major sorted order — the per-lane iteration order.
+    bad = np.flatnonzero((starts > ends) | (tails < 0))
+    if bad.size:
+        i = int(bad[0])
+        check_interval(float(starts[i]), float(ends[i]))
+        raise ValueError(
+            f"window tail allowance must be >= 0, got {float(tails[i])}"
+        )
+    head = np.empty(n, dtype=bool)
+    head[0] = True
+    np.not_equal(lids[1:], lids[:-1], out=head[1:])
+    run_end = segmented_cummax(ends, head)
+    first, last, group_ids, merged_offsets = _group_lanes(
+        starts, run_end, head, lids, lanes.n_lanes
+    )
+    merged_end = run_end[last]
+    eligible = ends == merged_end[group_ids]
+    masked = np.where(eligible, tails, -np.inf)
+    # first is strictly increasing (every group is non-empty), so the
+    # reduceat segments are exactly the groups; max never rounds.
+    allowances = np.maximum.reduceat(masked, first)
+    return (
+        LaneWindows(starts=starts[first], ends=merged_end, offsets=merged_offsets),
+        allowances,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class LaneDecomposition:
+    """Per-window replay arrays of many lanes, plus lane ``offsets``.
+
+    Lane ``i``'s slice is bit-equal to the
+    :class:`~repro.radio.intervals.ReplayDecomposition` of that lane.
+    """
+
+    offsets: np.ndarray
+    starts: np.ndarray
+    ends: np.ndarray
+    durations: np.ndarray
+    gaps: np.ndarray
+    budgets: np.ndarray
+    dch_parts: np.ndarray
+    fach_parts: np.ndarray
+    promo_fach: np.ndarray
+    promo_idle: np.ndarray
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of lanes (including empty ones)."""
+        return int(self.offsets.size - 1)
+
+    def lane(self, i: int) -> ReplayDecomposition:
+        """Lane ``i``'s slice as a per-lane decomposition (views)."""
+        lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
+        return ReplayDecomposition(
+            starts=self.starts[lo:hi],
+            ends=self.ends[lo:hi],
+            durations=self.durations[lo:hi],
+            gaps=self.gaps[lo:hi],
+            budgets=self.budgets[lo:hi],
+            dch_parts=self.dch_parts[lo:hi],
+            fach_parts=self.fach_parts[lo:hi],
+            promo_fach=self.promo_fach[lo:hi],
+            promo_idle=self.promo_idle[lo:hi],
+        )
+
+
+def decompose_lanes(
+    merged: LaneWindows,
+    allowances: np.ndarray,
+    *,
+    tail_s: float,
+    dch_tail_s: float,
+) -> LaneDecomposition:
+    """All-lane :func:`repro.radio.intervals.decompose_replay`.
+
+    Gaps are computed globally (``starts[1:] - ends[:-1]``) and the last
+    window of every non-empty lane is then reset to ``inf`` — which also
+    erases the meaningless cross-lane differences at lane boundaries.
+    """
+    starts, ends, offsets = merged.starts, merged.ends, merged.offsets
+    n = starts.size
+    if n == 0:
+        return LaneDecomposition(
+            offsets=offsets.copy(),
+            starts=_EMPTY_F,
+            ends=_EMPTY_F,
+            durations=_EMPTY_F,
+            gaps=_EMPTY_F,
+            budgets=_EMPTY_F,
+            dch_parts=_EMPTY_F,
+            fach_parts=_EMPTY_F,
+            promo_fach=_EMPTY_B,
+            promo_idle=_EMPTY_B,
+        )
+    allow = np.asarray(allowances, dtype=np.float64)
+    lane_last = offsets[1:][np.diff(offsets) > 0] - 1
+    gaps = np.empty(n)
+    np.subtract(starts[1:], ends[:-1], out=gaps[:-1])
+    gaps[n - 1] = math.inf
+    gaps[lane_last] = math.inf
+    budgets = np.minimum(np.minimum(gaps, allow), tail_s)
+    dch_parts = np.minimum(budgets, dch_tail_s)
+    fach_parts = budgets - dch_parts
+    has_next = np.ones(n, dtype=bool)
+    has_next[lane_last] = False
+    stay_dch = gaps <= np.minimum(allow, dch_tail_s)
+    within_tail = gaps <= np.minimum(allow, tail_s)
+    promo_fach = has_next & ~stay_dch & within_tail
+    promo_idle = has_next & ~within_tail
+    return LaneDecomposition(
+        offsets=offsets,
+        starts=starts,
+        ends=ends,
+        durations=pair_durations(starts, ends),
+        gaps=gaps,
+        budgets=budgets,
+        dch_parts=dch_parts,
+        fach_parts=fach_parts,
+        promo_fach=promo_fach,
+        promo_idle=promo_idle,
+    )
+
+
+def extend_lanes_by_tails(decomp: LaneDecomposition) -> LaneWindows:
+    """All-lane :func:`repro.radio.intervals.extend_by_tails`.
+
+    Each lane of the result equals ``extend_by_tails(decomp.lane(i))``:
+    windows extended to ``end + budget`` and re-fused with the segmented
+    running maximum (budgets never bridge lanes — the last window of a
+    lane has an ``inf`` gap but its budget is still finite).
+    """
+    n = decomp.starts.size
+    offsets = decomp.offsets
+    if n == 0:
+        return LaneWindows(
+            starts=_EMPTY_F, ends=_EMPTY_F, offsets=offsets.copy()
+        )
+    extended = decomp.ends + decomp.budgets
+    head = _lane_heads(offsets, n)
+    run_end = segmented_cummax(extended, head)
+    lids = lane_ids(offsets)
+    first, last, _, merged_offsets = _group_lanes(
+        decomp.starts, run_end, head, lids, decomp.n_lanes
+    )
+    return LaneWindows(
+        starts=decomp.starts[first], ends=run_end[last], offsets=merged_offsets
+    )
+
+
+def lane_radio_on_lengths(extended: LaneWindows) -> np.ndarray:
+    """Per-lane merged ``total_length`` of extended radio-on windows.
+
+    :func:`extend_lanes_by_tails` already returns each lane fused,
+    sorted, and with strictly positive gaps, so ``merge_intervals`` over
+    such a lane is the identity and its total length is the
+    left-to-right float sum of window lengths.  ``result[i]`` is
+    bit-equal to ``total_length(merge_intervals(extended.lane(i)))``.
+    """
+    lengths = extended.ends - extended.starts
+    return lane_sequential_sums(lengths[None, :], extended.offsets, (0.0,))[0]
+
+
+def lane_sequential_sums(
+    rows: np.ndarray, offsets: np.ndarray, initials: Sequence[float]
+) -> np.ndarray:
+    """Per-lane left-to-right float sums for ``k`` value rows at once.
+
+    ``rows`` is ``(k, n_windows)`` lane-major values; ``initials`` seeds
+    row ``j``'s accumulator in every lane.  Returns ``(k, n_lanes)``
+    totals, each bit-equal to
+    ``sequential_sum(rows[j, lane_slice], initial=initials[j])``.
+
+    The trick: scatter each lane's values into a zero-padded row whose
+    column 0 holds the initial, cumulative-sum along the rows, and read
+    the last column.  ``np.cumsum`` along the last axis accumulates
+    strictly left-to-right (unlike ``np.sum``/``np.add.reduceat``), and
+    the trailing ``+0.0`` padding is exact for the ``>= +0.0`` series
+    summed here (a ``-0.0`` accumulator can never arise).
+    """
+    init = np.asarray(initials, dtype=np.float64)
+    counts = np.diff(offsets)
+    n_lanes = counts.size
+    k, n = rows.shape
+    if n == 0 or n_lanes == 0:
+        return np.broadcast_to(init[:, None], (k, n_lanes)).copy()
+    width = int(counts.max()) + 1
+    padded = np.zeros((k, n_lanes, width))
+    padded[:, :, 0] = init[:, None]
+    lids = lane_ids(offsets)
+    cols = np.arange(n, dtype=np.intp) - offsets[:-1][lids] + 1
+    padded[:, lids, cols] = rows
+    flat = padded.reshape(k * n_lanes, width)
+    np.cumsum(flat, axis=-1, out=flat)
+    return flat[:, -1].reshape(k, n_lanes)
+
+
+_ZERO_REPORT = EnergyReport(
+    energy_j=0.0,
+    radio_on_s=0.0,
+    transfer_s=0.0,
+    tail_s=0.0,
+    promo_idle_count=0,
+    promo_fach_count=0,
+    window_count=0,
+)
+
+
+def _machine_reports(
+    merged: LaneWindows, decomp: LaneDecomposition, model: RadioPowerModel
+) -> list[EnergyReport]:
+    """Per-lane :func:`repro.radio.rrc._run_machine` outputs in one pass."""
+    n_lanes = merged.n_lanes
+    counts = merged.counts()
+    reg = metrics()
+    if reg.enabled:
+        reg.inc("radio.rrc.simulations", n_lanes)
+        reg.inc("radio.rrc.windows", merged.n_windows)
+    rows = np.stack(
+        (
+            decomp.durations,
+            decomp.durations * model.p_dch_w,
+            decomp.budgets,
+            decomp.dch_parts * model.p_dch_w
+            + decomp.fach_parts * model.p_fach_w,
+            np.where(
+                decomp.promo_fach,
+                model.promo_fach_energy_j,
+                np.where(decomp.promo_idle, model.promo_idle_energy_j, 0.0),
+            ),
+            np.where(
+                decomp.promo_fach,
+                model.promo_fach_dch_s,
+                np.where(decomp.promo_idle, model.promo_idle_dch_s, 0.0),
+            ),
+        )
+    )
+    totals = lane_sequential_sums(
+        rows,
+        merged.offsets,
+        (0.0, 0.0, 0.0, 0.0, model.promo_idle_energy_j, model.promo_idle_dch_s),
+    )
+    transfer_s, transfer_e, tail_s, tail_e, promo_e, promo_s = (
+        t.tolist() for t in totals
+    )
+    lids = lane_ids(merged.offsets)
+    idle_counts = np.bincount(lids[decomp.promo_idle], minlength=n_lanes)
+    fach_counts = np.bincount(lids[decomp.promo_fach], minlength=n_lanes)
+    trc = tracer()
+    reports: list[EnergyReport] = []
+    total_idle = 0
+    total_fach = 0
+    for i in range(n_lanes):
+        count = int(counts[i])
+        if count == 0:
+            # _run_machine's empty shortcut: no promotions, fresh dict.
+            reports.append(
+                EnergyReport(
+                    energy_j=0.0,
+                    radio_on_s=0.0,
+                    transfer_s=0.0,
+                    tail_s=0.0,
+                    promo_idle_count=0,
+                    promo_fach_count=0,
+                    window_count=0,
+                    state_energy_j={"transfer": 0.0, "tail": 0.0, "promo": 0.0},
+                )
+            )
+            continue
+        promo_idle = 1 + int(idle_counts[i])
+        promo_fach = int(fach_counts[i])
+        total_idle += promo_idle
+        total_fach += promo_fach
+        if trc.enabled:
+            _record_rrc_spans(trc, decomp.lane(i))
+        reports.append(
+            EnergyReport(
+                energy_j=transfer_e[i] + tail_e[i] + promo_e[i],
+                radio_on_s=transfer_s[i] + tail_s[i] + promo_s[i],
+                transfer_s=transfer_s[i],
+                tail_s=tail_s[i],
+                promo_idle_count=promo_idle,
+                promo_fach_count=promo_fach,
+                window_count=count,
+                state_energy_j={
+                    "transfer": transfer_e[i],
+                    "tail": tail_e[i],
+                    "promo": promo_e[i],
+                },
+            )
+        )
+    if reg.enabled:
+        reg.inc("radio.rrc.promotions_idle", total_idle)
+        reg.inc("radio.rrc.promotions_fach", total_fach)
+    return reports
+
+
+def _replay_group(
+    window_lists: list[Sequence[tuple[float, float]]],
+    flat_tails: np.ndarray | None,
+    lane_allowances: list[float] | None,
+    model: RadioPowerModel,
+    want_radio_on: bool,
+    keep: list[bool] | None = None,
+) -> tuple[
+    list[EnergyReport],
+    list[list[tuple[float, float]] | None] | None,
+    list[float] | None,
+]:
+    """Merge, decompose and price one homogeneous group of lanes.
+
+    With ``keep`` set (lengths mode), the third return element carries
+    the per-lane merged radio-on lengths and the interval lists are only
+    materialized for lanes whose ``keep`` flag is True.
+    """
+    lanes = pack_lanes(window_lists)
+    if flat_tails is not None:
+        merged, allowances = merge_lanes_with_allowances(lanes, flat_tails)
+    else:
+        merged = merge_lanes(lanes)
+        allowances = np.repeat(
+            np.asarray(lane_allowances, dtype=np.float64), merged.counts()
+        )
+    decomp = decompose_lanes(
+        merged, allowances, tail_s=model.tail_s, dch_tail_s=model.dch_tail_s
+    )
+    reports = _machine_reports(merged, decomp, model)
+    if not want_radio_on:
+        return reports, None, None
+    extended = extend_lanes_by_tails(decomp)
+    if keep is None:
+        radio_on = [extended.lane(i) for i in range(extended.n_lanes)]
+        return reports, radio_on, None
+    lengths = lane_radio_on_lengths(extended).tolist()
+    radio_on = [
+        extended.lane(i) if keep[i] else None for i in range(extended.n_lanes)
+    ]
+    return reports, radio_on, lengths
+
+
+def _replay_lanes(
+    window_lists: Sequence[Sequence[tuple[float, float]]],
+    model: RadioPowerModel,
+    tail_policies: Sequence[TailPolicy | None] | None,
+    window_tails: Sequence[Sequence[float] | None] | None,
+    want_radio_on: bool,
+    keep_intervals: Sequence[bool] | None = None,
+) -> tuple[
+    list[EnergyReport],
+    list[list[tuple[float, float]] | None] | None,
+    list[float] | None,
+]:
+    n = len(window_lists)
+    if tail_policies is None:
+        tail_policies = [None] * n
+    if window_tails is None:
+        window_tails = [None] * n
+    if len(tail_policies) != n or len(window_tails) != n:
+        raise ValueError(
+            "tail_policies and window_tails must parallel window_lists"
+        )
+    plain_idx: list[int] = []
+    plain_lanes: list[Sequence[tuple[float, float]]] = []
+    plain_allow: list[float] = []
+    tailed_idx: list[int] = []
+    tailed_lanes: list[Sequence[tuple[float, float]]] = []
+    tailed_tails: list[float] = []
+    # Per-lane argument validation in input order — the errors (and their
+    # ordering across lanes) match calling simulate() lane by lane.
+    for i, windows in enumerate(window_lists):
+        tails = window_tails[i]
+        policy = tail_policies[i]
+        if policy is None:
+            policy = FullTail()
+        if tails is not None:
+            if len(tails) != len(windows):
+                raise ValueError(
+                    f"window_tails must match windows: {len(tails)} vs {len(windows)}"
+                )
+            if not isinstance(policy, FullTail):
+                raise ValueError(
+                    "window_tails cannot be combined with a custom tail_policy"
+                )
+            tailed_idx.append(i)
+            tailed_lanes.append(windows)
+            tailed_tails.extend(tails)
+        else:
+            plain_idx.append(i)
+            plain_lanes.append(windows)
+            plain_allow.append(policy.max_tail_s())
+    reports: list[EnergyReport | None] = [None] * n
+    radio_on: list[list[tuple[float, float]] | None] = [None] * n
+    lengths: list[float | None] = [None] * n
+    for idx, lanes, flat_tails, lane_allow in (
+        (
+            tailed_idx,
+            tailed_lanes,
+            (
+                np.asarray(tailed_tails, dtype=np.float64)
+                if tailed_tails
+                else _EMPTY_F
+            ),
+            None,
+        ),
+        (plain_idx, plain_lanes, None, plain_allow),
+    ):
+        if not idx:
+            continue
+        keep = (
+            None
+            if keep_intervals is None
+            else [bool(keep_intervals[i]) for i in idx]
+        )
+        grp_reports, grp_radio, grp_lengths = _replay_group(
+            lanes, flat_tails, lane_allow, model, want_radio_on, keep
+        )
+        for j, i in enumerate(idx):
+            reports[i] = grp_reports[j]
+            if grp_radio is not None:
+                radio_on[i] = grp_radio[j]
+            if grp_lengths is not None:
+                lengths[i] = grp_lengths[j]
+    return (
+        reports,
+        (radio_on if want_radio_on else None),
+        (lengths if keep_intervals is not None else None),
+    )
+
+
+def simulate_many(
+    window_lists: Sequence[Sequence[tuple[float, float]]],
+    model: RadioPowerModel,
+    tail_policies: Sequence[TailPolicy | None] | None = None,
+    *,
+    window_tails: Sequence[Sequence[float] | None] | None = None,
+) -> list[EnergyReport]:
+    """Batched :func:`repro.radio.rrc.simulate` over many lanes.
+
+    ``reports[i]`` is bit-equal to
+    ``simulate(window_lists[i], model, tail_policies[i],
+    window_tails=window_tails[i])``.  Lanes with per-window tails and
+    lanes without are batched as two separate groups (their merges have
+    different tie rules); telemetry counter totals match the per-lane
+    path exactly.
+    """
+    reports, _, _ = _replay_lanes(
+        window_lists, model, tail_policies, window_tails, want_radio_on=False
+    )
+    return reports
+
+
+def replay_many(
+    window_lists: Sequence[Sequence[tuple[float, float]]],
+    model: RadioPowerModel,
+    tail_policies: Sequence[TailPolicy | None] | None = None,
+    *,
+    window_tails: Sequence[Sequence[float] | None] | None = None,
+) -> list[tuple[EnergyReport, list[tuple[float, float]]]]:
+    """Batched energy *and* radio-on pricing sharing one decomposition.
+
+    ``results[i]`` is ``(report, radio_on_intervals)``, bit-equal to the
+    pair ``(simulate(...), radio_on_intervals(...))`` for lane ``i`` —
+    but the merge and decomposition run once per lane instead of twice,
+    on top of the cross-lane batching.
+    """
+    reports, radio_on, _ = _replay_lanes(
+        window_lists, model, tail_policies, window_tails, want_radio_on=True
+    )
+    assert radio_on is not None
+    return list(zip(reports, radio_on))
+
+
+def replay_many_lengths(
+    window_lists: Sequence[Sequence[tuple[float, float]]],
+    model: RadioPowerModel,
+    tail_policies: Sequence[TailPolicy | None] | None = None,
+    *,
+    window_tails: Sequence[Sequence[float] | None] | None = None,
+    keep_intervals: Sequence[bool],
+) -> list[tuple[EnergyReport, float, list[tuple[float, float]] | None]]:
+    """:func:`replay_many` returning merged radio-on *lengths*.
+
+    ``results[i]`` is ``(report, radio_on_length, intervals)`` where
+    ``radio_on_length`` is bit-equal to
+    ``total_length(merge_intervals(radio_on_intervals(...)))`` for lane
+    ``i`` — the scalar most consumers actually need — computed inside
+    the lane batch without materializing Python interval lists.  The
+    ``intervals`` element is only built (and only for lanes whose
+    ``keep_intervals`` flag is True) for callers that must re-merge with
+    extra windows; it is ``None`` elsewhere.
+    """
+    if len(keep_intervals) != len(window_lists):
+        raise ValueError(
+            "keep_intervals must parallel window_lists: "
+            f"{len(keep_intervals)} vs {len(window_lists)}"
+        )
+    reports, radio_on, lengths = _replay_lanes(
+        window_lists,
+        model,
+        tail_policies,
+        window_tails,
+        want_radio_on=True,
+        keep_intervals=keep_intervals,
+    )
+    assert radio_on is not None and lengths is not None
+    return list(zip(reports, lengths, radio_on))

@@ -11,7 +11,13 @@ the perf trajectory:
   workers with chunked dispatch and content-addressed trace shipping,
   plus a cross-check that every worker count produces identical energy
   totals.  ``parallel_regression`` flags runs where the workers lost to
-  the serial loop (expected when ``cpu_count == 1``);
+  the serial loop (expected — and not warned about — when
+  ``cpu_count == 1``);
+* **grid throughput** — the headline: the whole sweep grid priced
+  through the columnar lane kernel
+  (:func:`repro.core.batch.measure_outcomes_columnar`) vs the per-lane
+  ``measure_outcome`` loop, with a bit-identity cross-check;
+  ``grid_user_days_per_s`` is the number the perf trajectory tracks;
 * **FPTAS batch** — the per-slot solver tier: scalar-loop vs batched
   kernel vs memo-warm batched kernel on identical random instances;
 * **replay kernel** — the vectorized RRC interval engine
@@ -117,19 +123,10 @@ def bench_cohort(n_days: int = 21, seed: int = 2014, warm_repeats: int = 3) -> d
         cache.enabled = was_enabled
 
 
-def bench_policy_sweep(
-    jobs: int = 2,
-    n_days: int = 28,
-    n_history_days: int = 14,
-    seed: int = 7,
-) -> dict:
-    """A Fig. 7-style (user × policy) grid at 1 and ``jobs`` workers.
-
-    Uses the 8-user profiling cohort over ``n_days`` so the grid is wide
-    enough (8 users × 6 policies) for the pool to matter.  Asserts the
-    parallel energy totals match the serial ones exactly before
-    reporting the speedup.
-    """
+def _sweep_tasks(
+    n_days: int, n_history_days: int, seed: int
+) -> list[PolicyTask]:
+    """The Fig. 7-style (user × policy) profiling grid: 8 users × 6 policies."""
     model = wcdma_model()
     cohort = generate_cohort(n_days, seed=seed)
     tasks = []
@@ -146,6 +143,23 @@ def bench_policy_sweep(
             tasks.append(
                 PolicyTask(name=name, policy=policy, days=tuple(test_days), model=model)
             )
+    return tasks
+
+
+def bench_policy_sweep(
+    jobs: int = 2,
+    n_days: int = 28,
+    n_history_days: int = 14,
+    seed: int = 7,
+) -> dict:
+    """A Fig. 7-style (user × policy) grid at 1 and ``jobs`` workers.
+
+    Uses the 8-user profiling cohort over ``n_days`` so the grid is wide
+    enough (8 users × 6 policies) for the pool to matter.  Asserts the
+    parallel energy totals match the serial ones exactly before
+    reporting the speedup.
+    """
+    tasks = _sweep_tasks(n_days, n_history_days, seed)
 
     def total_energy(grid) -> list[float]:
         return [sum(m.energy_j for m in metrics) for metrics in grid]
@@ -160,22 +174,88 @@ def bench_policy_sweep(
             f"(jobs={jobs}); determinism contract broken"
         )
     regression = parallel_s > serial_s
-    if regression:
+    # On a single-core host the pool cannot win; losing there is the
+    # expected outcome, not a perf signal worth a warning.
+    if regression and (os.cpu_count() or 1) > 1:
         print(
             f"WARNING: parallel sweep regression — jobs={jobs} took "
             f"{parallel_s:.3f}s vs {serial_s:.3f}s serial "
-            f"(cpu_count={os.cpu_count()}); expected on single-core hosts",
+            f"(cpu_count={os.cpu_count()})",
             file=sys.stderr,
         )
     return {
         "n_tasks": len(tasks),
-        "n_users": len(cohort),
+        "n_users": len({task.days[0].user_id for task in tasks}),
         "n_days": n_days,
+        "user_days": sum(len(task.days) for task in tasks),
         "jobs": jobs,
         "serial_s": serial_s,
         "parallel_s": parallel_s,
         "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
         "parallel_regression": regression,
+        "identical_results": True,
+    }
+
+
+def bench_grid_throughput(
+    n_days: int = 28,
+    n_history_days: int = 14,
+    seed: int = 7,
+    repeats: int = 3,
+) -> dict:
+    """Columnar lane-kernel grid pricing vs the per-lane loop.
+
+    Executes the profiling sweep grid once (policy execution is shared
+    work either way), then times pricing every (outcome, day) cell —
+    the per-lane :func:`~repro.evaluation.metrics.measure_outcome` loop
+    against one columnar :func:`~repro.core.batch.measure_outcomes_columnar`
+    pass — and asserts both produce identical metrics before reporting.
+    Each path is timed ``repeats`` times and the best run is kept (the
+    standard microbenchmark guard against scheduler/GC noise).
+    ``grid_user_days_per_s`` (columnar cells priced per second) is the
+    headline throughput number the perf trajectory tracks.
+    """
+    from repro.core.batch import measure_outcomes_columnar
+    from repro.evaluation.metrics import measure_outcome
+    from repro.runtime.parallel import execute_policy_tasks
+
+    tasks = _sweep_tasks(n_days, n_history_days, seed)
+    outcomes = execute_policy_tasks(tasks, jobs=1)
+    cells = [
+        (outcome, day)
+        for task, outs in zip(tasks, outcomes)
+        for day, outcome in zip(task.days, outs)
+    ]
+    model = tasks[0].model
+
+    per_lane_s, per_lane = _timed(
+        lambda: [measure_outcome(o, model, day) for o, day in cells]
+    )
+    columnar_s, columnar = _timed(
+        lambda: measure_outcomes_columnar(cells, model)
+    )
+    for _ in range(max(0, repeats - 1)):
+        t, _r = _timed(
+            lambda: [measure_outcome(o, model, day) for o, day in cells]
+        )
+        per_lane_s = min(per_lane_s, t)
+        t, _r = _timed(lambda: measure_outcomes_columnar(cells, model))
+        columnar_s = min(columnar_s, t)
+    if columnar != per_lane:
+        raise AssertionError(
+            "columnar grid pricing diverged from the per-lane loop; "
+            "bit-identity contract broken"
+        )
+    n_user_days = len(cells)
+    return {
+        "n_tasks": len(tasks),
+        "n_user_days": n_user_days,
+        "per_lane_s": per_lane_s,
+        "columnar_s": columnar_s,
+        "grid_user_days_per_s": (
+            n_user_days / columnar_s if columnar_s > 0 else float("inf")
+        ),
+        "columnar_speedup": per_lane_s / columnar_s if columnar_s > 0 else float("inf"),
         "identical_results": True,
     }
 
@@ -435,6 +515,7 @@ def run_bench(
         if quick:
             cohort = bench_cohort(n_days=7, warm_repeats=2)
             sweep = bench_policy_sweep(jobs=jobs, n_days=14, n_history_days=10)
+            grid = bench_grid_throughput(n_days=14, n_history_days=10)
             fptas = bench_fptas_batch(n_solves=10, n_items=60)
             replay = bench_replay_kernel(n_sims=50, n_windows=200)
             stream = bench_stream(
@@ -446,6 +527,7 @@ def run_bench(
         else:
             cohort = bench_cohort()
             sweep = bench_policy_sweep(jobs=jobs)
+            grid = bench_grid_throughput()
             fptas = bench_fptas_batch()
             replay = bench_replay_kernel()
             stream = bench_stream()
@@ -462,6 +544,7 @@ def run_bench(
         "cpu_count": os.cpu_count(),
         "cohort_generation": cohort,
         "policy_sweep": sweep,
+        "grid_throughput": grid,
         "fptas_batch": fptas,
         "replay_kernel": replay,
         "stream": stream,
@@ -476,29 +559,43 @@ def compare_reports(fresh: dict, baseline: dict, *, factor: float = 2.0) -> list
     """Regressions of ``fresh`` vs a committed ``baseline`` report.
 
     Returns human-readable failure strings for every tracked metric that
-    regressed by more than ``factor`` — solver throughput
-    (``fptas_batch.solves_per_s``, lower is worse) and warm-cache cohort
-    time (``cohort_generation.warm_s``, higher is worse).  Workload
-    sizes may differ between quick and full reports, which only makes
-    the check lenient (smaller instances run faster), never flaky.
+    regressed by more than ``factor`` — grid pricing throughput
+    (``grid_throughput.grid_user_days_per_s``, the headline, lower is
+    worse), solver throughput (``fptas_batch.solves_per_s``, lower is
+    worse) and warm-cache cohort time (``cohort_generation.warm_s``,
+    higher is worse).  Workload sizes may differ between quick and full
+    reports, which only makes the check lenient (smaller instances run
+    faster), never flaky.  Sections the baseline predates are skipped —
+    an old report is "no baseline, record only", never a failure.
     """
     failures = []
-    fresh_rate = fresh["fptas_batch"]["solves_per_s"]
-    base_rate = baseline["fptas_batch"]["solves_per_s"]
-    if fresh_rate < base_rate / factor:
-        failures.append(
-            f"fptas_batch.solves_per_s regressed >{factor:g}x: "
-            f"{fresh_rate:.1f}/s vs committed {base_rate:.1f}/s"
-        )
-    fresh_warm = fresh["cohort_generation"]["warm_s"]
-    base_warm = baseline["cohort_generation"]["warm_s"]
-    if fresh_warm > base_warm * factor:
-        failures.append(
-            f"cohort_generation.warm_s regressed >{factor:g}x: "
-            f"{fresh_warm:.4f}s vs committed {base_warm:.4f}s"
-        )
-    # Reports from before the streaming engine have no "stream" section;
-    # tolerate that so old baselines stay comparable.
+    base_grid = baseline.get("grid_throughput")
+    if base_grid is not None and "grid_throughput" in fresh:
+        fresh_gps = fresh["grid_throughput"]["grid_user_days_per_s"]
+        base_gps = base_grid["grid_user_days_per_s"]
+        if fresh_gps < base_gps / factor:
+            failures.append(
+                f"grid_throughput.grid_user_days_per_s regressed >{factor:g}x: "
+                f"{fresh_gps:.0f}/s vs committed {base_gps:.0f}/s"
+            )
+    base_fptas = baseline.get("fptas_batch")
+    if base_fptas is not None and "fptas_batch" in fresh:
+        fresh_rate = fresh["fptas_batch"]["solves_per_s"]
+        base_rate = base_fptas["solves_per_s"]
+        if fresh_rate < base_rate / factor:
+            failures.append(
+                f"fptas_batch.solves_per_s regressed >{factor:g}x: "
+                f"{fresh_rate:.1f}/s vs committed {base_rate:.1f}/s"
+            )
+    base_cohort = baseline.get("cohort_generation")
+    if base_cohort is not None and "cohort_generation" in fresh:
+        fresh_warm = fresh["cohort_generation"]["warm_s"]
+        base_warm = base_cohort["warm_s"]
+        if fresh_warm > base_warm * factor:
+            failures.append(
+                f"cohort_generation.warm_s regressed >{factor:g}x: "
+                f"{fresh_warm:.4f}s vs committed {base_warm:.4f}s"
+            )
     base_stream = baseline.get("stream")
     if base_stream is not None and "stream" in fresh:
         fresh_eps = fresh["stream"]["stream_events_per_s"]
@@ -508,7 +605,6 @@ def compare_reports(fresh: dict, baseline: dict, *, factor: float = 2.0) -> list
                 f"stream.stream_events_per_s regressed >{factor:g}x: "
                 f"{fresh_eps:.0f}/s vs committed {base_eps:.0f}/s"
             )
-    # Likewise for reports from before the durable sharded fleet.
     base_shards = baseline.get("shard_recovery")
     if base_shards is not None and "shard_recovery" in fresh:
         fresh_deps = fresh["shard_recovery"]["durable_events_per_s"]
@@ -554,7 +650,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="PATH",
         help="committed BENCH_perf.json to diff against; exit non-zero on "
-        "a >2x regression in solver throughput or warm-cohort time",
+        "a >2x regression in grid pricing, solver throughput, streaming, "
+        "or warm-cohort time",
     )
     args = parser.parse_args(argv)
     report = run_bench(
@@ -578,7 +675,18 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"policy sweep ({sweep['n_tasks']} tasks): serial {sweep['serial_s']:.3f}s, "
         f"jobs={sweep['jobs']} {sweep['parallel_s']:.3f}s ({sweep['speedup']:.2f}x)"
-        + (" [PARALLEL REGRESSION]" if sweep["parallel_regression"] else "")
+        + (
+            " [PARALLEL REGRESSION]"
+            if sweep["parallel_regression"] and (report.get("cpu_count") or 1) > 1
+            else ""
+        )
+    )
+    grid = report["grid_throughput"]
+    print(
+        f"grid throughput: {grid['n_user_days']} user-days priced in "
+        f"{grid['columnar_s']:.3f}s columnar vs {grid['per_lane_s']:.3f}s per-lane "
+        f"({grid['grid_user_days_per_s']:,.0f} user-days/s, "
+        f"{grid['columnar_speedup']:.2f}x)"
     )
     print(
         f"fptas batch: {fptas['n_solves']} solves in {fptas['batch_s']:.3f}s "

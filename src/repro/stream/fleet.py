@@ -4,9 +4,11 @@ The fleet drives one :class:`~repro.stream.online_netmaster.OnlineNetMaster`
 per user over that user's event stream, with three serving-shaped
 properties the offline harness never needed:
 
-* **bounded per-user memory** — each finished day is priced immediately
-  (:func:`repro.evaluation.metrics.measure_outcome`) and dropped; only a
-  small numeric :class:`UserStreamSummary` survives per user;
+* **bounded per-user memory** — finished days are buffered up to
+  ``price_batch_days`` deep, priced in one columnar lane-kernel pass
+  (:func:`repro.core.batch.measure_outcomes_columnar`, bit-identical to
+  per-day :func:`repro.evaluation.metrics.measure_outcome`) and dropped;
+  only a small numeric :class:`UserStreamSummary` survives per user;
 * **admission batching** — users are admitted in batches over the
   existing :class:`~repro.runtime.parallel.ParallelRunner`, so a big
   fleet fans over worker processes with the same telemetry-merge
@@ -30,6 +32,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro._util import write_json_atomic
+from repro.core.batch import measure_outcomes_columnar
 from repro.core.netmaster import NetMasterConfig
 from repro.evaluation.metrics import measure_outcome
 from repro.runtime.parallel import shared_runner
@@ -56,6 +59,10 @@ class FleetConfig:
     event_budget: int | None = None
     #: Serialize/restore each engine every N executed days (``None`` off).
     checkpoint_every_days: int | None = None
+    #: Completed days buffered before one columnar pricing pass; ``1``
+    #: prices each day individually (the pre-lane-kernel behaviour).
+    #: Totals are bit-identical either way — only batching changes.
+    price_batch_days: int = 8
     netmaster: NetMasterConfig = field(default_factory=NetMasterConfig)
 
     def __post_init__(self) -> None:
@@ -68,6 +75,10 @@ class FleetConfig:
         if self.checkpoint_every_days is not None and self.checkpoint_every_days < 1:
             raise ValueError(
                 f"checkpoint_every_days must be >= 1, got {self.checkpoint_every_days}"
+            )
+        if self.price_batch_days < 1:
+            raise ValueError(
+                f"price_batch_days must be >= 1, got {self.price_batch_days}"
             )
 
 
@@ -147,9 +158,24 @@ class SummaryAccumulator:
     checkpoints: int = 0
 
     def consume(self, completed_days, power) -> int:
-        """Price completed days immediately and fold in the scalars."""
-        for completed in completed_days:
-            m = measure_outcome(completed.outcome(), power, completed.trace)
+        """Price completed days and fold in the scalars.
+
+        Multi-day lists go through the columnar lane kernel in one
+        array pass (:func:`repro.core.batch.measure_outcomes_columnar`);
+        single days take the scalar path.  Both produce bit-identical
+        per-day metrics and the fold runs in day order either way, so
+        the totals do not depend on the batching.
+        """
+        completed_days = list(completed_days)
+        if len(completed_days) > 1:
+            cells = [(c.outcome(), c.trace) for c in completed_days]
+            priced = measure_outcomes_columnar(cells, power)
+        else:
+            priced = [
+                measure_outcome(c.outcome(), power, c.trace)
+                for c in completed_days
+            ]
+        for m in priced:
             self.energy_j += m.energy_j
             self.radio_on_s += m.radio_on_s
             self.interrupts += m.interrupts
@@ -237,8 +263,10 @@ class FleetResult:
 def stream_one_user(trace: Trace, *, config: FleetConfig) -> UserStreamSummary:
     """Drive one user's full stream through the online engine.
 
-    Prices every completed day immediately and keeps only scalars —
-    the per-user memory is the engine state plus one day's buffers.
+    Completed days are buffered up to ``config.price_batch_days`` and
+    priced in one columnar pass through the lane kernel, then dropped —
+    the per-user memory is the engine state plus a few days' buffers,
+    and the totals are bit-identical to pricing each day individually.
     With ``checkpoint_every_days`` the engine round-trips through its
     JSON checkpoint on that cadence, proving resumability in-line.
     """
@@ -254,13 +282,21 @@ def stream_one_user(trace: Trace, *, config: FleetConfig) -> UserStreamSummary:
     power = config.netmaster.power
     acc = SummaryAccumulator()
     every = config.checkpoint_every_days
+    flush_at = config.price_batch_days
+    pending: list = []
 
     for record in stream_trace(trace):
         engine.observe(record)
-        if acc.consume(engine.drain(), power) and every and engine.days_executed % every == 0:
+        done = engine.drain()
+        pending.extend(done)
+        if len(pending) >= flush_at:
+            acc.consume(pending, power)
+            pending = []
+        if done and every and engine.days_executed % every == 0:
             engine = OnlineNetMaster.from_json(engine.to_json())
             acc.checkpoints += 1
-    acc.consume(engine.finish(trace.n_days), power)
+    pending.extend(engine.finish(trace.n_days))
+    acc.consume(pending, power)
     return acc.summary(engine, trace.n_days)
 
 

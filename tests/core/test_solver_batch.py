@@ -1,0 +1,111 @@
+"""Cross-instance solver batching and SolutionMemo hygiene."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.knapsack import SolutionMemo
+from repro.core.overlapped import (
+    MKPItem,
+    MKPSlot,
+    clear_slot_memo,
+    solve_overlapped,
+    solve_overlapped_batch,
+)
+from repro.telemetry import isolated
+
+
+def _random_instance(seed: int) -> tuple[list[MKPSlot], list[MKPItem]]:
+    rng = np.random.default_rng(seed)
+    n_slots = int(rng.integers(1, 5))
+    slots = [MKPSlot(i, float(rng.uniform(2.0, 25.0))) for i in range(n_slots)]
+    items = []
+    for j in range(int(rng.integers(0, 10))):
+        k = int(rng.integers(1, min(3, n_slots + 1)))
+        cands = sorted(rng.choice(n_slots, size=k, replace=False).tolist())
+        items.append(
+            MKPItem(
+                j,
+                float(rng.uniform(0.5, 10.0)),
+                {s: float(rng.uniform(0.1, 6.0)) for s in cands},
+            )
+        )
+    return slots, items
+
+
+class TestSolveOverlappedBatch:
+    def test_matches_sequential_solves(self):
+        instances = [_random_instance(s) for s in range(12)]
+        clear_slot_memo()
+        sequential = [solve_overlapped(s, i, eps=0.1) for s, i in instances]
+        clear_slot_memo()
+        batched = solve_overlapped_batch(instances, eps=0.1)
+        assert len(batched) == len(sequential)
+        for a, b in zip(sequential, batched):
+            assert a.assignment == b.assignment
+            assert a.total_profit == b.total_profit
+            assert a.slot_loads == b.slot_loads
+
+    def test_empty_batch(self):
+        assert solve_overlapped_batch([]) == []
+
+    def test_trivial_instances_skip_fptas(self):
+        # All-fit slots and empty itemsets never reach the DP.
+        slots = [MKPSlot(0, 100.0)]
+        items = [MKPItem(0, 1.0, {0: 2.0})]
+        (solution,) = solve_overlapped_batch([(slots, items)])
+        assert solution.assignment == {0: 0}
+        (empty,) = solve_overlapped_batch([(slots, [])])
+        assert empty.assignment == {}
+
+    def test_validation_matches_solve_overlapped(self):
+        slots = [MKPSlot(0, 5.0), MKPSlot(0, 6.0)]
+        with pytest.raises(ValueError, match="duplicate slot ids"):
+            solve_overlapped_batch([(slots, [])])
+
+    def test_counts_solves_per_instance(self):
+        instances = [_random_instance(s) for s in range(3)]
+        with isolated(with_tracing=False) as (reg, _):
+            solve_overlapped_batch(instances)
+            counters = reg.snapshot()["counters"]
+        assert counters["core.overlapped.solves"] == 3
+
+
+class TestSolutionMemoKnob:
+    def test_default_maxsize(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOLVER_MEMO_MAX", raising=False)
+        assert SolutionMemo().maxsize == SolutionMemo.DEFAULT_MAXSIZE
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVER_MEMO_MAX", "7")
+        assert SolutionMemo().maxsize == 7
+
+    def test_explicit_maxsize_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVER_MEMO_MAX", "7")
+        assert SolutionMemo(maxsize=3).maxsize == 3
+
+    @pytest.mark.parametrize("raw", ["0", "-5", "big", "1.5"])
+    def test_invalid_env_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_SOLVER_MEMO_MAX", raw)
+        with pytest.raises(ValueError, match="REPRO_SOLVER_MEMO_MAX"):
+            SolutionMemo()
+
+    def test_evictions_counted(self):
+        memo = SolutionMemo(maxsize=2)
+        with isolated(with_tracing=False) as (reg, _):
+            for i in range(5):
+                key = SolutionMemo.key(
+                    np.array([float(i)]), np.array([1.0]), 1.0, 0.1
+                )
+                memo.put(key, object())
+            counters = reg.snapshot()["counters"]
+        assert memo.evictions == 3
+        assert len(memo) == 2
+        assert counters["solver.memo_evictions"] == 3
+
+    def test_no_evictions_below_cap(self):
+        memo = SolutionMemo(maxsize=10)
+        key = SolutionMemo.key(np.array([1.0]), np.array([1.0]), 1.0, 0.1)
+        memo.put(key, object())
+        assert memo.evictions == 0

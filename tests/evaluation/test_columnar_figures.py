@@ -1,0 +1,44 @@
+"""Figure-level bit-identity: ``columnar=True`` changes nothing.
+
+The columnar lane-kernel front-end (:mod:`repro.core.batch`) promises
+byte-identical figure outputs; these tests pin that contract at the
+experiment level with the documented ``--quick`` parameter sets, which
+exercise every code path the full runs do (including the NetMaster
+knapsack path — anything shorter than 7 history days degrades to
+duty-cycle-only scheduling).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import fig7, fig8, fig9, fig10c
+
+# The ``--quick`` overrides from repro.__main__, restated here so a CLI
+# tweak cannot silently shrink this suite below the knapsack threshold.
+QUICK = {"n_days": 9, "n_history_days": 7}
+
+
+class TestColumnarFigureEquality:
+    def test_fig7_columnar_equals_per_lane(self):
+        assert fig7(**QUICK, columnar=True) == fig7(**QUICK)
+
+    def test_fig8_columnar_equals_per_lane(self):
+        kw = {
+            "n_days": 7,
+            "n_history_days": 5,
+            "delays_s": (0.0, 60.0, 600.0),
+        }
+        assert fig8(**kw, columnar=True) == fig8(**kw)
+
+    def test_fig9_columnar_equals_per_lane(self):
+        kw = {"n_days": 7, "n_history_days": 5, "batch_sizes": (0, 1, 3)}
+        assert fig9(**kw, columnar=True) == fig9(**kw)
+
+    def test_fig10c_columnar_equals_per_lane(self):
+        kw = {**QUICK, "thresholds": (0.0, 0.2, 0.4)}
+        assert fig10c(**kw, columnar=True) == fig10c(**kw)
+
+    def test_fig7_columnar_parallel_equals_serial(self):
+        # jobs>1 only re-orders task submission, never results; columnar
+        # pricing happens after the pool joins, so the three variants
+        # must agree bit-for-bit.
+        assert fig7(**QUICK, columnar=True, jobs=2) == fig7(**QUICK)

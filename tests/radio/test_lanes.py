@@ -1,0 +1,317 @@
+"""Columnar lane kernel vs the per-lane interval engine.
+
+``radio.lanes`` batches many independent replay problems into one set of
+array passes; the contract is *bit-identity per lane* with the per-lane
+``radio.intervals`` / ``radio.rrc`` path (which is itself pinned to the
+scalar reference in ``test_interval_engine.py``).  Random ragged grids
+cover empty lanes, single-window lanes, zero-length windows, and lanes
+whose windows bridge promo-bearing gaps; every comparison is exact
+equality, never approximate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.radio import (
+    FullTail,
+    TruncatedTail,
+    lte_model,
+    radio_on_intervals,
+    simulate,
+    wcdma_model,
+)
+from repro.radio.intervals import (
+    decompose_replay,
+    extend_by_tails,
+    merge_windows,
+    merge_windows_with_allowances,
+    sequential_sum,
+)
+from repro.radio.lanes import (
+    decompose_lanes,
+    extend_lanes_by_tails,
+    lane_sequential_sums,
+    merge_lanes,
+    merge_lanes_with_allowances,
+    pack_lanes,
+    replay_many,
+    segmented_cummax,
+    simulate_many,
+)
+from repro.telemetry import isolated
+
+MODELS = [wcdma_model(), lte_model()]
+
+
+def _random_lane(rng: np.random.Generator) -> list[tuple[float, float]]:
+    """One lane's windows; gap scale spans stay-DCH through IDLE promos."""
+    n = int(rng.integers(0, 14))
+    if n == 0:
+        return []
+    # Spread controls gap sizes relative to the tail timers: tight packs
+    # fuse, mid packs promote from FACH, wide packs demote to IDLE.
+    spread = float(rng.choice([30.0, 120.0, 900.0]))
+    starts = rng.uniform(0.0, spread, n)
+    durations = rng.uniform(0.0, 10.0, n)
+    durations[rng.random(n) < 0.2] = 0.0  # zero-length windows
+    return [(float(s), float(s + d)) for s, d in zip(starts, durations)]
+
+
+def _random_grid(rng: np.random.Generator) -> list[list[tuple[float, float]]]:
+    n_lanes = int(rng.integers(0, 10))
+    return [_random_lane(rng) for _ in range(n_lanes)]
+
+
+def _random_tails(rng: np.random.Generator, n: int) -> list[float]:
+    tails = [float(t) for t in rng.uniform(0.0, 20.0, n)]
+    for i in range(n):
+        r = rng.random()
+        if r < 0.2:
+            tails[i] = 0.0
+        elif r < 0.4:
+            tails[i] = math.inf
+    return tails
+
+
+def _flat_tails(per_lane: list[list[float]]) -> np.ndarray:
+    return np.asarray([t for ts in per_lane for t in ts], dtype=np.float64)
+
+
+def _assert_decomp_equal(lane_decomp, ref):
+    for name in (
+        "starts",
+        "ends",
+        "durations",
+        "gaps",
+        "budgets",
+        "dch_parts",
+        "fach_parts",
+        "promo_fach",
+        "promo_idle",
+    ):
+        got = getattr(lane_decomp, name)
+        want = getattr(ref, name)
+        assert np.array_equal(got, want), name
+
+
+# ----------------------------------------------------------------------
+# kernel primitives
+# ----------------------------------------------------------------------
+
+
+def test_segmented_cummax_matches_per_segment_accumulate():
+    rng = np.random.default_rng(50)
+    for _ in range(100):
+        n = int(rng.integers(1, 60))
+        values = rng.uniform(-100.0, 100.0, n)
+        head = rng.random(n) < 0.25
+        head[0] = True
+        out = segmented_cummax(values, head)
+        expected = np.empty(n)
+        start = 0
+        for i in range(1, n + 1):
+            if i == n or head[i]:
+                expected[start:i] = np.maximum.accumulate(values[start:i])
+                start = i
+        assert np.array_equal(out, expected)
+
+
+def test_lane_sequential_sums_match_sequential_sum():
+    rng = np.random.default_rng(51)
+    for _ in range(100):
+        n_lanes = int(rng.integers(1, 9))
+        counts = rng.integers(0, 12, n_lanes)
+        offsets = np.zeros(n_lanes + 1, dtype=np.intp)
+        np.cumsum(counts, out=offsets[1:])
+        n = int(offsets[-1])
+        rows = rng.uniform(0.0, 1e6, (3, n))
+        initials = (0.0, float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+        totals = lane_sequential_sums(rows, offsets, initials)
+        for j in range(3):
+            for i in range(n_lanes):
+                lo, hi = int(offsets[i]), int(offsets[i + 1])
+                assert totals[j, i] == sequential_sum(
+                    rows[j, lo:hi], initial=initials[j]
+                )
+
+
+# ----------------------------------------------------------------------
+# pipeline stages vs the per-lane engine
+# ----------------------------------------------------------------------
+
+
+def test_merge_lanes_matches_per_lane_merge():
+    rng = np.random.default_rng(52)
+    for _ in range(60):
+        grid = _random_grid(rng)
+        merged = merge_lanes(pack_lanes(grid))
+        assert merged.n_lanes == len(grid)
+        for i, lane in enumerate(grid):
+            assert merged.lane(i) == merge_windows(lane)
+
+
+def test_merge_lanes_with_allowances_matches_per_lane():
+    rng = np.random.default_rng(53)
+    for _ in range(60):
+        grid = _random_grid(rng)
+        tails = [_random_tails(rng, len(lane)) for lane in grid]
+        merged, allow = merge_lanes_with_allowances(
+            pack_lanes(grid), _flat_tails(tails)
+        )
+        for i, lane in enumerate(grid):
+            ref_m, ref_a = merge_windows_with_allowances(lane, tails[i])
+            lo, hi = int(merged.offsets[i]), int(merged.offsets[i + 1])
+            assert merged.lane(i) == ref_m
+            assert allow[lo:hi].tolist() == ref_a
+
+
+@pytest.mark.parametrize("model", MODELS, ids=["wcdma", "lte"])
+def test_decompose_and_extend_match_per_lane(model):
+    rng = np.random.default_rng(54)
+    for _ in range(40):
+        grid = _random_grid(rng)
+        tails = [_random_tails(rng, len(lane)) for lane in grid]
+        merged, allow = merge_lanes_with_allowances(
+            pack_lanes(grid), _flat_tails(tails)
+        )
+        decomp = decompose_lanes(
+            merged, allow, tail_s=model.tail_s, dch_tail_s=model.dch_tail_s
+        )
+        extended = extend_lanes_by_tails(decomp)
+        for i, lane in enumerate(grid):
+            ref_m, ref_a = merge_windows_with_allowances(lane, tails[i])
+            ref = decompose_replay(
+                ref_m, ref_a, tail_s=model.tail_s, dch_tail_s=model.dch_tail_s
+            )
+            _assert_decomp_equal(decomp.lane(i), ref)
+            assert extended.lane(i) == extend_by_tails(ref)
+
+
+# ----------------------------------------------------------------------
+# full batched pricing vs simulate / radio_on_intervals
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("model", MODELS, ids=["wcdma", "lte"])
+def test_replay_many_matches_per_lane_simulate(seed, model):
+    rng = np.random.default_rng(6000 + seed)
+    for _ in range(12):
+        grid = _random_grid(rng)
+        policies: list = []
+        window_tails: list = []
+        for lane in grid:
+            mode = int(rng.integers(0, 4))
+            if mode == 0:
+                policies.append(None)
+                window_tails.append(None)
+            elif mode == 1:
+                policies.append(FullTail())
+                window_tails.append(None)
+            elif mode == 2:
+                policies.append(TruncatedTail(float(rng.uniform(0.0, 8.0))))
+                window_tails.append(None)
+            else:
+                policies.append(None)
+                window_tails.append(_random_tails(rng, len(lane)))
+        results = replay_many(grid, model, policies, window_tails=window_tails)
+        reports = simulate_many(grid, model, policies, window_tails=window_tails)
+        assert len(results) == len(grid)
+        for i, lane in enumerate(grid):
+            ref_report = simulate(
+                lane, model, policies[i], window_tails=window_tails[i]
+            )
+            ref_on = radio_on_intervals(
+                lane, model, policies[i], window_tails=window_tails[i]
+            )
+            report, on = results[i]
+            assert report == ref_report
+            assert reports[i] == ref_report
+            assert on == ref_on
+
+
+def test_telemetry_counters_match_per_lane_totals():
+    rng = np.random.default_rng(55)
+    grid = _random_grid(rng)
+    while not grid or all(not lane for lane in grid):
+        grid = _random_grid(rng)
+    model = MODELS[0]
+    with isolated(with_tracing=False) as (reg, _):
+        for lane in grid:
+            simulate(lane, model)
+        per_lane = reg.snapshot()["counters"]
+    with isolated(with_tracing=False) as (reg, _):
+        simulate_many(grid, model)
+        columnar = reg.snapshot()["counters"]
+    assert columnar == per_lane
+
+
+class TestEdges:
+    def test_no_lanes(self):
+        assert simulate_many([], MODELS[0]) == []
+        assert replay_many([], MODELS[0]) == []
+
+    def test_all_lanes_empty(self):
+        results = replay_many([[], [], []], MODELS[0])
+        for report, on in results:
+            assert report == simulate([], MODELS[0])
+            assert on == []
+
+    def test_single_window_lanes(self):
+        grid = [[(5.0, 9.0)], [], [(4.0, 4.0)]]
+        for (report, on), lane in zip(replay_many(grid, MODELS[0]), grid):
+            assert report == simulate(lane, MODELS[0])
+            assert on == radio_on_intervals(lane, MODELS[0])
+
+    def test_promo_bridging_gaps(self):
+        # Gaps straddling the DCH and total tail timers on either model:
+        # stay-DCH, FACH re-promotion, and IDLE re-promotion in one lane.
+        for model in MODELS:
+            lane = [
+                (0.0, 1.0),
+                (1.0 + model.dch_tail_s / 2, 2.0 + model.dch_tail_s / 2),
+                (10.0 + model.tail_s / 2, 11.0 + model.tail_s / 2),
+                (100.0 + 3 * model.tail_s, 101.0 + 3 * model.tail_s),
+            ]
+            grid = [lane, lane[:2], lane[2:]]
+            for (report, on), windows in zip(replay_many(grid, model), grid):
+                assert report == simulate(windows, model)
+                assert on == radio_on_intervals(windows, model)
+
+    def test_bad_window_raises_like_per_lane(self):
+        grid = [[(0.0, 1.0)], [(5.0, 2.0)]]
+        with pytest.raises(ValueError) as batch_err:
+            simulate_many(grid, MODELS[0])
+        with pytest.raises(ValueError) as lane_err:
+            simulate(grid[1], MODELS[0])
+        assert str(batch_err.value) == str(lane_err.value)
+
+    def test_negative_allowance_raises_like_per_lane(self):
+        grid = [[(0.0, 1.0)]]
+        tails = [[-1.0]]
+        with pytest.raises(ValueError) as batch_err:
+            simulate_many(grid, MODELS[0], window_tails=tails)
+        with pytest.raises(ValueError) as lane_err:
+            simulate(grid[0], MODELS[0], window_tails=tails[0])
+        assert str(batch_err.value) == str(lane_err.value)
+
+    def test_tails_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="window_tails must match windows"):
+            simulate_many([[(0.0, 1.0)]], MODELS[0], window_tails=[[0.0, 1.0]])
+
+    def test_tails_with_custom_policy_raises(self):
+        with pytest.raises(ValueError, match="cannot be combined"):
+            simulate_many(
+                [[(0.0, 1.0)]],
+                MODELS[0],
+                [TruncatedTail(1.0)],
+                window_tails=[[0.0]],
+            )
+
+    def test_parallel_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="must parallel"):
+            simulate_many([[(0.0, 1.0)]], MODELS[0], [None, None])

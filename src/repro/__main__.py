@@ -10,6 +10,8 @@ Usage::
     python -m repro fig7 --quick         # shrunk, fast variant
     python -m repro fig7 --telemetry-out out/telemetry
     python -m repro telemetry-report out/telemetry
+    python -m repro serve --port 8341    # HTTP control plane (repro.service)
+    python -m repro serve --load --quick # in-process load drill
 
 Each experiment prints the same rows/series as the paper's figure, with
 the paper's headline number alongside (see EXPERIMENTS.md).
@@ -144,7 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         metavar="EXPERIMENT",
         help=f"one of: {', '.join(sorted(_REGISTRY))}, 'all', 'list', "
-        "or 'telemetry-report DIR'",
+        "'telemetry-report DIR', or 'serve' (see 'serve --help')",
     )
     parser.add_argument(
         "--seed",
@@ -212,7 +214,7 @@ def _telemetry_report(argv: list[str], out) -> int:
     from repro.telemetry.report import format_report
 
     if len(argv) != 1:
-        print("usage: python -m repro telemetry-report DIR", file=sys.stderr)
+        print("usage: python -m repro telemetry-report DIR|METRICS_FILE", file=sys.stderr)
         return 2
     try:
         report = format_report(argv[0])
@@ -322,6 +324,12 @@ def main(argv: list[str] | None = None) -> int:
         # The report command takes a directory, not experiment names, so
         # it bypasses the experiment parser entirely.
         return _telemetry_report(raw[1:], sys.stdout)
+    if raw and raw[0] == "serve":
+        # The service has its own flag set (host/port/load knobs) and an
+        # asyncio main loop, so it bypasses the experiment parser too.
+        from repro.service.cli import main as serve_main
+
+        return serve_main(raw[1:])
     args = build_parser().parse_args(raw)
     level = getattr(logging, args.log_level.upper())
     logging.basicConfig(format="%(levelname)s %(name)s: %(message)s")

@@ -28,7 +28,10 @@ the perf trajectory:
   headline ``stream_events_per_s``;
 * **shard recovery** — the durable sharded fleet: sustained WAL-logged
   throughput (``durable_events_per_s``) and crash-recovery replay time
-  at growing WAL lengths (``recovery_points``).
+  at growing WAL lengths (``recovery_points``);
+* **service load** — the HTTP control plane (:mod:`repro.service`)
+  under concurrent clients over real sockets: sustained ingest
+  (``service_events_per_s``) plus p50/p95/p99 request latency.
 
 Run it directly::
 
@@ -484,6 +487,67 @@ def bench_shard_recovery(
     }
 
 
+def bench_service_load(
+    n_users: int = 8,
+    n_days: int = 14,
+    train_days: int = 10,
+    concurrency: int = 4,
+    batch_events: int = 256,
+    seed: int = 2014,
+) -> dict:
+    """The HTTP control plane under concurrent load, over real sockets.
+
+    Starts the :mod:`repro.service` server in-process on an ephemeral
+    port and replays a generated cohort through the async load driver
+    (:mod:`repro.service.loadgen`): ``concurrency`` keep-alive clients
+    pushing event batches, closing streams, and reading decisions and
+    savings back.  Headline is ``service_events_per_s`` — sustained
+    ingest through parsing, routing, the single-writer queue, and the
+    engine — plus p50/p95/p99 request latency.  Any non-200 response
+    fails the benchmark: under load the service must shed or serve,
+    never error.
+    """
+    import asyncio
+
+    # Local imports: the service package pulls the stream stack in.
+    from repro.service.gateway import FleetGateway
+    from repro.service.http import ServiceApp
+    from repro.service.loadgen import LoadOptions, run_load
+    from repro.stream.fleet import FleetConfig
+
+    config = FleetConfig(
+        train_days=train_days,
+        netmaster=NetMasterConfig(enable_circuit_breaker=False),
+    )
+
+    async def drive() -> dict:
+        app = ServiceApp(FleetGateway(config))
+        host, port = await app.start("127.0.0.1", 0)
+        try:
+            return await run_load(
+                LoadOptions(
+                    host=host,
+                    port=port,
+                    n_users=n_users,
+                    n_days=n_days,
+                    seed=seed,
+                    concurrency=concurrency,
+                    batch_events=batch_events,
+                )
+            )
+        finally:
+            await app.shutdown(reason="bench complete")
+
+    report = asyncio.run(drive())
+    if report["errors"]:
+        raise AssertionError(
+            f"service load run saw {report['errors']} non-200 responses"
+        )
+    report.pop("health", None)
+    report["train_days"] = train_days
+    return report
+
+
 # ----------------------------------------------------------------------
 # the full report
 # ----------------------------------------------------------------------
@@ -524,6 +588,9 @@ def run_bench(
             shard_recovery = bench_shard_recovery(
                 n_users=4, n_days=9, train_days=7, checkpoint_every_days=1
             )
+            service_load = bench_service_load(
+                n_users=4, n_days=9, train_days=7, concurrency=3
+            )
         else:
             cohort = bench_cohort()
             sweep = bench_policy_sweep(jobs=jobs)
@@ -532,6 +599,7 @@ def run_bench(
             replay = bench_replay_kernel()
             stream = bench_stream()
             shard_recovery = bench_shard_recovery()
+            service_load = bench_service_load()
     finally:
         configure_cache(cache_dir=prev_dir)
         if tmp is not None:
@@ -549,6 +617,7 @@ def run_bench(
         "replay_kernel": replay,
         "stream": stream,
         "shard_recovery": shard_recovery,
+        "service_load": service_load,
     }
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
@@ -604,6 +673,15 @@ def compare_reports(fresh: dict, baseline: dict, *, factor: float = 2.0) -> list
             failures.append(
                 f"stream.stream_events_per_s regressed >{factor:g}x: "
                 f"{fresh_eps:.0f}/s vs committed {base_eps:.0f}/s"
+            )
+    base_service = baseline.get("service_load")
+    if base_service is not None and "service_load" in fresh:
+        fresh_seps = fresh["service_load"]["service_events_per_s"]
+        base_seps = base_service["service_events_per_s"]
+        if fresh_seps < base_seps / factor:
+            failures.append(
+                f"service_load.service_events_per_s regressed >{factor:g}x: "
+                f"{fresh_seps:.0f}/s vs committed {base_seps:.0f}/s"
             )
     base_shards = baseline.get("shard_recovery")
     if base_shards is not None and "shard_recovery" in fresh:
@@ -712,6 +790,15 @@ def main(argv: list[str] | None = None) -> int:
         f"({shards['durable_events_per_s']:,.0f} durable events/s); "
         f"full replay {shards['full_recovery_s'] * 1e3:.1f}ms "
         f"({shards['recovery_records_per_s']:,.0f} records/s)"
+    )
+    service = report["service_load"]
+    print(
+        f"service load: {service['n_users']} users x {service['concurrency']} "
+        f"clients, {service['events']} events over {service['requests']} "
+        f"requests ({service['service_events_per_s']:,.0f} events/s; "
+        f"p50 {service['latency_p50_s'] * 1e3:.1f}ms, "
+        f"p95 {service['latency_p95_s'] * 1e3:.1f}ms, "
+        f"p99 {service['latency_p99_s'] * 1e3:.1f}ms)"
     )
     print(f"report written to {args.out}")
     failed = False

@@ -1,0 +1,55 @@
+"""Fleet-as-a-service: an async HTTP control plane over the fleet engine.
+
+The package layers, top to bottom, in the routes → schemas → service
+style the roadmap calls for:
+
+* :mod:`repro.service.http` — a stdlib-only asyncio HTTP/1.1 front end
+  (:class:`ServiceApp`, :func:`serve`): request parsing, per-route
+  counters and micro-unit latency histograms, graceful signal-driven
+  shutdown with a final atomic checkpoint;
+* :mod:`repro.service.routes` — the endpoint table and its handlers
+  (event ingest, decisions, savings, finish, checkpoint/restore,
+  health, metrics), every gateway mutation funneled through the app's
+  single-writer worker queue;
+* :mod:`repro.service.schemas` — wire documents: event-batch parsing
+  (the JSONL trace record schema over HTTP), per-day decision records,
+  savings summaries — all derived bit-exactly from engine outputs;
+* :mod:`repro.service.gateway` — :class:`FleetGateway`, the synchronous
+  single-writer session layer over :class:`~repro.stream.online_netmaster.
+  OnlineNetMaster` engines: same decisions, byte for byte, as driving
+  :class:`~repro.stream.fleet.FleetService` directly;
+* :mod:`repro.service.loadgen` — an asyncio load driver replaying
+  generated cohorts over real sockets (sustained events/s + tail
+  latency, the ``service_load`` section of ``BENCH_perf.json``).
+
+Run it::
+
+    python -m repro serve --port 8341 --checkpoint state.json
+    python -m repro serve --load --quick        # in-process load drill
+"""
+
+from __future__ import annotations
+
+from repro.service.gateway import (
+    CausalityError,
+    FleetGateway,
+    ServiceOverloadError,
+    UnknownUserError,
+    reference_decisions,
+)
+from repro.service.http import HttpError, ServiceApp, serve
+from repro.service.schemas import SchemaError, parse_event_batch, record_to_doc
+
+__all__ = [
+    "CausalityError",
+    "FleetGateway",
+    "HttpError",
+    "SchemaError",
+    "ServiceApp",
+    "ServiceOverloadError",
+    "UnknownUserError",
+    "parse_event_batch",
+    "record_to_doc",
+    "reference_decisions",
+    "serve",
+]

@@ -1,0 +1,378 @@
+"""The service layer: a single-writer, multi-tenant session over engines.
+
+:class:`FleetGateway` is what the HTTP worker task owns.  It is fully
+synchronous — one call at a time, in arrival order — which is exactly
+the discipline :class:`~repro.stream.fleet.FleetService` imposes by
+construction, so every decision it makes is byte-equal to driving the
+library directly.  Per user it keeps:
+
+* one :class:`~repro.stream.online_netmaster.OnlineNetMaster` engine
+  (the causal scheduler, checkpoint-exact);
+* the compacted scalar aggregate
+  (:class:`~repro.stream.fleet.SummaryAccumulator` plus the naive
+  always-on baseline totals) — this is what the savings endpoint reads,
+  and it covers *every* closed day regardless of retention;
+* a bounded window of per-day decision records:
+  :attr:`~repro.stream.fleet.FleetConfig.retention_days` caps how many
+  day documents survive per user.  Older days are evicted right after
+  they close — the service-lifetime answer to the fleet's
+  summaries-accumulate-forever RSS leak — and only their scalar residue
+  remains in the aggregate.
+
+The ingest path validates a batch's causal order *before* touching the
+engine, so a rejected out-of-order batch leaves no partial state behind
+(:class:`CausalityError`, HTTP 409).  Checkpoints serialize the whole
+gateway — engines, aggregates, retained decisions — to one JSON
+document written through :func:`repro._util.write_json_atomic`, and a
+restored gateway continues byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro._util import write_json_atomic
+from repro.baselines.naive import NaivePolicy
+from repro.evaluation.metrics import measure_outcome
+from repro.service.schemas import SchemaError, decision_doc, saving_of
+from repro.stream.fleet import FleetConfig, SummaryAccumulator
+from repro.stream.ingest import event_time, stream_trace
+from repro.stream.online_netmaster import (
+    CheckpointError,
+    CompletedDay,
+    OnlineNetMaster,
+)
+from repro.telemetry import metrics
+from repro.traces.events import Trace
+from repro.traces.io import TraceRecord
+
+#: Schema version of the gateway checkpoint document.
+_SERVICE_CHECKPOINT_FORMAT = 1
+
+
+class UnknownUserError(KeyError):
+    """A read endpoint named a user the service has never seen (404)."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0] if self.args else ""
+
+
+class CausalityError(ValueError):
+    """An event batch would move a user's stream backwards (409)."""
+
+
+class ServiceOverloadError(RuntimeError):
+    """The fleet-wide event budget is exhausted; batch shed whole (429)."""
+
+
+class _UserSession:
+    """One tenant's serving state (engine + compacted aggregate + window)."""
+
+    __slots__ = ("engine", "acc", "naive_energy_j", "naive_radio_on_s",
+                 "decisions", "evicted_days")
+
+    def __init__(self, engine: OnlineNetMaster) -> None:
+        self.engine = engine
+        self.acc = SummaryAccumulator()
+        self.naive_energy_j = 0.0
+        self.naive_radio_on_s = 0.0
+        self.decisions: list[dict] = []
+        self.evicted_days = 0
+
+
+class FleetGateway:
+    """Synchronous multi-user service core (the single writer)."""
+
+    def __init__(self, config: FleetConfig | None = None) -> None:
+        self.config = config or FleetConfig()
+        self._users: dict[str, _UserSession] = {}
+        #: Total events accepted across all users (the budget meter).
+        self.events_total = 0
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def ensure_user(self, user_id: str, *, start_weekday: int = 0) -> _UserSession:
+        """The session for ``user_id``, created on first ingest."""
+        session = self._users.get(user_id)
+        if session is None:
+            config = self.config
+            engine = OnlineNetMaster(
+                user_id,
+                config=config.netmaster,
+                start_weekday=start_weekday,
+                train_days=config.train_days,
+                update_model=config.update_model,
+                window_days=config.window_days,
+                decay=config.decay,
+            )
+            session = self._users[user_id] = _UserSession(engine)
+            metrics().inc("service.users_created")
+        return session
+
+    def session(self, user_id: str) -> _UserSession:
+        """The existing session for ``user_id``; raises on strangers."""
+        session = self._users.get(user_id)
+        if session is None:
+            raise UnknownUserError(f"unknown user: {user_id!r}")
+        return session
+
+    def user_ids(self) -> list[str]:
+        """Every user the service holds state for, in admission order."""
+        return list(self._users)
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        user_id: str,
+        records: list[TraceRecord],
+        *,
+        start_weekday: int = 0,
+    ) -> dict:
+        """Fold one event batch into a user's stream.
+
+        The batch is validated against the causal order *before* any
+        record reaches the engine: an out-of-order batch raises
+        :class:`CausalityError` and leaves the session untouched.
+        Records are then observed one by one — days close exactly as in
+        :func:`repro.stream.fleet.stream_one_user`, including the
+        ``checkpoint_every_days`` in-line round-trip cadence — so the
+        decisions are byte-equal to the library drive.
+        """
+        budget = self.config.event_budget
+        if budget is not None and self.events_total >= budget:
+            metrics().inc("service.shed_batches")
+            raise ServiceOverloadError(
+                f"event budget exhausted ({self.events_total} >= {budget}); "
+                "batch shed whole"
+            )
+        session = self.ensure_user(user_id, start_weekday=start_weekday)
+        engine = session.engine
+        prev = engine.last_time
+        for i, record in enumerate(records):
+            t = event_time(record)
+            if t < prev:
+                raise CausalityError(
+                    f"stream went backwards: events[{i}] at t={t} after "
+                    f"t={prev}; batch rejected whole"
+                )
+            prev = t
+        every = self.config.checkpoint_every_days
+        days_closed = 0
+        for record in records:
+            engine.observe(record)
+            done = engine.drain()
+            if done:
+                days_closed += self._absorb(session, done)
+                if every and engine.days_executed % every == 0:
+                    session.engine = engine = OnlineNetMaster.from_json(
+                        engine.to_json()
+                    )
+                    session.acc.checkpoints += 1
+        self.events_total += len(records)
+        metrics().inc("service.events_ingested", len(records))
+        return {
+            "user_id": user_id,
+            "accepted": len(records),
+            "days_closed": days_closed,
+            "day": engine.day,
+            "events": engine.events,
+        }
+
+    def finish(self, user_id: str, n_days: int) -> dict:
+        """Close a user's stream through day ``n_days`` (horizon known).
+
+        Mirrors the ``engine.finish`` tail of
+        :func:`~repro.stream.fleet.stream_one_user`: remaining days are
+        closed and priced with no checkpoint cadence applied.
+        """
+        session = self.session(user_id)
+        days_closed = self._absorb(session, session.engine.finish(n_days))
+        return {
+            "user_id": user_id,
+            "n_days": n_days,
+            "days_closed": days_closed,
+            "days_executed": session.engine.days_executed,
+        }
+
+    def _absorb(self, session: _UserSession, completed: list[CompletedDay]) -> int:
+        """Price completed days, fold the aggregate, retain the window."""
+        power = self.config.netmaster.power
+        retention = self.config.retention_days
+        acc = session.acc
+        for day in completed:
+            priced = measure_outcome(day.outcome(), power, day.trace)
+            naive = measure_outcome(
+                NaivePolicy().execute_day(day.trace), power, day.trace
+            )
+            # Same fold order and arithmetic as SummaryAccumulator.consume,
+            # so the aggregate equals the library drive bit for bit.
+            acc.energy_j += priced.energy_j
+            acc.radio_on_s += priced.radio_on_s
+            acc.interrupts += priced.interrupts
+            acc.user_interactions += priced.user_interactions
+            acc.deferred += priced.deferred
+            session.naive_energy_j += naive.energy_j
+            session.naive_radio_on_s += naive.radio_on_s
+            session.decisions.append(decision_doc(day, priced, naive))
+            metrics().inc("service.days_closed")
+            if retention is not None:
+                while len(session.decisions) > retention:
+                    session.decisions.pop(0)
+                    session.evicted_days += 1
+                    metrics().inc("service.days_evicted")
+        return len(completed)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def decisions(self, user_id: str) -> dict:
+        """The retained per-day decision records of one user."""
+        session = self.session(user_id)
+        return {
+            "user_id": user_id,
+            "days_executed": session.engine.days_executed,
+            "evicted_days": session.evicted_days,
+            "retained": [dict(doc) for doc in session.decisions],
+        }
+
+    def savings(self, user_id: str) -> dict:
+        """One user's energy-savings summary, read from the compacted
+        aggregate — complete even when retention evicted the day records."""
+        session = self.session(user_id)
+        engine = session.engine
+        acc = session.acc
+        return {
+            "user_id": user_id,
+            "events": engine.events,
+            "day": engine.day,
+            "days_executed": engine.days_executed,
+            "degraded_days": engine.days_degraded,
+            "drift_alerts": engine.habits.drift_alerts,
+            "retained_days": len(session.decisions),
+            "evicted_days": session.evicted_days,
+            "checkpoints": acc.checkpoints,
+            "energy_j": acc.energy_j,
+            "naive_energy_j": session.naive_energy_j,
+            "saving": saving_of(acc.energy_j, session.naive_energy_j),
+            "radio_on_s": acc.radio_on_s,
+            "naive_radio_on_s": session.naive_radio_on_s,
+            "interrupts": acc.interrupts,
+            "user_interactions": acc.user_interactions,
+            "interrupt_ratio": (
+                acc.interrupts / acc.user_interactions
+                if acc.user_interactions
+                else 0.0
+            ),
+            "deferred": acc.deferred,
+        }
+
+    def stats(self) -> dict:
+        """Fleet-wide counters for the health endpoint (cheap, read-only)."""
+        return {
+            "users": len(self._users),
+            "events": self.events_total,
+            "days_executed": sum(
+                s.engine.days_executed for s in self._users.values()
+            ),
+            "retained_decisions": sum(
+                len(s.decisions) for s in self._users.values()
+            ),
+            "evicted_days": sum(s.evicted_days for s in self._users.values()),
+        }
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The whole gateway as one JSON-safe document (bit-exact)."""
+        return {
+            "format": _SERVICE_CHECKPOINT_FORMAT,
+            "events_total": self.events_total,
+            "users": {
+                user_id: {
+                    "engine": session.engine.state_dict(),
+                    "acc": session.acc.state_dict(),
+                    "naive_energy_j": session.naive_energy_j,
+                    "naive_radio_on_s": session.naive_radio_on_s,
+                    "decisions": session.decisions,
+                    "evicted_days": session.evicted_days,
+                }
+                for user_id, session in self._users.items()
+            },
+        }
+
+    def load_state(self, state: object) -> None:
+        """Replace this gateway's sessions with a checkpointed state."""
+        if not isinstance(state, dict):
+            raise CheckpointError(
+                f"service checkpoint is not a JSON object "
+                f"(got {type(state).__name__})"
+            )
+        fmt = state.get("format")
+        if fmt != _SERVICE_CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"unsupported service checkpoint format: {fmt!r} "
+                f"(this build reads format {_SERVICE_CHECKPOINT_FORMAT})"
+            )
+        users: dict[str, _UserSession] = {}
+        try:
+            for user_id, doc in state["users"].items():
+                session = _UserSession(OnlineNetMaster.from_state(doc["engine"]))
+                session.acc = SummaryAccumulator.from_state(doc["acc"])
+                session.naive_energy_j = float(doc["naive_energy_j"])
+                session.naive_radio_on_s = float(doc["naive_radio_on_s"])
+                session.decisions = [dict(d) for d in doc["decisions"]]
+                session.evicted_days = int(doc["evicted_days"])
+                users[str(user_id)] = session
+            events_total = int(state["events_total"])
+        except CheckpointError:
+            raise
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"corrupt service checkpoint: {type(exc).__name__}: {exc}"
+            ) from exc
+        self._users = users
+        self.events_total = events_total
+
+    def checkpoint(self, path: str | Path) -> Path:
+        """Persist the gateway atomically (temp file + ``os.replace``)."""
+        metrics().inc("service.checkpoints")
+        return write_json_atomic(path, self.state_dict(), indent=1)
+
+    def restore(self, path: str | Path) -> None:
+        """Load a :meth:`checkpoint` document back into this gateway."""
+        try:
+            state = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise SchemaError(
+                f"cannot read service checkpoint {path}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"service checkpoint {path} is truncated or corrupt: {exc}"
+            ) from exc
+        self.load_state(state)
+        metrics().inc("service.restores")
+
+
+def reference_decisions(trace: Trace, *, config: FleetConfig | None = None) -> dict:
+    """Drive the library directly and emit the service's wire documents.
+
+    This is the parity oracle: one engine streamed record by record
+    (exactly :func:`repro.stream.fleet.stream_one_user`'s loop shape,
+    checkpoint cadence included), every closed day priced and rendered
+    through the same :func:`~repro.service.schemas.decision_doc`.
+    Decisions served over HTTP must equal this output byte for byte.
+    """
+    gateway = FleetGateway(config)
+    records = list(stream_trace(trace))
+    gateway.ingest(trace.user_id, records, start_weekday=trace.start_weekday)
+    gateway.finish(trace.user_id, trace.n_days)
+    return {
+        "decisions": gateway.decisions(trace.user_id),
+        "savings": gateway.savings(trace.user_id),
+    }

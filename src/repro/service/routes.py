@@ -1,0 +1,159 @@
+"""The endpoint table of the fleet service (the routes layer).
+
+Routes own URL shape and HTTP semantics only; every gateway *mutation*
+is funneled through :meth:`~repro.service.http.ServiceApp.call` onto
+the single-writer worker queue, so handlers never touch engine state
+concurrently.  Cheap read-only endpoints (health, metrics) read
+directly — the event loop is single-threaded and the worker applies
+mutations between, never during, handler steps.
+
+The surface::
+
+    POST /v1/users/{uid}/events     ingest one event batch (JSONL schema)
+    POST /v1/users/{uid}/finish     close the stream at a known horizon
+    GET  /v1/users/{uid}/decisions  retained per-day decision records
+    GET  /v1/users/{uid}/savings    compacted savings aggregate
+    GET  /v1/users                  every admitted user id
+    POST /v1/checkpoint             atomic whole-service checkpoint
+    POST /v1/restore                load a checkpoint back in
+    GET  /health                    liveness + fleet-wide counters
+    GET  /metrics                   telemetry registry snapshot (JSON)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Awaitable, Callable
+
+from repro.service.http import HttpError, HttpRequest
+from repro.service.schemas import parse_checkpoint, parse_event_batch, parse_finish
+from repro.telemetry import metrics, tracer
+
+if TYPE_CHECKING:  # import cycle: http builds the router at runtime
+    from repro.service.http import ServiceApp
+
+Handler = Callable[..., Awaitable[tuple[int, object]]]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One endpoint: a method, a compiled path pattern, a handler."""
+
+    name: str
+    method: str
+    pattern: re.Pattern[str]
+    handler: Handler
+
+
+class Router:
+    """Match ``(method, path)`` to a route; 404/405 on misses."""
+
+    def __init__(self, routes: list[Route]) -> None:
+        self.routes = routes
+
+    def match(self, method: str, path: str) -> tuple[Route, dict[str, str]]:
+        path_matched = False
+        for route in self.routes:
+            found = route.pattern.fullmatch(path)
+            if found is None:
+                continue
+            path_matched = True
+            if route.method == method:
+                return route, found.groupdict()
+        if path_matched:
+            raise HttpError(405, "method-not-allowed",
+                            f"{method} is not supported on {path}")
+        raise HttpError(404, "not-found", f"no such route: {path}")
+
+
+# ----------------------------------------------------------------------
+# handlers
+# ----------------------------------------------------------------------
+async def ingest(app: "ServiceApp", request: HttpRequest, *, user_id: str):
+    records, start_weekday = parse_event_batch(request.json())
+    result = await app.call(
+        lambda gw: gw.ingest(user_id, records, start_weekday=start_weekday)
+    )
+    return 200, result
+
+
+async def finish(app: "ServiceApp", request: HttpRequest, *, user_id: str):
+    n_days = parse_finish(request.json())
+    return 200, await app.call(lambda gw: gw.finish(user_id, n_days))
+
+
+async def decisions(app: "ServiceApp", request: HttpRequest, *, user_id: str):
+    return 200, await app.call(lambda gw: gw.decisions(user_id))
+
+
+async def savings(app: "ServiceApp", request: HttpRequest, *, user_id: str):
+    return 200, await app.call(lambda gw: gw.savings(user_id))
+
+
+async def users(app: "ServiceApp", request: HttpRequest):
+    return 200, {"users": await app.call(lambda gw: gw.user_ids())}
+
+
+def _checkpoint_target(app: "ServiceApp", request: HttpRequest) -> str:
+    path = parse_checkpoint(request.json_optional())
+    if path is not None:
+        return path
+    if app.checkpoint_path is not None:
+        return str(app.checkpoint_path)
+    raise HttpError(
+        400,
+        "no-checkpoint-path",
+        "no 'path' in the request and the server was started without "
+        "--checkpoint",
+    )
+
+
+async def checkpoint(app: "ServiceApp", request: HttpRequest):
+    target = _checkpoint_target(app, request)
+    written = await app.call(lambda gw: gw.checkpoint(target))
+    return 200, {"path": str(written), "bytes": written.stat().st_size}
+
+
+async def restore(app: "ServiceApp", request: HttpRequest):
+    target = _checkpoint_target(app, request)
+    await app.call(lambda gw: gw.restore(target))
+    return 200, {"path": target, **app.gateway.stats()}
+
+
+async def health(app: "ServiceApp", request: HttpRequest):
+    return 200, {
+        "status": "stopping" if app.stopping else "ok",
+        "queue_depth": app.queue_depth,
+        **app.gateway.stats(),
+    }
+
+
+async def metrics_snapshot(app: "ServiceApp", request: HttpRequest):
+    # Same document shape as the telemetry run directory's metrics.json,
+    # so ``python -m repro telemetry-report <file>`` reads both.
+    return 200, {
+        "schema": 1,
+        "overall": metrics().snapshot(),
+        "dropped_spans": getattr(tracer(), "dropped", 0),
+    }
+
+
+def build_router() -> Router:
+    """The service's route table (order matters only for readability)."""
+    uid = r"(?P<user_id>[^/]+)"
+    table = [
+        ("ingest", "POST", rf"/v1/users/{uid}/events", ingest),
+        ("finish", "POST", rf"/v1/users/{uid}/finish", finish),
+        ("decisions", "GET", rf"/v1/users/{uid}/decisions", decisions),
+        ("savings", "GET", rf"/v1/users/{uid}/savings", savings),
+        ("users", "GET", r"/v1/users", users),
+        ("checkpoint", "POST", r"/v1/checkpoint", checkpoint),
+        ("restore", "POST", r"/v1/restore", restore),
+        ("health", "GET", r"/health", health),
+        ("metrics", "GET", r"/metrics", metrics_snapshot),
+    ]
+    return Router(
+        [Route(name, method, re.compile(pattern), handler)
+         for name, method, pattern, handler in table]
+    )

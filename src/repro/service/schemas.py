@@ -1,0 +1,153 @@
+"""Wire documents of the fleet service (the schema layer).
+
+Requests and responses are plain JSON documents.  Event batches reuse
+the trace JSONL record schema (``kind``-tagged ``screen`` / ``usage`` /
+``network`` objects, :mod:`repro.traces.io`) so a phone upload, a trace
+file, and an HTTP ingest batch are one format.  Response documents are
+derived from engine outputs with no lossy formatting — floats are
+emitted as Python floats, which survive JSON bit-exactly — so the
+byte-equality contract between the HTTP surface and the library
+(:func:`repro.service.gateway.reference_decisions`) is meaningful.
+
+Everything that can reject a request raises :class:`SchemaError`; the
+HTTP layer maps it to a 400 response.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.metrics import PolicyDayMetrics
+from repro.stream.online_netmaster import CompletedDay
+from repro.traces.events import AppUsage, NetworkActivity, ScreenSession
+from repro.traces.io import TraceRecord, _parse_record
+
+#: Hard cap on records per ingest batch (a schema concern: one batch is
+#: one admission unit through the single-writer queue, and an unbounded
+#: batch would let one client monopolize the worker).
+MAX_BATCH_EVENTS = 50_000
+
+
+class SchemaError(ValueError):
+    """A request document failed validation (HTTP 400)."""
+
+
+def _require_object(doc: object, what: str) -> dict:
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{what} must be a JSON object, got {type(doc).__name__}")
+    return doc
+
+
+def parse_event_batch(doc: object) -> tuple[list[TraceRecord], int]:
+    """Parse a ``POST .../events`` body into trace records.
+
+    The body is ``{"events": [<record>, ...]}`` with an optional
+    ``"start_weekday"`` (0..6, used only when the batch creates the
+    user).  Each record is a JSONL trace record object: ``{"kind":
+    "screen", "start": s, "end": e}``, ``{"kind": "usage", "time": t,
+    "app": a, "duration": d}`` or ``{"kind": "network", ...}``.
+    Returns ``(records, start_weekday)``.
+    """
+    doc = _require_object(doc, "event batch")
+    events = doc.get("events")
+    if not isinstance(events, list):
+        raise SchemaError("event batch needs an 'events' list")
+    if len(events) > MAX_BATCH_EVENTS:
+        raise SchemaError(
+            f"event batch holds {len(events)} records; "
+            f"the per-batch cap is {MAX_BATCH_EVENTS}"
+        )
+    start_weekday = doc.get("start_weekday", 0)
+    if not isinstance(start_weekday, int) or not 0 <= start_weekday < 7:
+        raise SchemaError(
+            f"start_weekday must be an integer in [0, 7), got {start_weekday!r}"
+        )
+    records: list[TraceRecord] = []
+    for i, obj in enumerate(events):
+        obj = _require_object(obj, f"events[{i}]")
+        try:
+            records.append(_parse_record(obj.get("kind"), obj))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchemaError(f"events[{i}] is malformed: {exc}") from exc
+    return records, start_weekday
+
+
+def record_to_doc(record: TraceRecord) -> dict:
+    """One trace record as its wire object (inverse of the parse)."""
+    if isinstance(record, ScreenSession):
+        return {"kind": "screen", "start": record.start, "end": record.end}
+    if isinstance(record, AppUsage):
+        return {
+            "kind": "usage",
+            "time": record.time,
+            "app": record.app,
+            "duration": record.duration,
+        }
+    if isinstance(record, NetworkActivity):
+        return {
+            "kind": "network",
+            "time": record.time,
+            "app": record.app,
+            "down_bytes": record.down_bytes,
+            "up_bytes": record.up_bytes,
+            "duration": record.duration,
+            "screen_on": record.screen_on,
+        }
+    raise TypeError(f"not a trace record: {type(record).__name__}")
+
+
+def parse_finish(doc: object) -> int:
+    """Parse a ``POST .../finish`` body: ``{"n_days": N}``."""
+    doc = _require_object(doc, "finish request")
+    n_days = doc.get("n_days")
+    if not isinstance(n_days, int) or n_days < 1:
+        raise SchemaError(f"n_days must be a positive integer, got {n_days!r}")
+    return n_days
+
+
+def parse_checkpoint(doc: object) -> str | None:
+    """Parse a checkpoint/restore body: ``{"path": ...}`` (optional)."""
+    if doc is None:
+        return None
+    doc = _require_object(doc, "checkpoint request")
+    path = doc.get("path")
+    if path is None:
+        return None
+    if not isinstance(path, str) or not path:
+        raise SchemaError(f"path must be a non-empty string, got {path!r}")
+    return path
+
+
+def saving_of(energy_j: float, naive_energy_j: float) -> float:
+    """Energy saving vs the always-on baseline (0.0 when unmeasurable)."""
+    if naive_energy_j > 0:
+        return 1.0 - energy_j / naive_energy_j
+    return 0.0
+
+
+def decision_doc(
+    day: CompletedDay, priced: PolicyDayMetrics, naive: PolicyDayMetrics
+) -> dict:
+    """One causally executed day as its wire record.
+
+    Every field is a pure function of the engine's execution and the
+    shared RRC pricing, so a record served over HTTP is byte-equal to
+    one computed by driving the library directly.
+    """
+    ex = day.execution
+    return {
+        "day": day.day_index,
+        "weekday": day.trace.start_weekday,
+        "policy": priced.policy,
+        "degraded": ex.degraded,
+        "planned": ex.plan is not None,
+        "activities": len(ex.activities),
+        "wake_windows": len(ex.wake_windows),
+        "immediate": ex.immediate,
+        "deferred": priced.deferred,
+        "interrupts": priced.interrupts,
+        "user_interactions": priced.user_interactions,
+        "energy_j": priced.energy_j,
+        "radio_on_s": priced.radio_on_s,
+        "transfer_s": priced.transfer_s,
+        "naive_energy_j": naive.energy_j,
+        "saving": saving_of(priced.energy_j, naive.energy_j),
+    }

@@ -63,6 +63,13 @@ class FleetConfig:
     #: prices each day individually (the pre-lane-kernel behaviour).
     #: Totals are bit-identical either way — only batching changes.
     price_batch_days: int = 8
+    #: Per-user day records retained by service-lifetime consumers (the
+    #: HTTP gateway): after a day closes, only the newest N decision
+    #: documents survive; older days are evicted and live on solely in
+    #: the compacted scalar aggregate the savings endpoint reads.
+    #: ``None`` retains every day (the pre-service behaviour — and the
+    #: RSS leak a long-lived server cannot afford).
+    retention_days: int | None = None
     netmaster: NetMasterConfig = field(default_factory=NetMasterConfig)
 
     def __post_init__(self) -> None:
@@ -79,6 +86,10 @@ class FleetConfig:
         if self.price_batch_days < 1:
             raise ValueError(
                 f"price_batch_days must be >= 1, got {self.price_batch_days}"
+            )
+        if self.retention_days is not None and self.retention_days < 0:
+            raise ValueError(
+                f"retention_days must be >= 0, got {self.retention_days}"
             )
 
 

@@ -144,6 +144,12 @@ class OnlineNetMaster:
         self._activities: dict[int, list[NetworkActivity]] = {}
         self._completed: list[CompletedDay] = []
 
+    @property
+    def last_time(self) -> float:
+        """Stream time of the newest observed record (the causal floor:
+        anything earlier is out of order and will be rejected)."""
+        return self._last_time
+
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------

@@ -163,14 +163,47 @@ def _headline_table(results: dict, indent: str = "  ") -> list[str]:
     return lines or [f"{indent}(no headline results)"]
 
 
+def format_snapshot_report(path: str | Path) -> str:
+    """Render a report from one metrics snapshot *file*.
+
+    Accepts either a telemetry directory's ``metrics.json`` or a
+    ``GET /metrics`` response saved by the fleet service (``python -m
+    repro serve --load --metrics-out PATH``) — both carry the same
+    ``{"schema": 1, "overall": <registry snapshot>, ...}`` shape, which
+    is deliberate: service runs and offline runs share one reporting
+    path.  A bare registry snapshot (``{"counters": ...}``) works too.
+    """
+    source = Path(path)
+    payload = json.loads(source.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(f"{source} does not hold a metrics snapshot object")
+    # Tolerate a bare registry snapshot with no envelope around it.
+    overall = payload.get("overall", payload if "counters" in payload else {})
+    lines = [f"Metrics snapshot — {source}"]
+    lines.append("  top counters:")
+    lines.extend(_counter_table(overall.get("counters", {}), indent="    "))
+    lines.extend(_histogram_table(overall.get("histograms", {}), indent="  "))
+    if payload.get("dropped_spans"):
+        lines.append(f"  (dropped {payload['dropped_spans']} spans past the cap)")
+    return "\n".join(lines)
+
+
 def format_report(telemetry_dir: str | Path) -> str:
-    """Render the per-experiment telemetry summary for one output dir."""
+    """Render the per-experiment telemetry summary for one output dir.
+
+    Given a *file* instead of a directory — a saved ``/metrics``
+    snapshot from the fleet service, say — delegates to
+    :func:`format_snapshot_report`.
+    """
     root = Path(telemetry_dir)
+    if root.is_file():
+        return format_snapshot_report(root)
     metrics_path = root / METRICS_FILE
     if not metrics_path.exists():
         raise FileNotFoundError(
             f"no telemetry found: {metrics_path} is missing "
-            "(run an experiment with --telemetry-out first)"
+            "(run an experiment with --telemetry-out first, or pass a "
+            "saved GET /metrics snapshot file)"
         )
     payload = json.loads(metrics_path.read_text(encoding="utf-8"))
     overall = payload.get("overall", {})

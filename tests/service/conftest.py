@@ -1,0 +1,137 @@
+"""Shared fixtures for the fleet-service test suite.
+
+The server runs in a background thread with its own asyncio loop;
+tests talk to it synchronously over real sockets with stdlib
+``http.client``.  No async test framework required.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.netmaster import NetMasterConfig
+from repro.service.gateway import FleetGateway
+from repro.service.http import ServiceApp
+from repro.stream.fleet import FleetConfig
+from repro.traces.generator import generate_volunteers
+
+#: 9-day traces over a 5-day training horizon: 4 causally executed days
+#: per user, small enough to stream in well under a second.
+N_DAYS = 9
+TRAIN_DAYS = 5
+
+
+def service_config(**overrides) -> FleetConfig:
+    """The deterministic config every service test runs under."""
+    base = dict(
+        train_days=TRAIN_DAYS,
+        checkpoint_every_days=2,
+        netmaster=NetMasterConfig(enable_circuit_breaker=False),
+    )
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+@pytest.fixture(scope="session")
+def service_traces():
+    """The three evaluation volunteers, shortened to the test horizon."""
+    return generate_volunteers(N_DAYS, seed=43)
+
+
+@pytest.fixture(scope="session")
+def service_trace(service_traces):
+    return service_traces[0]
+
+
+class ServerHandle:
+    """One live server: address + a synchronous request helper."""
+
+    def __init__(self, app: ServiceApp, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.app = app
+        self.loop = loop
+        self.thread = thread
+        assert app.address is not None
+        self.host, self.port = app.address
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        doc: object | None = None,
+        *,
+        raw_body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict]:
+        """One request over a fresh connection; returns (status, json)."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=60)
+        try:
+            body = raw_body
+            if body is None and doc is not None:
+                body = json.dumps(doc).encode("utf-8")
+            conn.request(method, path, body=body, headers=headers or {})
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read())
+        finally:
+            conn.close()
+
+    def stop(self) -> None:
+        if not self.loop.is_running():
+            return
+        asyncio.run_coroutine_threadsafe(
+            self.app.shutdown(reason="test teardown"), self.loop
+        ).result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+
+
+@pytest.fixture
+def make_server():
+    """Factory: spin up a service in a background thread, torn down after."""
+    handles: list[ServerHandle] = []
+
+    def factory(config: FleetConfig | None = None, **app_kwargs) -> ServerHandle:
+        ready = threading.Event()
+        holder: dict = {}
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            app = ServiceApp(
+                FleetGateway(config or service_config()), **app_kwargs
+            )
+            loop.run_until_complete(app.start("127.0.0.1", 0))
+            holder["loop"], holder["app"] = loop, app
+            ready.set()
+            loop.run_forever()
+            # Drain cancelled tasks so the loop closes without warnings.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=30), "service failed to start"
+        handle = ServerHandle(holder["app"], holder["loop"], thread)
+        handles.append(handle)
+        return handle
+
+    yield factory
+    for handle in handles:
+        handle.stop()
+
+
+@pytest.fixture
+def server(make_server) -> ServerHandle:
+    """One server under the default deterministic test config."""
+    return make_server()

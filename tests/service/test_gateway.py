@@ -1,0 +1,223 @@
+"""The single-writer service core: parity, atomicity, retention, state."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import NaivePolicy
+from repro.evaluation.metrics import measure_outcome
+from repro.service.gateway import (
+    CausalityError,
+    FleetGateway,
+    ServiceOverloadError,
+    UnknownUserError,
+    reference_decisions,
+)
+from repro.service.schemas import SchemaError
+from repro.stream.fleet import stream_one_user
+from repro.stream.ingest import stream_trace
+from repro.stream.online_netmaster import CheckpointError, OnlineNetMaster
+
+from tests.service.conftest import service_config
+
+
+def drive(gateway: FleetGateway, trace, *, batches=None) -> None:
+    """Stream a whole trace through the gateway and close it."""
+    records = list(stream_trace(trace))
+    if batches is None:
+        batches = [records]
+    else:
+        assert sum(len(b) for b in batches) == len(records)
+    for batch in batches:
+        gateway.ingest(
+            trace.user_id, batch, start_weekday=trace.start_weekday
+        )
+    gateway.finish(trace.user_id, trace.n_days)
+
+
+def test_savings_match_hand_rolled_engine(service_trace):
+    """Independent oracle: a bare engine + measure_outcome, no gateway."""
+    config = service_config(checkpoint_every_days=None)
+    engine = OnlineNetMaster(
+        service_trace.user_id,
+        config=config.netmaster,
+        start_weekday=service_trace.start_weekday,
+        train_days=config.train_days,
+    )
+    energy = naive_energy = 0.0
+    days = 0
+    for record in stream_trace(service_trace):
+        engine.observe(record)
+        for day in engine.drain():
+            energy += measure_outcome(
+                day.outcome(), config.netmaster.power, day.trace
+            ).energy_j
+            naive_energy += measure_outcome(
+                NaivePolicy().execute_day(day.trace),
+                config.netmaster.power,
+                day.trace,
+            ).energy_j
+            days += 1
+    for day in engine.finish(service_trace.n_days):
+        energy += measure_outcome(
+            day.outcome(), config.netmaster.power, day.trace
+        ).energy_j
+        naive_energy += measure_outcome(
+            NaivePolicy().execute_day(day.trace),
+            config.netmaster.power,
+            day.trace,
+        ).energy_j
+        days += 1
+
+    gateway = FleetGateway(config)
+    drive(gateway, service_trace)
+    savings = gateway.savings(service_trace.user_id)
+    assert days > 0
+    assert savings["days_executed"] == days
+    assert savings["energy_j"] == energy
+    assert savings["naive_energy_j"] == naive_energy
+
+
+def test_aggregates_byte_equal_stream_one_user(service_traces):
+    """The acceptance gate: gateway totals == library drive, bit for bit."""
+    config = service_config()
+    for trace in service_traces:
+        lib = stream_one_user(trace, config=config)
+        gateway = FleetGateway(config)
+        drive(gateway, trace)
+        savings = gateway.savings(trace.user_id)
+        assert savings["energy_j"] == lib.energy_j
+        assert savings["radio_on_s"] == lib.radio_on_s
+        assert savings["interrupts"] == lib.interrupts
+        assert savings["user_interactions"] == lib.user_interactions
+        assert savings["deferred"] == lib.deferred
+        assert savings["days_executed"] == lib.days_executed
+        assert savings["checkpoints"] == lib.checkpoints
+        assert savings["degraded_days"] == lib.degraded_days
+
+
+@settings(max_examples=8, deadline=None)
+@given(batch_size=st.integers(min_value=1, max_value=4000))
+def test_batch_split_invariance(service_trace, batch_size):
+    """Decisions are independent of how the stream is cut into batches."""
+    config = service_config()
+    records = list(stream_trace(service_trace))
+    batches = [
+        records[i : i + batch_size] for i in range(0, len(records), batch_size)
+    ]
+    gateway = FleetGateway(config)
+    drive(gateway, service_trace, batches=batches)
+    got = {
+        "decisions": gateway.decisions(service_trace.user_id),
+        "savings": gateway.savings(service_trace.user_id),
+    }
+    ref = reference_decisions(service_trace, config=config)
+    assert json.dumps(got) == json.dumps(ref)
+
+
+def test_out_of_order_batch_rejected_atomically(service_trace):
+    config = service_config()
+    gateway = FleetGateway(config)
+    records = list(stream_trace(service_trace))
+    gateway.ingest(
+        service_trace.user_id, records[:500],
+        start_weekday=service_trace.start_weekday,
+    )
+    before = json.dumps(gateway.state_dict())
+    # A batch that starts fine but travels back in time mid-way.
+    bad = records[500:510] + records[100:110]
+    with pytest.raises(CausalityError, match="stream went backwards"):
+        gateway.ingest(service_trace.user_id, bad)
+    assert json.dumps(gateway.state_dict()) == before  # nothing leaked
+
+
+def test_unknown_user_raises():
+    gateway = FleetGateway(service_config())
+    with pytest.raises(UnknownUserError):
+        gateway.decisions("stranger")
+    with pytest.raises(UnknownUserError):
+        gateway.savings("stranger")
+    with pytest.raises(UnknownUserError):
+        gateway.finish("stranger", 9)
+
+
+def test_event_budget_sheds_batches(service_trace):
+    records = list(stream_trace(service_trace))
+    gateway = FleetGateway(service_config(event_budget=100))
+    gateway.ingest(service_trace.user_id, records[:100])
+    with pytest.raises(ServiceOverloadError):
+        gateway.ingest(service_trace.user_id, records[100:110])
+    assert gateway.events_total == 100
+
+
+def test_retention_bounds_memory_and_savings_stay_complete(service_trace):
+    """Eviction drops day records but never the compacted aggregate."""
+    full = FleetGateway(service_config())
+    drive(full, service_trace)
+    bounded = FleetGateway(service_config(retention_days=2))
+    drive(bounded, service_trace)
+
+    full_dec = full.decisions(service_trace.user_id)
+    bounded_dec = bounded.decisions(service_trace.user_id)
+    assert full_dec["evicted_days"] == 0
+    assert len(bounded_dec["retained"]) == 2
+    assert (
+        bounded_dec["evicted_days"]
+        == full_dec["days_executed"] - 2
+    )
+    # The retained window is the *newest* days, byte-equal to the full run.
+    assert bounded_dec["retained"] == full_dec["retained"][-2:]
+    # Savings read the aggregate: identical despite the eviction.
+    full_sav = full.savings(service_trace.user_id)
+    bounded_sav = bounded.savings(service_trace.user_id)
+    for key in ("energy_j", "naive_energy_j", "saving", "radio_on_s",
+                "interrupts", "deferred", "days_executed"):
+        assert bounded_sav[key] == full_sav[key]
+    assert bounded_sav["retained_days"] == 2
+    assert bounded_sav["evicted_days"] == bounded_dec["evicted_days"]
+
+
+def test_checkpoint_restore_resumes_byte_identically(service_trace, tmp_path):
+    config = service_config()
+    records = list(stream_trace(service_trace))
+    cut = len(records) // 2
+
+    straight = FleetGateway(config)
+    drive(straight, service_trace)
+
+    resumed = FleetGateway(config)
+    resumed.ingest(
+        service_trace.user_id, records[:cut],
+        start_weekday=service_trace.start_weekday,
+    )
+    path = tmp_path / "service.json"
+    resumed.checkpoint(path)
+    fresh = FleetGateway(config)
+    fresh.restore(path)
+    fresh.ingest(service_trace.user_id, records[cut:])
+    fresh.finish(service_trace.user_id, service_trace.n_days)
+
+    assert json.dumps(fresh.decisions(service_trace.user_id)) == json.dumps(
+        straight.decisions(service_trace.user_id)
+    )
+    assert json.dumps(fresh.savings(service_trace.user_id)) == json.dumps(
+        straight.savings(service_trace.user_id)
+    )
+
+
+def test_restore_rejects_garbage(tmp_path):
+    gateway = FleetGateway(service_config())
+    with pytest.raises(SchemaError):
+        gateway.restore(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{ truncated", encoding="utf-8")
+    with pytest.raises(CheckpointError):
+        gateway.restore(bad)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"format": 99, "users": {}}), encoding="utf-8")
+    with pytest.raises(CheckpointError, match="format"):
+        gateway.restore(wrong)

@@ -1,0 +1,202 @@
+"""The HTTP surface: status codes, error bodies, health, metrics,
+and concurrent clients versus the serial library run."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.service.gateway import reference_decisions
+from repro.service.schemas import record_to_doc
+from repro.stream.ingest import stream_trace
+
+from tests.service.conftest import service_config
+
+
+def batch_doc(trace, records) -> dict:
+    return {
+        "events": [record_to_doc(r) for r in records],
+        "start_weekday": trace.start_weekday,
+    }
+
+
+def drive_http(server, trace, *, batch_size=None) -> None:
+    records = list(stream_trace(trace))
+    size = batch_size or len(records)
+    for i in range(0, len(records), size):
+        status, doc = server.request(
+            "POST",
+            f"/v1/users/{trace.user_id}/events",
+            batch_doc(trace, records[i : i + size]),
+        )
+        assert status == 200, doc
+    status, doc = server.request(
+        "POST", f"/v1/users/{trace.user_id}/finish", {"n_days": trace.n_days}
+    )
+    assert status == 200, doc
+
+
+def test_lifecycle_matches_reference(server, service_trace):
+    drive_http(server, service_trace, batch_size=700)
+    status, decisions = server.request(
+        "GET", f"/v1/users/{service_trace.user_id}/decisions"
+    )
+    assert status == 200
+    status, savings = server.request(
+        "GET", f"/v1/users/{service_trace.user_id}/savings"
+    )
+    assert status == 200
+    ref = reference_decisions(service_trace, config=service_config())
+    assert json.dumps(decisions) == json.dumps(ref["decisions"])
+    assert json.dumps(savings) == json.dumps(ref["savings"])
+
+    status, users = server.request("GET", "/v1/users")
+    assert status == 200
+    assert users == {"users": [service_trace.user_id]}
+
+
+def test_malformed_json_is_400(server):
+    status, doc = server.request(
+        "POST", "/v1/users/u1/events", raw_body=b"{not json",
+    )
+    assert status == 400
+    assert doc["error"]["code"] == "bad-json"
+    # Valid JSON, invalid schema -> still 400, different tag.
+    status, doc = server.request("POST", "/v1/users/u1/events", {"bogus": 1})
+    assert status == 400
+    assert doc["error"]["code"] == "bad-request"
+
+
+def test_unknown_user_is_404(server):
+    status, doc = server.request("GET", "/v1/users/stranger/savings")
+    assert status == 404
+    assert doc["error"]["code"] == "unknown-user"
+    status, doc = server.request("GET", "/v1/users/stranger/decisions")
+    assert status == 404
+
+
+def test_unknown_route_and_wrong_method(server):
+    status, doc = server.request("GET", "/v1/nope")
+    assert status == 404
+    assert doc["error"]["code"] == "not-found"
+    status, doc = server.request("PUT", "/health")
+    assert status == 405
+    assert doc["error"]["code"] == "method-not-allowed"
+
+
+def test_oversized_body_is_413(make_server):
+    server = make_server(max_body_bytes=1024)
+    status, doc = server.request(
+        "POST", "/v1/users/u1/events", raw_body=b"x" * 2048
+    )
+    assert status == 413
+    assert doc["error"]["code"] == "body-too-large"
+
+
+def test_out_of_order_batch_is_409(server, service_trace):
+    records = list(stream_trace(service_trace))
+    status, _ = server.request(
+        "POST",
+        f"/v1/users/{service_trace.user_id}/events",
+        batch_doc(service_trace, records[:300]),
+    )
+    assert status == 200
+    status, doc = server.request(
+        "POST",
+        f"/v1/users/{service_trace.user_id}/events",
+        batch_doc(service_trace, records[:10]),
+    )
+    assert status == 409
+    assert doc["error"]["code"] == "causality"
+    assert "stream went backwards" in doc["error"]["message"]
+    # The rejection was atomic: the stream continues from where it was.
+    status, after = server.request(
+        "POST",
+        f"/v1/users/{service_trace.user_id}/events",
+        batch_doc(service_trace, records[300:600]),
+    )
+    assert status == 200
+    assert after["events"] == 600
+
+
+def test_exhausted_budget_is_429(make_server, service_trace):
+    server = make_server(service_config(event_budget=50))
+    records = list(stream_trace(service_trace))
+    status, _ = server.request(
+        "POST",
+        f"/v1/users/{service_trace.user_id}/events",
+        batch_doc(service_trace, records[:50]),
+    )
+    assert status == 200
+    status, doc = server.request(
+        "POST",
+        f"/v1/users/{service_trace.user_id}/events",
+        batch_doc(service_trace, records[50:60]),
+    )
+    assert status == 429
+    assert doc["error"]["code"] == "overloaded"
+
+
+def test_health_and_metrics(server, service_trace):
+    status, health = server.request("GET", "/health")
+    assert status == 200
+    assert health["status"] == "ok"
+    assert health["users"] == 0
+    # The registry is process-wide (other tests feed it too), so counter
+    # assertions are deltas around this server's traffic.
+    _, before = server.request("GET", "/metrics")
+    ingested_before = before["overall"]["counters"].get(
+        "service.events_ingested", 0
+    )
+    drive_http(server, service_trace)
+    status, health = server.request("GET", "/health")
+    assert health["users"] == 1
+    assert health["events"] > 0
+    assert health["days_executed"] > 0
+
+    status, doc = server.request("GET", "/metrics")
+    assert status == 200
+    assert doc["schema"] == 1
+    counters = doc["overall"]["counters"]
+    assert counters["service.req.ingest"] >= 1
+    assert counters["service.req.health"] >= 2
+    assert (
+        counters["service.events_ingested"] - ingested_before
+        == health["events"]
+    )
+    latency = doc["overall"]["histograms"]["service.latency_s.ingest"]
+    assert latency["count"] >= 1
+    assert latency["sum_micro"] > 0
+
+
+def test_concurrent_clients_equal_serial_library_run(server, service_traces):
+    """Three clients race their own users; every result equals the
+    single-threaded library drive."""
+    errors: list = []
+
+    def client(trace) -> None:
+        try:
+            drive_http(server, trace, batch_size=500)
+        except Exception as exc:  # surfaced below
+            errors.append((trace.user_id, exc))
+
+    threads = [
+        threading.Thread(target=client, args=(trace,))
+        for trace in service_traces
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not errors
+    config = service_config()
+    for trace in service_traces:
+        _, decisions = server.request(
+            "GET", f"/v1/users/{trace.user_id}/decisions"
+        )
+        _, savings = server.request(
+            "GET", f"/v1/users/{trace.user_id}/savings"
+        )
+        ref = reference_decisions(trace, config=config)
+        assert json.dumps(decisions) == json.dumps(ref["decisions"])
+        assert json.dumps(savings) == json.dumps(ref["savings"])

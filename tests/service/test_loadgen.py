@@ -1,0 +1,66 @@
+"""The async load driver, plus the bench/CLI glue around it."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.gateway import FleetGateway
+from repro.service.http import ServiceApp
+from repro.service.loadgen import LoadOptions, percentile, run_load
+from repro.runtime.bench import compare_reports
+
+from tests.service.conftest import service_config
+
+
+def test_percentile_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile([], 0.5) == 0.0
+    assert percentile(values, 0.5) == 2.0
+    assert percentile(values, 0.95) == 4.0
+    assert percentile([7.0], 0.99) == 7.0
+
+
+def test_load_run_against_in_process_server():
+    async def drive():
+        app = ServiceApp(FleetGateway(service_config()))
+        host, port = await app.start("127.0.0.1", 0)
+        try:
+            return await run_load(
+                LoadOptions(
+                    host=host, port=port, n_users=2, n_days=9,
+                    concurrency=2, batch_events=400,
+                )
+            )
+        finally:
+            await app.shutdown(reason="test")
+
+    report = asyncio.run(drive())
+    assert report["errors"] == 0
+    assert report["n_users"] == 2
+    assert report["events"] > 0
+    assert report["days_closed"] > 0
+    assert report["service_events_per_s"] > 0
+    assert 0 < report["latency_p50_s"] <= report["latency_p99_s"]
+    assert report["health"]["status"] == "ok"
+    assert report["health"]["users"] == 2
+    assert report["metrics_counters"] > 0
+    # The report must be JSON-serializable as-is (it lands in
+    # BENCH_perf.json and --out files verbatim).
+    json.dumps(report)
+
+
+def test_compare_tolerates_baseline_without_service_section():
+    fresh = {"service_load": {"service_events_per_s": 1000.0}}
+    old_baseline = {"stream": {"stream_events_per_s": 1.0}}
+    failures = compare_reports(
+        {**fresh, "stream": {"stream_events_per_s": 1.0}}, old_baseline
+    )
+    assert failures == []
+
+
+def test_compare_flags_service_regression():
+    fresh = {"service_load": {"service_events_per_s": 100.0}}
+    baseline = {"service_load": {"service_events_per_s": 1000.0}}
+    failures = compare_reports(fresh, baseline)
+    assert any("service_load" in f for f in failures)

@@ -1,0 +1,84 @@
+"""The wire-document layer: parse/render round trips and rejections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.schemas import (
+    MAX_BATCH_EVENTS,
+    SchemaError,
+    parse_checkpoint,
+    parse_event_batch,
+    parse_finish,
+    record_to_doc,
+    saving_of,
+)
+from repro.stream.ingest import stream_trace
+from repro.traces.events import AppUsage, NetworkActivity, ScreenSession
+
+
+def test_event_batch_round_trip(service_trace):
+    records = list(stream_trace(service_trace))
+    doc = {
+        "events": [record_to_doc(r) for r in records],
+        "start_weekday": service_trace.start_weekday,
+    }
+    parsed, weekday = parse_event_batch(doc)
+    assert weekday == service_trace.start_weekday
+    assert parsed == records
+
+
+def test_record_to_doc_covers_all_kinds():
+    assert record_to_doc(ScreenSession(10.0, 20.0))["kind"] == "screen"
+    assert record_to_doc(AppUsage(5.0, "mail", 3.0))["kind"] == "usage"
+    net = record_to_doc(NetworkActivity(7.0, "sync", 100, 50, 2.0, False))
+    assert net["kind"] == "network"
+    assert net["screen_on"] is False
+    with pytest.raises(TypeError):
+        record_to_doc("not a record")
+
+
+@pytest.mark.parametrize(
+    "doc",
+    [
+        "not an object",
+        {},
+        {"events": "nope"},
+        {"events": [], "start_weekday": 7},
+        {"events": [], "start_weekday": "mon"},
+        {"events": ["not an object"]},
+        {"events": [{"kind": "mystery"}]},
+        {"events": [{"kind": "screen", "start": 1.0}]},
+    ],
+)
+def test_bad_event_batches_raise_schema_error(doc):
+    with pytest.raises(SchemaError):
+        parse_event_batch(doc)
+
+
+def test_oversized_batch_rejected():
+    record = {"kind": "usage", "time": 0.0, "app": "a", "duration": 1.0}
+    with pytest.raises(SchemaError, match="cap"):
+        parse_event_batch({"events": [record] * (MAX_BATCH_EVENTS + 1)})
+
+
+def test_parse_finish():
+    assert parse_finish({"n_days": 9}) == 9
+    for bad in ({}, {"n_days": 0}, {"n_days": -3}, {"n_days": "many"}, []):
+        with pytest.raises(SchemaError):
+            parse_finish(bad)
+
+
+def test_parse_checkpoint():
+    assert parse_checkpoint(None) is None
+    assert parse_checkpoint({}) is None
+    assert parse_checkpoint({"path": "x.json"}) == "x.json"
+    with pytest.raises(SchemaError):
+        parse_checkpoint({"path": ""})
+    with pytest.raises(SchemaError):
+        parse_checkpoint({"path": 3})
+
+
+def test_saving_of():
+    assert saving_of(50.0, 100.0) == 0.5
+    assert saving_of(1.0, 0.0) == 0.0

@@ -1,0 +1,143 @@
+"""Graceful shutdown: the final checkpoint, and byte-identical restarts
+across a real SIGTERM delivered to a real server process."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.gateway import FleetGateway, reference_decisions
+from repro.service.schemas import record_to_doc
+from repro.stream.ingest import stream_trace
+
+from tests.service.conftest import TRAIN_DAYS, service_config
+from tests.service.test_http_surface import batch_doc
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def test_teardown_writes_final_checkpoint(make_server, service_trace,
+                                          tmp_path):
+    path = tmp_path / "final.json"
+    server = make_server(checkpoint_path=path)
+    records = list(stream_trace(service_trace))
+    status, _ = server.request(
+        "POST", f"/v1/users/{service_trace.user_id}/events",
+        batch_doc(service_trace, records[:800]),
+    )
+    assert status == 200
+    server.stop()  # shutdown() drains the queue, then checkpoints
+    assert path.exists()
+    restored = FleetGateway(service_config())
+    restored.restore(path)
+    assert restored.user_ids() == [service_trace.user_id]
+    assert restored.session(service_trace.user_id).engine.events == 800
+
+
+# ----------------------------------------------------------------------
+# subprocess SIGTERM round trip
+# ----------------------------------------------------------------------
+
+
+def _spawn_server(args: list[str]) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ, PYTHONPATH=REPO_SRC, PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--train-days", str(TRAIN_DAYS), "--checkpoint-every", "2", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    assert proc.stdout is not None
+    line = proc.stdout.readline()
+    if not line:
+        proc.wait(timeout=10)
+        raise AssertionError(
+            f"server died before the ready line: {proc.stderr.read()}"
+        )
+    assert line.startswith("repro-service listening on "), line
+    port = int(line.rsplit(":", 1)[1])
+    return proc, port
+
+
+def _request(port: int, method: str, path: str, doc=None,
+             attempts: int = 3) -> tuple[int, dict]:
+    for attempt in range(attempts):
+        try:
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+            try:
+                body = None if doc is None else json.dumps(doc).encode()
+                conn.request(method, path, body=body)
+                resp = conn.getresponse()
+                return resp.status, json.loads(resp.read())
+            finally:
+                conn.close()
+        except ConnectionError:
+            if attempt == attempts - 1:
+                raise
+            time.sleep(0.2)
+    raise AssertionError("unreachable")
+
+
+@pytest.mark.slow
+def test_sigterm_then_restart_resumes_byte_identically(service_trace,
+                                                       tmp_path):
+    ckpt = str(tmp_path / "sig.json")
+    records = list(stream_trace(service_trace))
+    cut = len(records) // 2
+    uid = service_trace.user_id
+
+    proc, port = _spawn_server(["--checkpoint", ckpt])
+    try:
+        status, _ = _request(
+            port, "POST", f"/v1/users/{uid}/events",
+            batch_doc(service_trace, records[:cut]),
+        )
+        assert status == 200
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 0, err
+        assert "final checkpoint written" in err
+        assert Path(ckpt).exists()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    proc, port = _spawn_server(["--restore", ckpt])
+    try:
+        status, _ = _request(
+            port, "POST", f"/v1/users/{uid}/events",
+            batch_doc(service_trace, records[cut:]),
+        )
+        assert status == 200
+        status, _ = _request(
+            port, "POST", f"/v1/users/{uid}/finish",
+            {"n_days": service_trace.n_days},
+        )
+        assert status == 200
+        _, decisions = _request(port, "GET", f"/v1/users/{uid}/decisions")
+        _, savings = _request(port, "GET", f"/v1/users/{uid}/savings")
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    # The CLI disables the circuit breaker and uses checkpoint-every 2 —
+    # mirror it exactly for the reference run.
+    ref = reference_decisions(
+        service_trace,
+        config=service_config(train_days=TRAIN_DAYS, checkpoint_every_days=2),
+    )
+    assert json.dumps(decisions) == json.dumps(ref["decisions"])
+    assert json.dumps(savings) == json.dumps(ref["savings"])

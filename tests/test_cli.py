@@ -130,3 +130,48 @@ class TestTelemetryCli:
         assert main(["list", "--log-level", "error"]) == 0
         assert logging.getLogger().level == logging.ERROR
         logging.getLogger().setLevel(logging.WARNING)
+
+
+class TestServeDispatch:
+    """`python -m repro serve` routes to the service CLI."""
+
+    def test_serve_parser_flags(self):
+        from repro.service.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["--load", "--quick", "--port", "0", "--retention", "3"]
+        )
+        assert args.load and args.quick
+        assert args.port == 0
+        assert args.retention == 3
+
+    def test_serve_config_mapping(self):
+        from repro.service.cli import _config, build_parser
+
+        args = build_parser().parse_args(
+            ["--train-days", "5", "--retention", "2", "--event-budget", "100"]
+        )
+        config = _config(args)
+        assert config.train_days == 5
+        assert config.retention_days == 2
+        assert config.event_budget == 100
+        assert config.netmaster.enable_circuit_breaker is False
+
+    def test_telemetry_report_accepts_metrics_file(self, tmp_path, capsys):
+        import json
+
+        snapshot = {
+            "schema": 1,
+            "overall": {
+                "counters": {"service.req.health": 3},
+                "gauges": {},
+                "histograms": {},
+            },
+            "dropped_spans": 0,
+        }
+        path = tmp_path / "service_metrics.json"
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+        assert main(["telemetry-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Metrics snapshot" in out
+        assert "service.req.health" in out

@@ -27,7 +27,9 @@ import sys
 
 from repro._util import write_json_atomic
 from repro.core.netmaster import NetMasterConfig
+from repro.service.schemas import SchemaError
 from repro.stream.fleet import FleetConfig
+from repro.stream.online_netmaster import CheckpointError
 
 #: ``--quick`` load-mode overrides (mirrors the ``stream`` experiment's
 #: quick shape: 7 training days keep the knapsack path exercised).
@@ -48,6 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint", metavar="PATH", default=None,
         help="write the final (and on-demand POST /v1/checkpoint) "
         "service checkpoint here",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="allow POST /v1/checkpoint and /v1/restore bodies to name "
+        "paths inside DIR (client-supplied paths are rejected with 403 "
+        "without this)",
     )
     parser.add_argument(
         "--restore", metavar="PATH", default=None,
@@ -191,6 +199,7 @@ async def _run_serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             checkpoint_path=args.checkpoint,
+            checkpoint_dir=args.checkpoint_dir,
             restore_path=args.restore,
             max_body_bytes=args.max_body_bytes,
             config=_config(args),
@@ -213,7 +222,9 @@ def main(argv: list[str] | None = None) -> int:
         return asyncio.run(_run_serve(args))
     except KeyboardInterrupt:  # SIGINT before the handler is installed
         return 130
-    except OSError as exc:  # bind failure, unreadable restore path, ...
+    # Bind failure, unreadable --restore path (surfaced as SchemaError by
+    # FleetGateway.restore), corrupt checkpoint document, ...
+    except (OSError, SchemaError, CheckpointError) as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
 

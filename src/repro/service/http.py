@@ -59,6 +59,7 @@ DEFAULT_MAX_BODY_BYTES = 8 << 20
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
@@ -151,9 +152,27 @@ async def read_request(
         name, sep, value = raw.decode("latin-1", "replace").partition(":")
         if not sep:
             raise HttpError(400, "bad-header", f"malformed header: {raw!r}", close=True)
-        headers[name.strip().lower()] = value.strip()
+        name = name.strip().lower()
+        # Duplicate Content-Length headers are a request-smuggling vector
+        # (last-wins here could disagree with a proxy's first-wins), so
+        # they are rejected outright rather than reconciled.
+        if name == "content-length" and name in headers:
+            raise HttpError(
+                400, "bad-header", "duplicate Content-Length header", close=True
+            )
+        headers[name] = value.strip()
         if len(headers) > 128:
             raise HttpError(400, "bad-header", "too many headers", close=True)
+    if "transfer-encoding" in headers:
+        # This parser only speaks Content-Length bodies.  Treating a
+        # chunked body as zero-length would desync the keep-alive stream
+        # (the payload would parse as pipelined requests), so refuse it.
+        raise HttpError(
+            400,
+            "bad-header",
+            "Transfer-Encoding is not supported; send a Content-Length body",
+            close=True,
+        )
     raw_length = headers.get("content-length", "0") or "0"
     try:
         length = int(raw_length)
@@ -205,11 +224,19 @@ class ServiceApp:
         gateway: FleetGateway | None = None,
         *,
         checkpoint_path: str | Path | None = None,
+        checkpoint_dir: str | Path | None = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     ) -> None:
         self.gateway = gateway or FleetGateway()
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        #: The only directory client-supplied checkpoint/restore paths
+        #: may land in (resolved-prefix checked); ``None`` disables
+        #: client paths entirely — they are a filesystem write/probe
+        #: primitive for anyone who can reach the port otherwise.
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
         self.max_body_bytes = max_body_bytes
         # Imported here, not at module top: routes needs HttpError from
@@ -245,14 +272,22 @@ class ServiceApp:
             self.stop_event.set()
 
     async def shutdown(self, *, reason: str = "stop") -> None:
-        """Stop accepting, drain the queue, write the final checkpoint."""
+        """Stop accepting, drop connections, drain the queue, checkpoint."""
         if self.stopping:
             return
         self.stopping = True
         logger.info("service shutting down (%s)", reason)
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
+        # Close every live connection BEFORE awaiting wait_closed():
+        # since Python 3.12.1 wait_closed() blocks until all connection
+        # handlers return, and an idle keep-alive handler sits in
+        # readline() until its transport dies — waiting first would
+        # deadlock shutdown and lose the final checkpoint.  Closing the
+        # transport EOFs the reader; mutations already enqueued by
+        # in-flight handlers still apply via the queue drain below.
+        for writer in list(self._writers):
+            writer.close()
         if self._queue is not None:
             await self._queue.join()
         if self._worker is not None:
@@ -261,8 +296,12 @@ class ServiceApp:
                 await self._worker
             except asyncio.CancelledError:
                 pass
-        for writer in list(self._writers):
-            writer.close()
+        if self._server is not None:
+            try:
+                await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+            except asyncio.TimeoutError:
+                # Never let a straggling handler hold the checkpoint hostage.
+                logger.warning("connection handlers did not exit within 5s")
         if self.checkpoint_path is not None:
             written = self.gateway.checkpoint(self.checkpoint_path)
             logger.info(
@@ -321,13 +360,12 @@ class ServiceApp:
                 if request is None:
                     return
                 status, doc, close = await self._dispatch(request)
+                close = close or request.wants_close or self.stopping
                 try:
-                    await self._write(
-                        writer, status, doc, close=close or request.wants_close
-                    )
+                    await self._write(writer, status, doc, close=close)
                 except (ConnectionError, RuntimeError):
                     return
-                if close or request.wants_close:
+                if close:
                     return
         finally:
             self._writers.discard(writer)
@@ -384,6 +422,7 @@ class ServeOptions:
     host: str = "127.0.0.1"
     port: int = 8341
     checkpoint_path: str | Path | None = None
+    checkpoint_dir: str | Path | None = None
     restore_path: str | Path | None = None
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
     config: object | None = None  # FleetConfig
@@ -408,6 +447,7 @@ async def serve(options: ServeOptions | None = None) -> ServiceApp:
     app = ServiceApp(
         gateway,
         checkpoint_path=options.checkpoint_path,
+        checkpoint_dir=options.checkpoint_dir,
         max_body_bytes=options.max_body_bytes,
     )
     await app.start(options.host, options.port)

@@ -16,6 +16,11 @@ The surface::
     GET  /v1/users                  every admitted user id
     POST /v1/checkpoint             atomic whole-service checkpoint
     POST /v1/restore                load a checkpoint back in
+
+Checkpoint/restore default to the server-configured ``--checkpoint``
+path; a client-supplied ``{"path": ...}`` is honoured only inside the
+operator-declared ``--checkpoint-dir`` (resolved-prefix checked, 403
+otherwise) — never an arbitrary filesystem location.
     GET  /health                    liveness + fleet-wide counters
     GET  /metrics                   telemetry registry snapshot (JSON)
 """
@@ -97,16 +102,35 @@ async def users(app: "ServiceApp", request: HttpRequest):
 
 def _checkpoint_target(app: "ServiceApp", request: HttpRequest) -> str:
     path = parse_checkpoint(request.json_optional())
-    if path is not None:
-        return path
-    if app.checkpoint_path is not None:
-        return str(app.checkpoint_path)
-    raise HttpError(
-        400,
-        "no-checkpoint-path",
-        "no 'path' in the request and the server was started without "
-        "--checkpoint",
-    )
+    if path is None:
+        if app.checkpoint_path is not None:
+            return str(app.checkpoint_path)
+        raise HttpError(
+            400,
+            "no-checkpoint-path",
+            "no 'path' in the request and the server was started without "
+            "--checkpoint",
+        )
+    # A client-supplied path is an arbitrary-filesystem-write (checkpoint)
+    # and file-probe (restore) primitive for anyone who can reach the
+    # port, so it is only honoured inside the operator-declared
+    # --checkpoint-dir, after symlink/.. resolution.
+    if app.checkpoint_dir is None:
+        raise HttpError(
+            403,
+            "path-forbidden",
+            "client-supplied checkpoint paths are disabled; start the "
+            "server with --checkpoint-dir to allow them",
+        )
+    root = app.checkpoint_dir.resolve()
+    resolved = (root / path).resolve()
+    if root not in resolved.parents:
+        raise HttpError(
+            403,
+            "path-forbidden",
+            f"checkpoint path {path!r} escapes the checkpoint directory",
+        )
+    return str(resolved)
 
 
 async def checkpoint(app: "ServiceApp", request: HttpRequest):

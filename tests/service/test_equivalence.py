@@ -5,6 +5,7 @@ checkpoint/restore cycle performed through the endpoints."""
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 from repro.stream.fleet import FleetService, FleetUserSpec
 from repro.stream.shards import ShardConfig, ShardedFleetService
@@ -82,7 +83,7 @@ def test_checkpoint_restore_through_endpoints(make_server, service_trace,
     _, straight_dec = straight.request("GET", f"/v1/users/{uid}/decisions")
     _, straight_sav = straight.request("GET", f"/v1/users/{uid}/savings")
 
-    first = make_server()
+    first = make_server(checkpoint_dir=tmp_path)
     status, _ = first.request(
         "POST", f"/v1/users/{uid}/events",
         batch_doc(service_trace, records[:cut]),
@@ -90,10 +91,10 @@ def test_checkpoint_restore_through_endpoints(make_server, service_trace,
     assert status == 200
     status, doc = first.request("POST", "/v1/checkpoint", {"path": path})
     assert status == 200
-    assert doc["path"] == path
+    assert Path(doc["path"]) == (tmp_path / "service-ckpt.json").resolve()
     assert doc["bytes"] > 0
 
-    second = make_server()
+    second = make_server(checkpoint_dir=tmp_path)
     status, doc = second.request("POST", "/v1/restore", {"path": path})
     assert status == 200
     assert doc["users"] == 1
@@ -122,7 +123,7 @@ def test_checkpoint_without_path_is_400(make_server):
 
 def test_restore_missing_file_is_400_and_corrupt_is_409(make_server,
                                                         tmp_path):
-    server = make_server()
+    server = make_server(checkpoint_dir=tmp_path)
     status, doc = server.request(
         "POST", "/v1/restore", {"path": str(tmp_path / "absent.json")}
     )
@@ -132,3 +133,34 @@ def test_restore_missing_file_is_400_and_corrupt_is_409(make_server,
     status, doc = server.request("POST", "/v1/restore", {"path": str(bad)})
     assert status == 409
     assert doc["error"]["code"] == "bad-checkpoint"
+
+
+def test_client_paths_forbidden_without_checkpoint_dir(make_server, tmp_path):
+    """No --checkpoint-dir: a client-supplied path is a 403, both ways."""
+    server = make_server()
+    for endpoint in ("/v1/checkpoint", "/v1/restore"):
+        status, doc = server.request(
+            "POST", endpoint, {"path": str(tmp_path / "x.json")}
+        )
+        assert status == 403
+        assert doc["error"]["code"] == "path-forbidden"
+
+
+def test_client_path_escaping_checkpoint_dir_is_403(make_server, tmp_path):
+    """Absolute and ../-relative escapes are rejected after resolution;
+    paths inside the directory (relative or absolute) are honoured."""
+    root = tmp_path / "ckpts"
+    root.mkdir()
+    server = make_server(checkpoint_dir=root)
+    for escape in (
+        str(tmp_path / "outside.json"),  # absolute, outside the root
+        "../outside.json",               # relative traversal
+        "a/../../outside.json",          # nested traversal
+    ):
+        status, doc = server.request("POST", "/v1/checkpoint", {"path": escape})
+        assert status == 403, escape
+        assert doc["error"]["code"] == "path-forbidden"
+        assert not (tmp_path / "outside.json").exists()
+    status, doc = server.request("POST", "/v1/checkpoint", {"path": "in.json"})
+    assert status == 200
+    assert Path(doc["path"]) == (root / "in.json").resolve()

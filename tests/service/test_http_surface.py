@@ -4,6 +4,7 @@ and concurrent clients versus the serial library run."""
 from __future__ import annotations
 
 import json
+import socket
 import threading
 
 from repro.service.gateway import reference_decisions
@@ -91,6 +92,49 @@ def test_oversized_body_is_413(make_server):
     )
     assert status == 413
     assert doc["error"]["code"] == "body-too-large"
+
+
+def raw_exchange(server, payload: bytes) -> bytes:
+    """Send raw bytes, read until the server closes the connection."""
+    with socket.create_connection((server.host, server.port),
+                                  timeout=30) as sock:
+        sock.sendall(payload)
+        chunks = []
+        while chunk := sock.recv(65536):
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def test_transfer_encoding_is_rejected(server):
+    """Chunked bodies would desync the keep-alive stream (the parser
+    only speaks Content-Length), so they are refused with 400+close —
+    the smuggling payload never parses as a pipelined request."""
+    response = raw_exchange(
+        server,
+        b"POST /v1/checkpoint HTTP/1.1\r\n"
+        b"Host: t\r\n"
+        b"Transfer-Encoding: chunked\r\n"
+        b"\r\n"
+        b"2\r\nhi\r\n0\r\n\r\n"
+        # A smuggled pipelined request: must never be answered.
+        b"GET /health HTTP/1.1\r\nHost: t\r\n\r\n",
+    )
+    assert response.startswith(b"HTTP/1.1 400 ")
+    assert b"Transfer-Encoding is not supported" in response
+    assert response.count(b"HTTP/1.1 ") == 1  # connection closed after the 400
+
+
+def test_duplicate_content_length_is_rejected(server):
+    response = raw_exchange(
+        server,
+        b"GET /health HTTP/1.1\r\n"
+        b"Host: t\r\n"
+        b"Content-Length: 0\r\n"
+        b"Content-Length: 5\r\n"
+        b"\r\n",
+    )
+    assert response.startswith(b"HTTP/1.1 400 ")
+    assert b"duplicate Content-Length" in response
 
 
 def test_out_of_order_batch_is_409(server, service_trace):

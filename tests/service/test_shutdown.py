@@ -42,6 +42,27 @@ def test_teardown_writes_final_checkpoint(make_server, service_trace,
     assert restored.session(service_trace.user_id).engine.events == 800
 
 
+def test_shutdown_with_idle_keepalive_connection(make_server, tmp_path):
+    """An idle keep-alive client must not deadlock shutdown (on Python
+    >= 3.12.1 ``Server.wait_closed`` blocks until every connection
+    handler returns, and an idle handler sits in ``readline`` forever
+    unless shutdown closes its transport first)."""
+    path = tmp_path / "final.json"
+    server = make_server(checkpoint_path=path)
+    idle = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        idle.request("GET", "/health")
+        resp = idle.getresponse()
+        resp.read()
+        assert resp.status == 200
+        # The connection stays open; stop() raises TimeoutError if
+        # shutdown() hangs waiting on it.
+        server.stop()
+        assert path.exists()
+    finally:
+        idle.close()
+
+
 # ----------------------------------------------------------------------
 # subprocess SIGTERM round trip
 # ----------------------------------------------------------------------
@@ -88,6 +109,20 @@ def _request(port: int, method: str, path: str, doc=None,
     raise AssertionError("unreachable")
 
 
+def test_unreadable_restore_path_exits_cleanly(tmp_path):
+    """``serve --restore missing.json`` is a clean exit-2 diagnostic,
+    not a traceback (the gateway surfaces the OSError as SchemaError)."""
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--restore", str(tmp_path / "absent.json")],
+        capture_output=True, text=True, env=env, timeout=60,
+    )
+    assert proc.returncode == 2
+    assert proc.stderr.startswith("serve: ")
+    assert "Traceback" not in proc.stderr
+
+
 @pytest.mark.slow
 def test_sigterm_then_restart_resumes_byte_identically(service_trace,
                                                        tmp_path):
@@ -103,8 +138,14 @@ def test_sigterm_then_restart_resumes_byte_identically(service_trace,
             batch_doc(service_trace, records[:cut]),
         )
         assert status == 200
+        # Hold an idle keep-alive connection across the signal: the
+        # shutdown path must close it rather than wait on it.
+        idle = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        idle.request("GET", "/health")
+        idle.getresponse().read()
         proc.send_signal(signal.SIGTERM)
         out, err = proc.communicate(timeout=60)
+        idle.close()
         assert proc.returncode == 0, err
         assert "final checkpoint written" in err
         assert Path(ckpt).exists()

@@ -12,6 +12,7 @@ Usage::
     python -m repro telemetry-report out/telemetry
     python -m repro serve --port 8341    # HTTP control plane (repro.service)
     python -m repro serve --load --quick # in-process load drill
+    python -m repro fleet-scale --quick  # constant-RSS scale benchmark
 
 Each experiment prints the same rows/series as the paper's figure, with
 the paper's headline number alongside (see EXPERIMENTS.md).
@@ -146,7 +147,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         metavar="EXPERIMENT",
         help=f"one of: {', '.join(sorted(_REGISTRY))}, 'all', 'list', "
-        "'telemetry-report DIR', or 'serve' (see 'serve --help')",
+        "'telemetry-report DIR', 'serve' (see 'serve --help'), or "
+        "'fleet-scale' (see 'fleet-scale --help')",
     )
     parser.add_argument(
         "--seed",
@@ -330,6 +332,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.cli import main as serve_main
 
         return serve_main(raw[1:])
+    if raw and raw[0] == "fleet-scale":
+        # The scale benchmark must own the whole process (ru_maxrss is
+        # lifetime-monotonic), so it bypasses the experiment parser too.
+        from repro.runtime.bench import fleet_scale_main
+
+        return fleet_scale_main(raw[1:])
     args = build_parser().parse_args(raw)
     level = getattr(logging, args.log_level.upper())
     logging.basicConfig(format="%(levelname)s %(name)s: %(message)s")

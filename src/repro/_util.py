@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import tempfile
 from collections.abc import Sequence
 from pathlib import Path
@@ -125,6 +126,26 @@ def write_text_atomic(path: str | Path, text: str) -> Path:
 def write_json_atomic(path: str | Path, doc: object, *, indent: int | None = None) -> Path:
     """Atomically write ``doc`` as JSON (see :func:`write_text_atomic`)."""
     return write_text_atomic(path, json.dumps(doc, indent=indent) + "\n")
+
+
+def peak_rss_bytes() -> int | None:
+    """Lifetime peak resident set size of this process, in bytes.
+
+    Reads ``resource.getrusage(RUSAGE_SELF).ru_maxrss``, normalizing the
+    platform units (kilobytes on Linux/BSD, bytes on macOS).  Returns
+    ``None`` where the :mod:`resource` module is unavailable (Windows).
+    The value is *monotonic* over the process lifetime — it only ever
+    records the high-water mark — so flatness comparisons must run the
+    smaller cohort first.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
 
 
 def merge_intervals(

@@ -548,6 +548,129 @@ def bench_service_load(
     return report
 
 
+def bench_fleet_scale(
+    *,
+    n_users: int = 12_500,
+    n_days: int = 8,
+    train_days: int = 7,
+    reference_divisor: int = 10,
+    n_shards: int = 4,
+    batch_size: int = 64,
+    seed: int = 2014,
+    jobs: int = 1,
+) -> dict:
+    """Constant-RSS fleet at scale: ≥100k user-days from an iterator.
+
+    Drives ``n_users × n_days`` user-days through
+    :class:`~repro.stream.shards.ShardedFleetService` with the whole
+    O(active users) pipeline engaged: specs come from the lazy
+    :func:`~repro.stream.specgen.iter_fleet_specs` generator (the cohort
+    never materializes), summaries fold into the
+    :class:`~repro.stream.rollup.FleetRollup` instead of accumulating
+    (``retain_summaries=False``), full summary docs spill to JSONL, and
+    done users are evicted from the shard stores.  Peak RSS is read off
+    ``resource.getrusage`` (sampled at every batch boundary into the
+    ``fleet.peak_rss_bytes`` gauge by the service itself).
+
+    The headline is ``rss_flatness_ratio``: peak RSS after the full
+    cohort over peak RSS after a ``n_users / reference_divisor``
+    reference cohort.  ``ru_maxrss`` is monotonic over the process
+    lifetime, so the *smaller* cohort must run first — and for the same
+    reason this benchmark does NOT run inside :func:`run_bench`, where
+    earlier benchmarks' allocations would mask the fleet's own
+    footprint.  It runs standalone via ``python -m repro fleet-scale``,
+    which merges the section into an existing ``BENCH_perf.json``.
+    """
+    # Local import: the stream package pulls the policy stack in.
+    from repro._util import peak_rss_bytes
+    from repro.stream.fleet import FleetConfig
+    from repro.stream.shards import ShardConfig, ShardedFleetService
+    from repro.stream.specgen import iter_fleet_specs
+
+    if n_users < reference_divisor:
+        raise ValueError(
+            f"n_users must be >= reference_divisor, got {n_users} < {reference_divisor}"
+        )
+    reference_users = n_users // reference_divisor
+    config = FleetConfig(
+        train_days=train_days,
+        batch_size=batch_size,
+        retain_summaries=False,
+    )
+
+    def run_cohort(root: Path, users: int, spill: Path | None):
+        cohort_config = (
+            config
+            if spill is None
+            else FleetConfig(
+                train_days=train_days,
+                batch_size=batch_size,
+                retain_summaries=False,
+                summary_spill=spill,
+            )
+        )
+        # Compaction off: rewriting every resident user per 64 appends is
+        # an O(users²) term the scale run cannot afford (the recovery
+        # bench samples compaction separately).
+        shards = ShardConfig(
+            root=root, n_shards=n_shards, compact_every_records=1_000_000_000
+        )
+        service = ShardedFleetService(cohort_config, shards=shards)
+        return service.run(
+            iter_fleet_specs(seed=seed, n_users=users, n_days=n_days), jobs=jobs
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-scale-") as tmp:
+        tmp = Path(tmp)
+        # Reference cohort FIRST: ru_maxrss only ever ratchets up, so
+        # running it after the full cohort would measure nothing.
+        reference = run_cohort(tmp / "reference", reference_users, None)
+        reference_rss = peak_rss_bytes()
+        result = run_cohort(
+            tmp / "full", n_users, tmp / "full" / "summaries.jsonl"
+        )
+        peak_rss = peak_rss_bytes()
+        spilled = result.rollup.spilled
+
+    if result.users != n_users:
+        raise AssertionError(
+            f"fleet-scale streamed {result.users} users, expected {n_users}"
+        )
+    if spilled != n_users:
+        raise AssertionError(
+            f"fleet-scale spilled {spilled} summaries, expected {n_users}"
+        )
+    flatness = (
+        peak_rss / reference_rss
+        if peak_rss is not None and reference_rss
+        else None
+    )
+    user_days = result.user_days_streamed
+    return {
+        "n_users": n_users,
+        "reference_users": reference_users,
+        "n_days": n_days,
+        "train_days": train_days,
+        "n_shards": n_shards,
+        "batch_size": batch_size,
+        "jobs": jobs,
+        "spec_source": "iterator",
+        "user_days": user_days,
+        "days_executed": result.days_executed,
+        "events": result.events,
+        "summaries_spilled": spilled,
+        "elapsed_s": result.elapsed_s,
+        "events_per_s": result.events_per_s,
+        "user_days_per_s": (
+            user_days / result.elapsed_s if result.elapsed_s > 0 else float("inf")
+        ),
+        "reference_events": reference.events,
+        "reference_peak_rss_bytes": reference_rss,
+        "peak_rss_bytes": peak_rss,
+        "rss_flatness_ratio": flatness,
+    }
+
+
 # ----------------------------------------------------------------------
 # the full report
 # ----------------------------------------------------------------------
@@ -699,7 +822,145 @@ def compare_reports(fresh: dict, baseline: dict, *, factor: float = 2.0) -> list
                 f"shard_recovery.recovery_records_per_s regressed >{factor:g}x: "
                 f"{fresh_rps:.0f}/s vs committed {base_rps:.0f}/s"
             )
+    base_scale = baseline.get("fleet_scale")
+    if base_scale is not None and "fleet_scale" in fresh:
+        fresh_feps = fresh["fleet_scale"]["events_per_s"]
+        base_feps = base_scale["events_per_s"]
+        if fresh_feps < base_feps / factor:
+            failures.append(
+                f"fleet_scale.events_per_s regressed >{factor:g}x: "
+                f"{fresh_feps:.0f}/s vs committed {base_feps:.0f}/s"
+            )
     return failures
+
+
+def fleet_scale_main(argv: list[str] | None = None) -> int:
+    """CLI behind ``python -m repro fleet-scale``.
+
+    Runs :func:`bench_fleet_scale` standalone (never inside
+    :func:`run_bench`, whose earlier benchmarks would pollute the
+    monotonic ``ru_maxrss`` reading) and read-modify-writes the
+    ``fleet_scale`` section into an existing ``BENCH_perf.json`` so the
+    scale numbers live next to ``shard_recovery``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet-scale",
+        description="Constant-RSS fleet scale benchmark (iterator-sourced "
+        "cohort through the sharded durable fleet).",
+    )
+    parser.add_argument("--out", default="BENCH_perf.json", help="report path")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke cohort: 250 users x 8 days (2k user-days), "
+        "reference cohort at half size",
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="parallel worker count")
+    parser.add_argument(
+        "--users", type=int, default=None, help="override the cohort size"
+    )
+    parser.add_argument(
+        "--days", type=int, default=None, help="override days per user"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the RSS-flatness ratio stays under "
+        "--flatness-limit",
+    )
+    parser.add_argument(
+        "--flatness-limit",
+        type=float,
+        default=1.5,
+        metavar="RATIO",
+        help="maximum allowed peak-RSS growth for the cohort growth "
+        "(default 1.5)",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="PATH",
+        help="committed BENCH_perf.json to diff against; exit non-zero on "
+        "a >2x events/s regression (reports without a fleet_scale section "
+        "are record-only, never a failure)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        n_users = args.users if args.users is not None else 250
+        reference_divisor = 2
+    else:
+        n_users = args.users if args.users is not None else 12_500
+        reference_divisor = 10
+    n_days = args.days if args.days is not None else 8
+    section = bench_fleet_scale(
+        n_users=n_users,
+        n_days=n_days,
+        reference_divisor=reference_divisor,
+        jobs=args.jobs,
+    )
+    rss_mb = (section["peak_rss_bytes"] or 0) / 2**20
+    ref_mb = (section["reference_peak_rss_bytes"] or 0) / 2**20
+    flatness = section["rss_flatness_ratio"]
+    print(
+        f"fleet scale: {section['n_users']:,} users x {section['n_days']} days "
+        f"= {section['user_days']:,} user-days from an iterator source, "
+        f"{section['events']:,} events in {section['elapsed_s']:.1f}s "
+        f"({section['events_per_s']:,.0f} events/s, "
+        f"{section['user_days_per_s']:,.1f} user-days/s)"
+    )
+    print(
+        f"  peak RSS {rss_mb:.1f} MiB vs {ref_mb:.1f} MiB at "
+        f"{section['reference_users']:,} users — flatness "
+        + (f"{flatness:.3f}x" if flatness is not None else "unavailable")
+        + f" for {section['n_users'] // section['reference_users']}x cohort growth; "
+        f"{section['summaries_spilled']:,} summaries spilled"
+    )
+
+    out = Path(args.out)
+    try:
+        report = json.loads(out.read_text()) if out.exists() else {"schema": 1}
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read existing report {out}: {exc}", file=sys.stderr)
+        return 2
+    report["fleet_scale"] = section
+    try:
+        out.write_text(json.dumps(report, indent=2) + "\n")
+    except OSError as exc:
+        print(f"cannot write report {out}: {exc}", file=sys.stderr)
+        return 2
+    print(f"fleet_scale section merged into {out}")
+
+    failed = False
+    if args.check:
+        if flatness is None:
+            print(
+                "PERF CHECK FAILED: peak RSS unavailable on this platform",
+                file=sys.stderr,
+            )
+            failed = True
+        elif flatness > args.flatness_limit:
+            print(
+                f"PERF CHECK FAILED: RSS flatness {flatness:.3f}x exceeds "
+                f"{args.flatness_limit:g}x for "
+                f"{section['n_users'] // section['reference_users']}x cohort growth",
+                file=sys.stderr,
+            )
+            failed = True
+    if args.compare is not None:
+        try:
+            baseline = json.loads(Path(args.compare).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read --compare report {args.compare}: {exc}", file=sys.stderr)
+            return 2
+        failures = compare_reports(
+            {"fleet_scale": section}, baseline
+        )
+        for failure in failures:
+            print(f"PERF CHECK FAILED: {failure}", file=sys.stderr)
+        failed = failed or bool(failures)
+        if not failures:
+            print(f"perf comparison vs {args.compare}: no >2x regressions")
+    return 1 if failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -32,7 +32,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro._util import write_json_atomic
+from repro._util import peak_rss_bytes, write_json_atomic
 from repro.baselines.naive import NaivePolicy
 from repro.evaluation.metrics import measure_outcome
 from repro.service.schemas import SchemaError, decision_doc, saving_of
@@ -89,6 +89,15 @@ class FleetGateway:
         self._users: dict[str, _UserSession] = {}
         #: Total events accepted across all users (the budget meter).
         self.events_total = 0
+        # Pre-register the fleet-scale instruments so /metrics exposes
+        # them from the first scrape, not only after a batch lands.
+        # Counters surface on creation; gauges only once written.
+        registry = metrics()
+        registry.counter("fleet.summaries_spilled")
+        registry.set_gauge("fleet.active_users", 0)
+        rss = peak_rss_bytes()
+        if rss is not None:
+            registry.set_gauge("fleet.peak_rss_bytes", rss)
 
     # ------------------------------------------------------------------
     # sessions
@@ -108,7 +117,11 @@ class FleetGateway:
                 decay=config.decay,
             )
             session = self._users[user_id] = _UserSession(engine)
-            metrics().inc("service.users_created")
+            registry = metrics()
+            registry.inc("service.users_created")
+            # Sessions are never dropped, so the live count is also the
+            # gateway's high-water mark.
+            registry.set_gauge("fleet.active_users", len(self._users))
         return session
 
     def session(self, user_id: str) -> _UserSession:

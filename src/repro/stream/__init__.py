@@ -27,6 +27,7 @@ package is that online engine, in four layers:
 
 from repro.stream.experiment import StreamResult, fleet_specs, stream_experiment
 from repro.stream.fleet import (
+    FleetCheckpointLoad,
     FleetConfig,
     FleetResult,
     FleetService,
@@ -49,6 +50,7 @@ from repro.stream.online_netmaster import (
     OnlineNetMaster,
     load_checkpoint,
 )
+from repro.stream.rollup import FleetRollup, SummarySpill, iter_spilled, read_spilled
 from repro.stream.shards import (
     ShardConfig,
     ShardedFleetResult,
@@ -58,15 +60,19 @@ from repro.stream.shards import (
     shard_of,
     shards_experiment,
 )
+from repro.stream.specgen import iter_fleet_specs
 
 __all__ = [
     "CheckpointError",
     "CheckpointLoad",
     "CompletedDay",
+    "FleetCheckpointLoad",
     "FleetConfig",
     "FleetResult",
+    "FleetRollup",
     "FleetService",
     "FleetUserSpec",
+    "SummarySpill",
     "OnlineHabitModel",
     "OnlineNetMaster",
     "ShardConfig",
@@ -79,8 +85,11 @@ __all__ = [
     "UserStreamSummary",
     "event_time",
     "fleet_specs",
+    "iter_fleet_specs",
+    "iter_spilled",
     "load_checkpoint",
     "merge_user_streams",
+    "read_spilled",
     "shard_of",
     "shards_experiment",
     "stream_experiment",

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.baselines import NaivePolicy, NetMasterPolicy
 from repro.evaluation.experiments import split_history
 from repro.runtime.parallel import PolicyTask, run_policy_tasks
@@ -28,6 +26,7 @@ from repro.stream.fleet import (
     FleetUserSpec,
     _spec_trace,
 )
+from repro.stream.specgen import iter_fleet_specs
 from repro.telemetry import tracer
 
 DEFAULT_SEED = 2014
@@ -70,12 +69,13 @@ class StreamResult:
 def fleet_specs(
     *, seed: int = DEFAULT_SEED, n_users: int = DEFAULT_USERS, n_days: int = DEFAULT_DAYS
 ) -> list[FleetUserSpec]:
-    """Deterministic persona specs for a fleet of ``n_users``."""
-    child_seeds = np.random.SeedSequence(seed).generate_state(n_users)
-    return [
-        FleetUserSpec(user_id=f"stream-{i:04d}", n_days=n_days, seed=int(s))
-        for i, s in enumerate(child_seeds)
-    ]
+    """Deterministic persona specs for a fleet of ``n_users``.
+
+    The eager form of :func:`repro.stream.specgen.iter_fleet_specs` —
+    spec for spec identical; use the iterator for cohorts too large to
+    hold.
+    """
+    return list(iter_fleet_specs(seed=seed, n_users=n_users, n_days=n_days))
 
 
 def stream_experiment(

@@ -28,21 +28,25 @@ import json
 import time
 from dataclasses import asdict, dataclass, field
 from functools import partial
+from itertools import islice
 from pathlib import Path
-from typing import Sequence
+from typing import Iterable
 
-from repro._util import write_json_atomic
+from repro._util import peak_rss_bytes, write_json_atomic
 from repro.core.batch import measure_outcomes_columnar
 from repro.core.netmaster import NetMasterConfig
 from repro.evaluation.metrics import measure_outcome
 from repro.runtime.parallel import shared_runner
 from repro.stream.ingest import stream_trace
 from repro.stream.online_netmaster import CheckpointError, OnlineNetMaster
+from repro.stream.rollup import FleetRollup, SummarySpill, read_spilled
 from repro.telemetry import metrics, tracer
 from repro.traces.events import Trace
 
-#: Schema version of the fleet checkpoint document.
-_FLEET_CHECKPOINT_FORMAT = 1
+#: Schema version of the fleet checkpoint document.  Format 2 carries
+#: the rollup aggregates (format 1 stored only the raw summary list);
+#: old documents still load through ``load_checkpoint(strict=False)``.
+_FLEET_CHECKPOINT_FORMAT = 2
 
 
 @dataclass(frozen=True)
@@ -70,6 +74,15 @@ class FleetConfig:
     #: ``None`` retains every day (the pre-service behaviour — and the
     #: RSS leak a long-lived server cannot afford).
     retention_days: int | None = None
+    #: Keep every :class:`UserStreamSummary` on the result (the
+    #: pre-scale behaviour, and an O(users) RSS term).  Scale runs turn
+    #: this off and rely on the rollup aggregates and/or the spill file.
+    retain_summaries: bool = True
+    #: Append each user's summary document to this JSONL file as their
+    #: last day closes (``None`` = no spill).  Published atomically when
+    #: the run completes; ``FleetResult.summaries`` re-reads it lazily
+    #: when summaries are not retained in memory.
+    summary_spill: str | Path | None = None
     netmaster: NetMasterConfig = field(default_factory=NetMasterConfig)
 
     def __post_init__(self) -> None:
@@ -237,31 +250,68 @@ class SummaryAccumulator:
 
 @dataclass(frozen=True)
 class FleetResult:
-    """Outcome of one fleet run."""
+    """Outcome of one fleet run.
 
-    summaries: tuple[UserStreamSummary, ...]
-    shed_users: int
+    The result is rollup-backed: every aggregate the old summaries
+    tuple was re-summed for on each access (events, user-days, executed
+    days) is an O(1) counter read off :class:`FleetRollup`.  The full
+    per-user summaries remain reachable through :attr:`summaries` —
+    from memory when the run retained them
+    (:attr:`FleetConfig.retain_summaries`), else lazily re-read from
+    the spill file — but a constant-RSS scale run carries neither and
+    exposes only the rollup.
+    """
+
+    rollup: FleetRollup
     elapsed_s: float
+    #: Published JSONL spill file, when the run was configured to write
+    #: one (:attr:`FleetConfig.summary_spill`).
+    spill_path: Path | None = None
+    #: In-memory summary tuple, when retained (the compat default).
+    retained: tuple[UserStreamSummary, ...] | None = None
+
+    @property
+    def summaries(self) -> tuple[UserStreamSummary, ...]:
+        """Per-user summaries, from memory or the spill file.
+
+        Raises :class:`RuntimeError` when the run neither retained
+        summaries nor spilled them — a constant-RSS fleet deliberately
+        keeps only the rollup aggregates.
+        """
+        if self.retained is not None:
+            return self.retained
+        if self.spill_path is not None:
+            return read_spilled(self.spill_path)
+        raise RuntimeError(
+            "per-user summaries were neither retained nor spilled "
+            "(retain_summaries=False and no summary_spill configured); "
+            "only the rollup aggregates exist for this run"
+        )
+
+    @property
+    def shed_users(self) -> int:
+        """Users shed whole when the event budget ran out."""
+        return self.rollup.shed_users
 
     @property
     def users(self) -> int:
         """Users fully streamed (admitted, not shed)."""
-        return len(self.summaries)
+        return self.rollup.users
 
     @property
     def events(self) -> int:
-        """Total events streamed across the fleet."""
-        return sum(s.events for s in self.summaries)
+        """Total events streamed across the fleet (O(1))."""
+        return self.rollup.events
 
     @property
     def user_days_streamed(self) -> int:
         """Total days streamed through the engines (incl. training)."""
-        return sum(s.n_days for s in self.summaries)
+        return self.rollup.user_days
 
     @property
     def days_executed(self) -> int:
         """Causally executed (post-training) days across the fleet."""
-        return sum(s.days_executed for s in self.summaries)
+        return self.rollup.days_executed
 
     @property
     def events_per_s(self) -> float:
@@ -349,6 +399,50 @@ def _stream_spec_shipped(
         return result, registry.snapshot(), trc.export_spans()
 
 
+def _shed_remaining(batch: list, rest: Iterable) -> int:
+    """Count the users shed whole: the drawn batch plus the iterator tail.
+
+    For a list-sourced run this equals the old ``len(specs) - offset``;
+    for an iterator source it drains the tail without materializing it.
+    """
+    return len(batch) + sum(1 for _ in rest)
+
+
+def _note_batch_rss(registry, active: int, high_water: int) -> int:
+    """Record the batch-boundary RSS/active-user gauges; returns the hwm."""
+    if active > high_water:
+        high_water = active
+        registry.set_gauge("fleet.active_users", high_water)
+    rss = peak_rss_bytes()
+    if rss is not None:
+        registry.set_gauge("fleet.peak_rss_bytes", rss)
+    return high_water
+
+
+@dataclass(frozen=True)
+class FleetCheckpointLoad:
+    """Outcome of a lenient fleet checkpoint load (``strict=False``).
+
+    Mirrors :class:`repro.stream.online_netmaster.CheckpointLoad`:
+    ``result`` is ``None`` when nothing was recoverable, otherwise a
+    usable :class:`FleetResult` — possibly upgraded from a pre-rollup
+    (format-1) document — and ``issues`` lists every repair made.
+    """
+
+    result: FleetResult | None
+    issues: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether the checkpoint loaded completely, with no repairs."""
+        return self.result is not None and not self.issues
+
+    @property
+    def salvaged(self) -> bool:
+        """Whether a damaged/old checkpoint still yielded a result."""
+        return self.result is not None and bool(self.issues)
+
+
 class FleetService:
     """Admission-batched multi-tenant driver over the parallel runner."""
 
@@ -363,76 +457,195 @@ class FleetService:
         :func:`repro._util.write_json_atomic` — the content-addressed
         trace store's discipline — so a crash mid-checkpoint leaves
         either the previous complete document or the new complete one,
-        never a half-written fleet.  Scalars survive JSON bit-exactly,
-        so :meth:`load_checkpoint` rebuilds an equal :class:`FleetResult`.
+        never a half-written fleet.  The document carries the rollup
+        state (bit-exact through JSON) plus, when the run retained
+        them, the per-user summaries; scale runs checkpoint just the
+        rollup, so the document stays O(1) no matter the cohort.
         """
         doc = {
             "format": _FLEET_CHECKPOINT_FORMAT,
-            "summaries": [s.as_dict() for s in result.summaries],
-            "shed_users": result.shed_users,
+            "rollup": result.rollup.state_dict(),
             "elapsed_s": result.elapsed_s,
+            "spill_path": (
+                str(result.spill_path) if result.spill_path is not None else None
+            ),
+            "summaries": (
+                [s.as_dict() for s in result.retained]
+                if result.retained is not None
+                else None
+            ),
         }
         metrics().inc("stream.fleet_checkpoints")
         return write_json_atomic(path, doc, indent=1)
 
     @staticmethod
-    def load_checkpoint(path: str | Path) -> FleetResult:
-        """Read a fleet document back; raises :class:`CheckpointError`
-        on truncated/corrupt JSON or an unknown schema version."""
+    def load_checkpoint(
+        path: str | Path, *, strict: bool = True
+    ) -> FleetResult | FleetCheckpointLoad:
+        """Read a fleet document back.
+
+        ``strict=True`` (the default, and the historical signature)
+        returns a :class:`FleetResult` and raises
+        :class:`CheckpointError` on truncated/corrupt JSON or any
+        schema version other than the current one.
+
+        ``strict=False`` never raises: it returns a
+        :class:`FleetCheckpointLoad` whose ``result`` is the loaded
+        fleet when possible.  Pre-rollup format-1 documents are
+        *upgraded* — their summary list is folded into a fresh
+        :class:`FleetRollup` — with the upgrade reported in ``issues``;
+        corrupt summary entries are dropped, one issue each.
+        """
         try:
             doc = json.loads(Path(path).read_text())
         except (OSError, json.JSONDecodeError) as exc:
-            raise CheckpointError(
-                f"unreadable fleet checkpoint {path}: {type(exc).__name__}: {exc}"
-            ) from exc
+            msg = f"unreadable fleet checkpoint {path}: {type(exc).__name__}: {exc}"
+            if strict:
+                raise CheckpointError(msg) from exc
+            return FleetCheckpointLoad(result=None, issues=(msg,))
         fmt = doc.get("format") if isinstance(doc, dict) else None
         if fmt != _FLEET_CHECKPOINT_FORMAT:
-            raise CheckpointError(
+            msg = (
                 f"unsupported fleet checkpoint format: {fmt!r} "
                 f"(this build reads format {_FLEET_CHECKPOINT_FORMAT})"
             )
+            if strict:
+                raise CheckpointError(msg)
+            if fmt == 1:
+                return FleetService._upgrade_format_1(doc)
+            return FleetCheckpointLoad(result=None, issues=(msg,))
         try:
-            return FleetResult(
-                summaries=tuple(
-                    UserStreamSummary.from_dict(s) for s in doc["summaries"]
-                ),
-                shed_users=int(doc["shed_users"]),
+            retained_docs = doc.get("summaries")
+            spill = doc.get("spill_path")
+            result = FleetResult(
+                rollup=FleetRollup.from_state(doc["rollup"]),
                 elapsed_s=float(doc["elapsed_s"]),
+                spill_path=Path(spill) if spill is not None else None,
+                retained=(
+                    tuple(UserStreamSummary.from_dict(s) for s in retained_docs)
+                    if retained_docs is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
-            raise CheckpointError(
-                f"corrupt fleet checkpoint {path}: {type(exc).__name__}: {exc}"
-            ) from exc
+            msg = f"corrupt fleet checkpoint {path}: {type(exc).__name__}: {exc}"
+            if strict:
+                raise CheckpointError(msg) from exc
+            return FleetCheckpointLoad(result=None, issues=(msg,))
+        if strict:
+            return result
+        return FleetCheckpointLoad(result=result)
 
-    def run(self, specs: Sequence[FleetUserSpec], *, jobs: int = 1) -> FleetResult:
-        """Stream every admitted user; returns summaries in spec order.
+    @staticmethod
+    def _upgrade_format_1(doc: dict) -> FleetCheckpointLoad:
+        """Salvage a pre-rollup document by refolding its summaries."""
+        issues = [
+            "fleet checkpoint format 1 is pre-rollup; "
+            "salvaged by folding its summaries into a fresh rollup"
+        ]
+        rollup = FleetRollup()
+        retained: list[UserStreamSummary] = []
+        raw = doc.get("summaries")
+        if not isinstance(raw, list):
+            issues.append(
+                f"summary list missing or malformed (got {type(raw).__name__}); "
+                "salvaged as an empty fleet"
+            )
+            raw = []
+        for idx, entry in enumerate(raw):
+            try:
+                summary = UserStreamSummary.from_dict(entry)
+            except (KeyError, TypeError, ValueError) as exc:
+                issues.append(
+                    f"summary #{idx} corrupt ({type(exc).__name__}: {exc}); dropped"
+                )
+                continue
+            rollup.fold(summary)
+            retained.append(summary)
+        for key, convert in (("shed_users", int), ("elapsed_s", float)):
+            try:
+                convert(doc[key])
+            except (KeyError, TypeError, ValueError) as exc:
+                issues.append(
+                    f"field {key!r} unreadable ({type(exc).__name__}: {exc}); "
+                    "salvaged as its reset value"
+                )
+        try:
+            rollup.shed_users = int(doc["shed_users"])
+        except (KeyError, TypeError, ValueError):
+            rollup.shed_users = 0
+        try:
+            elapsed = float(doc["elapsed_s"])
+        except (KeyError, TypeError, ValueError):
+            elapsed = 0.0
+        result = FleetResult(
+            rollup=rollup, elapsed_s=elapsed, retained=tuple(retained)
+        )
+        return FleetCheckpointLoad(result=result, issues=tuple(issues))
 
-        Admission proceeds batch by batch; once the event budget is
-        exhausted the remaining users are shed whole.  ``jobs > 1`` fans
-        each batch over the shared process pool with worker telemetry
-        merged back in admission order (deterministic registries).
+    def run(self, specs: Iterable[FleetUserSpec], *, jobs: int = 1) -> FleetResult:
+        """Stream every admitted user; aggregates fold in spec order.
+
+        ``specs`` may be any iterable — a list, or a lazy generator such
+        as :func:`repro.stream.specgen.iter_fleet_specs` — and admission
+        windows over it one ``islice`` batch at a time, so the cohort
+        never materializes.  Once the event budget is exhausted the
+        remaining users are shed whole (the iterator tail is drained
+        only to count it).  ``jobs > 1`` fans each batch over the shared
+        process pool with worker telemetry merged back in admission
+        order (deterministic registries).  Decisions, aggregates and
+        shed counts are byte-identical between list and iterator
+        sources.
         """
         config = self.config
         registry = metrics()
         start = time.perf_counter()
-        summaries: list[UserStreamSummary] = []
-        shed = 0
-        events_streamed = 0
-        batch_size = config.batch_size
-        for offset in range(0, len(specs), batch_size):
-            if config.event_budget is not None and events_streamed >= config.event_budget:
-                shed = len(specs) - offset
-                registry.inc("stream.shed_users", shed)
-                break
-            batch = list(specs[offset : offset + batch_size])
-            registry.inc("stream.batches")
-            results = self._run_batch(batch, jobs)
-            summaries.extend(results)
-            events_streamed += sum(s.events for s in results)
-            registry.inc("stream.users", len(results))
+        rollup = FleetRollup()
+        spill = (
+            SummarySpill(config.summary_spill)
+            if config.summary_spill is not None
+            else None
+        )
+        retained: list[UserStreamSummary] | None = (
+            [] if config.retain_summaries else None
+        )
+        high_water = 0
+        source = iter(specs)
+        try:
+            while True:
+                batch = list(islice(source, config.batch_size))
+                if not batch:
+                    break
+                if (
+                    config.event_budget is not None
+                    and rollup.events >= config.event_budget
+                ):
+                    rollup.shed_users = _shed_remaining(batch, source)
+                    registry.inc("stream.shed_users", rollup.shed_users)
+                    break
+                registry.inc("stream.batches")
+                results = self._run_batch(batch, jobs)
+                for summary in results:
+                    rollup.fold(summary)
+                    if spill is not None:
+                        spill.append(summary)
+                    if retained is not None:
+                        retained.append(summary)
+                registry.inc("stream.users", len(results))
+                high_water = _note_batch_rss(registry, len(batch), high_water)
+        except BaseException:
+            if spill is not None:
+                spill.abort()
+            raise
+        spill_path = spill.close() if spill is not None else None
+        if spill is not None:
+            rollup.spilled = spill.count
         elapsed = time.perf_counter() - start
         return FleetResult(
-            summaries=tuple(summaries), shed_users=shed, elapsed_s=elapsed
+            rollup=rollup,
+            elapsed_s=elapsed,
+            spill_path=spill_path,
+            retained=tuple(retained) if retained is not None else None,
         )
 
     def _run_batch(

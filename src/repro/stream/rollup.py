@@ -1,0 +1,266 @@
+"""Streaming fleet rollup: O(1)-memory aggregates over user summaries.
+
+At million-user scale the fleet cannot keep one
+:class:`~repro.stream.fleet.UserStreamSummary` per user in memory — that
+tuple is exactly the linear-RSS term the scale work removes.
+:class:`FleetRollup` is its replacement: every summary is folded into
+running aggregates the moment the user's last day closes, then dropped.
+What survives per fleet (not per user!) is a fixed set of scalars:
+
+* **counters** — users, events, user-days, executed days, checkpoints,
+  drift alerts, degraded days, interrupts, interactions, deferrals,
+  fleet- and shard-level shed counts, spilled summaries;
+* **energy totals** — summed ``energy_j`` / ``radio_on_s`` (the inputs
+  to every savings comparison: ``saving = 1 - energy/naive_energy``);
+* **savings moments** — min / max / sum / sum-of-squares of each user's
+  energy per executed day, plus a fixed-bucket histogram of the same
+  quantity, so the per-user energy-footprint distribution survives
+  eviction at resolution enough for fleet dashboards.
+
+Folding happens in admission order, which both the list- and the
+iterator-sourced admission loops share, so rollups are byte-identical
+across spec sources, batch sizes and ``jobs=N`` — and
+:meth:`FleetRollup.state_dict` round-trips through JSON bit-exactly,
+which is what lets a fleet checkpoint carry the rollup instead of the
+summary tuple.
+
+:class:`SummarySpill` is the optional escape hatch for consumers that
+do need the full per-user documents: an append-only JSONL sink
+(``summaries.jsonl``) written next to the run and published atomically
+on close (tempfile + ``os.replace``, the discipline of
+:func:`repro._util.write_text_atomic`), which
+:class:`~repro.stream.fleet.FleetResult` re-reads lazily.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.telemetry import metrics
+
+if TYPE_CHECKING:  # import cycle: fleet.py imports this module
+    from repro.stream.fleet import UserStreamSummary
+
+#: Schema version of the rollup state document.
+_ROLLUP_FORMAT = 1
+
+#: Upper bucket edges (joules per executed day) of the savings
+#: histogram; one implicit overflow bucket catches everything above.
+SAVINGS_BUCKETS_J: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+    200.0, 500.0, 1000.0, 2000.0, 5000.0,
+)
+
+
+@dataclass
+class FleetRollup:
+    """Running aggregates of a fleet run; O(1) memory, fold-in-order."""
+
+    users: int = 0
+    events: int = 0
+    user_days: int = 0
+    days_executed: int = 0
+    checkpoints: int = 0
+    drift_alerts: int = 0
+    degraded_days: int = 0
+    interrupts: int = 0
+    user_interactions: int = 0
+    deferred: int = 0
+    shed_users: int = 0
+    shard_shed_users: int = 0
+    spilled: int = 0
+    energy_j: float = 0.0
+    radio_on_s: float = 0.0
+    #: Moments of per-user energy per executed day (J/day).
+    energy_day_min: float | None = None
+    energy_day_max: float | None = None
+    energy_day_sum: float = 0.0
+    energy_day_sumsq: float = 0.0
+    #: Fixed-bucket histogram of the same quantity (last bucket = overflow).
+    savings_hist: list[int] = field(
+        default_factory=lambda: [0] * (len(SAVINGS_BUCKETS_J) + 1)
+    )
+
+    # ------------------------------------------------------------------
+    # folding
+    # ------------------------------------------------------------------
+    def fold(self, summary: "UserStreamSummary") -> None:
+        """Fold one fully streamed user in; the summary is then garbage."""
+        self.users += 1
+        self.events += summary.events
+        self.user_days += summary.n_days
+        self.days_executed += summary.days_executed
+        self.checkpoints += summary.checkpoints
+        self.drift_alerts += summary.drift_alerts
+        self.degraded_days += summary.degraded_days
+        self.interrupts += summary.interrupts
+        self.user_interactions += summary.user_interactions
+        self.deferred += summary.deferred
+        self.energy_j += summary.energy_j
+        self.radio_on_s += summary.radio_on_s
+        per_day = summary.energy_j / max(1, summary.days_executed)
+        if self.energy_day_min is None or per_day < self.energy_day_min:
+            self.energy_day_min = per_day
+        if self.energy_day_max is None or per_day > self.energy_day_max:
+            self.energy_day_max = per_day
+        self.energy_day_sum += per_day
+        self.energy_day_sumsq += per_day * per_day
+        self.savings_hist[bisect_left(SAVINGS_BUCKETS_J, per_day)] += 1
+
+    # ------------------------------------------------------------------
+    # derived
+    # ------------------------------------------------------------------
+    @property
+    def energy_day_mean(self) -> float:
+        """Mean per-user energy per executed day (0.0 when empty)."""
+        return self.energy_day_sum / self.users if self.users else 0.0
+
+    def savings_fraction(self, naive_energy_j: float) -> float:
+        """Fleet saving against a supplied always-on baseline total."""
+        if naive_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.energy_j / naive_energy_j
+
+    # ------------------------------------------------------------------
+    # checkpoint round-trip
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe state; floats survive serialization bit-exactly."""
+        return {
+            "format": _ROLLUP_FORMAT,
+            "users": self.users,
+            "events": self.events,
+            "user_days": self.user_days,
+            "days_executed": self.days_executed,
+            "checkpoints": self.checkpoints,
+            "drift_alerts": self.drift_alerts,
+            "degraded_days": self.degraded_days,
+            "interrupts": self.interrupts,
+            "user_interactions": self.user_interactions,
+            "deferred": self.deferred,
+            "shed_users": self.shed_users,
+            "shard_shed_users": self.shard_shed_users,
+            "spilled": self.spilled,
+            "energy_j": self.energy_j,
+            "radio_on_s": self.radio_on_s,
+            "energy_day_min": self.energy_day_min,
+            "energy_day_max": self.energy_day_max,
+            "energy_day_sum": self.energy_day_sum,
+            "energy_day_sumsq": self.energy_day_sumsq,
+            "savings_buckets_j": list(SAVINGS_BUCKETS_J),
+            "savings_hist": list(self.savings_hist),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FleetRollup":
+        """Rebuild from :meth:`state_dict` output, bit-identical.
+
+        Raises :class:`ValueError` on an unknown format or a histogram
+        whose bucket layout this build does not use (aggregates across
+        different bucketings cannot be merged meaningfully).
+        """
+        fmt = state.get("format")
+        if fmt != _ROLLUP_FORMAT:
+            raise ValueError(
+                f"unsupported rollup format {fmt!r} "
+                f"(this build reads format {_ROLLUP_FORMAT})"
+            )
+        buckets = tuple(state.get("savings_buckets_j", SAVINGS_BUCKETS_J))
+        if buckets != SAVINGS_BUCKETS_J:
+            raise ValueError(
+                "rollup savings histogram buckets differ from this build's"
+            )
+        hist = [int(c) for c in state["savings_hist"]]
+        if len(hist) != len(SAVINGS_BUCKETS_J) + 1:
+            raise ValueError(
+                f"rollup savings histogram has {len(hist)} buckets, "
+                f"expected {len(SAVINGS_BUCKETS_J) + 1}"
+            )
+        min_ = state["energy_day_min"]
+        max_ = state["energy_day_max"]
+        return cls(
+            users=int(state["users"]),
+            events=int(state["events"]),
+            user_days=int(state["user_days"]),
+            days_executed=int(state["days_executed"]),
+            checkpoints=int(state["checkpoints"]),
+            drift_alerts=int(state["drift_alerts"]),
+            degraded_days=int(state["degraded_days"]),
+            interrupts=int(state["interrupts"]),
+            user_interactions=int(state["user_interactions"]),
+            deferred=int(state["deferred"]),
+            shed_users=int(state["shed_users"]),
+            shard_shed_users=int(state["shard_shed_users"]),
+            spilled=int(state["spilled"]),
+            energy_j=float(state["energy_j"]),
+            radio_on_s=float(state["radio_on_s"]),
+            energy_day_min=None if min_ is None else float(min_),
+            energy_day_max=None if max_ is None else float(max_),
+            energy_day_sum=float(state["energy_day_sum"]),
+            energy_day_sumsq=float(state["energy_day_sumsq"]),
+            savings_hist=hist,
+        )
+
+
+class SummarySpill:
+    """Append-only JSONL sink for full per-user summary documents.
+
+    Lines accumulate in a hidden sibling temp file; :meth:`close`
+    flushes, fsyncs and renames it over the target path, so readers
+    only ever observe a complete spill file — the atomic-publish
+    discipline of :func:`repro._util.write_text_atomic`, adapted to a
+    file that is appended to for the whole run.  Each appended summary
+    bumps the ``fleet.summaries_spilled`` counter.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.count = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{self.path.name}.", suffix=".partial", dir=self.path.parent
+        )
+        self._tmp = Path(tmp_name)
+        self._fh = os.fdopen(fd, "w", encoding="utf-8")
+
+    def append(self, summary: "UserStreamSummary") -> None:
+        """Spill one summary document as a JSON line."""
+        self._fh.write(json.dumps(summary.as_dict()) + "\n")
+        self.count += 1
+        metrics().inc("fleet.summaries_spilled")
+
+    def close(self) -> Path:
+        """Flush, fsync and atomically publish the spill file."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        os.replace(self._tmp, self.path)
+        return self.path
+
+    def abort(self) -> None:
+        """Discard the partial spill (run failed before completing)."""
+        if not self._fh.closed:
+            self._fh.close()
+        self._tmp.unlink(missing_ok=True)
+
+
+def iter_spilled(path: str | Path) -> Iterator["UserStreamSummary"]:
+    """Stream the summaries back out of a published spill file."""
+    from repro.stream.fleet import UserStreamSummary
+
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield UserStreamSummary.from_dict(json.loads(line))
+
+
+def read_spilled(path: str | Path) -> tuple["UserStreamSummary", ...]:
+    """The whole spill file as a tuple (small cohorts / tests only)."""
+    return tuple(iter_spilled(path))

@@ -33,15 +33,18 @@ from dataclasses import dataclass, field
 from functools import partial
 from itertools import islice
 from pathlib import Path
-from typing import Sequence
+from typing import Iterable
 
 from repro.stream.fleet import (
     FleetConfig,
     FleetUserSpec,
     SummaryAccumulator,
     UserStreamSummary,
+    _note_batch_rss,
+    _shed_remaining,
     _spec_trace,
 )
+from repro.stream.rollup import FleetRollup, SummarySpill, read_spilled
 from repro.stream.ingest import stream_trace
 from repro.stream.online_netmaster import OnlineNetMaster
 from repro.stream.shards.store import (
@@ -215,38 +218,63 @@ class ShardStats:
 class ShardedFleetResult:
     """Outcome of one sharded fleet run.
 
-    ``summaries``/``shed_users`` have exactly the
-    :class:`~repro.stream.fleet.FleetResult` semantics; the extra fields
-    report what the durability layer did.
+    Rollup-backed with exactly the
+    :class:`~repro.stream.fleet.FleetResult` semantics — O(1) aggregate
+    reads, summaries retained or spilled — plus the durability layer's
+    accounting (per-shard stats, resumed/recovered user counts,
+    shard-budget sheds).
     """
 
-    summaries: tuple[UserStreamSummary, ...]
-    shed_users: int
+    rollup: FleetRollup
     elapsed_s: float
-    shard_shed_users: int
     resumed_users: int
     recovered_users: int
     shard_stats: tuple[ShardStats, ...]
+    spill_path: Path | None = None
+    retained: tuple[UserStreamSummary, ...] | None = None
+
+    @property
+    def summaries(self) -> tuple[UserStreamSummary, ...]:
+        """Per-user summaries, from memory or the spill file."""
+        if self.retained is not None:
+            return self.retained
+        if self.spill_path is not None:
+            return read_spilled(self.spill_path)
+        raise RuntimeError(
+            "per-user summaries were neither retained nor spilled "
+            "(retain_summaries=False and no summary_spill configured); "
+            "only the rollup aggregates exist for this run"
+        )
+
+    @property
+    def shed_users(self) -> int:
+        """Users shed whole when the fleet event budget ran out."""
+        return self.rollup.shed_users
+
+    @property
+    def shard_shed_users(self) -> int:
+        """Users shed by their shard's own event budget."""
+        return self.rollup.shard_shed_users
 
     @property
     def users(self) -> int:
         """Users fully streamed (admitted, not shed)."""
-        return len(self.summaries)
+        return self.rollup.users
 
     @property
     def events(self) -> int:
-        """Total events streamed across the fleet."""
-        return sum(s.events for s in self.summaries)
+        """Total events streamed across the fleet (O(1))."""
+        return self.rollup.events
 
     @property
     def user_days_streamed(self) -> int:
         """Total days streamed through the engines (incl. training)."""
-        return sum(s.n_days for s in self.summaries)
+        return self.rollup.user_days
 
     @property
     def days_executed(self) -> int:
         """Causally executed (post-training) days across the fleet."""
-        return sum(s.days_executed for s in self.summaries)
+        return self.rollup.days_executed
 
     @property
     def events_per_s(self) -> float:
@@ -286,69 +314,101 @@ class ShardedFleetService:
         return self.recoveries
 
     def run(
-        self, specs: Sequence[FleetUserSpec], *, jobs: int = 1
+        self, specs: Iterable[FleetUserSpec], *, jobs: int = 1
     ) -> ShardedFleetResult:
-        """Stream every admitted user durably; summaries in spec order.
+        """Stream every admitted user durably; aggregates in spec order.
 
-        The admission loop is the fleet loop: batch by batch, global
-        event budget checked at batch starts, remaining users shed
-        whole.  Users whose shard already holds their completed summary
-        (prior run, recovered) are served from the log without
-        recomputation — their events still count against the budget, so
-        the decisions match an uninterrupted single run.
+        The admission loop is the fleet loop: ``specs`` may be any
+        iterable (a list or a lazy generator), windowed one ``islice``
+        batch at a time, global event budget checked at batch starts,
+        remaining users shed whole.  Users whose shard already holds
+        their completed summary (prior run, recovered) are served from
+        the log without recomputation — their events still count
+        against the budget, so the decisions match an uninterrupted
+        single run.
         """
         config = self.config
         registry = metrics()
         start = time.perf_counter()
-        summaries: list[UserStreamSummary] = []
-        shed = 0
-        shard_shed = 0
+        rollup = FleetRollup()
+        spill = (
+            SummarySpill(config.summary_spill)
+            if config.summary_spill is not None
+            else None
+        )
+        retained: list[UserStreamSummary] | None = (
+            [] if config.retain_summaries else None
+        )
         resumed = 0
         recovered = 0
-        events_streamed = 0
-        batch_size = config.batch_size
-        for offset in range(0, len(specs), batch_size):
-            if config.event_budget is not None and events_streamed >= config.event_budget:
-                shed = len(specs) - offset
-                registry.inc("stream.shed_users", shed)
-                break
-            batch = list(specs[offset : offset + batch_size])
-            registry.inc("stream.batches")
-            # Per-shard admission: budgets are read once, at the start
-            # of the batch, so jobs=1 and jobs=N make the same calls.
-            over_budget = self._over_budget_shards()
-            slots: list[UserStreamSummary | None] = [None] * len(batch)
-            todo: list[tuple[int, FleetUserSpec, dict | None]] = []
-            for i, spec in enumerate(batch):
-                state = self.store_for(spec.user_id).get(spec.user_id)
-                if state is not None and state.done and state.summary is not None:
-                    slots[i] = UserStreamSummary.from_dict(state.summary)
-                    recovered += 1
-                    continue
-                if shard_of(spec.user_id, self.shards.n_shards) in over_budget:
-                    shard_shed += 1
-                    registry.inc("shard.shed_users")
-                    continue
-                resume_doc = None
-                if state is not None and state.resumable:
-                    resume_doc = {"engine": state.engine_state, "acc": state.acc_state}
-                    resumed += 1
-                todo.append((i, spec, resume_doc))
-            for i, summary in self._run_batch(todo, jobs):
-                slots[i] = summary
-            batch_summaries = [s for s in slots if s is not None]
-            summaries.extend(batch_summaries)
-            events_streamed += sum(s.events for s in batch_summaries)
-            registry.inc("stream.users", len(batch_summaries))
+        high_water = 0
+        source = iter(specs)
+        try:
+            while True:
+                batch = list(islice(source, config.batch_size))
+                if not batch:
+                    break
+                if (
+                    config.event_budget is not None
+                    and rollup.events >= config.event_budget
+                ):
+                    rollup.shed_users = _shed_remaining(batch, source)
+                    registry.inc("stream.shed_users", rollup.shed_users)
+                    break
+                registry.inc("stream.batches")
+                # Per-shard admission: budgets are read once, at the start
+                # of the batch, so jobs=1 and jobs=N make the same calls.
+                over_budget = self._over_budget_shards()
+                slots: list[UserStreamSummary | None] = [None] * len(batch)
+                todo: list[tuple[int, FleetUserSpec, dict | None]] = []
+                for i, spec in enumerate(batch):
+                    state = self.store_for(spec.user_id).get(spec.user_id)
+                    if state is not None and state.done and state.summary is not None:
+                        slots[i] = UserStreamSummary.from_dict(state.summary)
+                        recovered += 1
+                        continue
+                    if shard_of(spec.user_id, self.shards.n_shards) in over_budget:
+                        rollup.shard_shed_users += 1
+                        registry.inc("shard.shed_users")
+                        continue
+                    resume_doc = None
+                    if state is not None and state.resumable:
+                        resume_doc = {
+                            "engine": state.engine_state,
+                            "acc": state.acc_state,
+                        }
+                        resumed += 1
+                    todo.append((i, spec, resume_doc))
+                for i, summary in self._run_batch(todo, jobs):
+                    slots[i] = summary
+                streamed = 0
+                for summary in slots:
+                    if summary is None:
+                        continue
+                    streamed += 1
+                    rollup.fold(summary)
+                    if spill is not None:
+                        spill.append(summary)
+                    if retained is not None:
+                        retained.append(summary)
+                registry.inc("stream.users", streamed)
+                high_water = _note_batch_rss(registry, len(batch), high_water)
+        except BaseException:
+            if spill is not None:
+                spill.abort()
+            raise
+        spill_path = spill.close() if spill is not None else None
+        if spill is not None:
+            rollup.spilled = spill.count
         elapsed = time.perf_counter() - start
         return ShardedFleetResult(
-            summaries=tuple(summaries),
-            shed_users=shed,
+            rollup=rollup,
             elapsed_s=elapsed,
-            shard_shed_users=shard_shed,
             resumed_users=resumed,
             recovered_users=recovered,
-            shard_stats=self.stats(shard_shed),
+            shard_stats=self.stats(rollup.shard_shed_users),
+            spill_path=spill_path,
+            retained=tuple(retained) if retained is not None else None,
         )
 
     def _over_budget_shards(self) -> frozenset[int]:

@@ -120,6 +120,7 @@ class ShardStore:
         self._users: dict[str, UserShardState] = {}
         self._generation = 0
         self._wal_records = 0
+        self._done_events = 0
         self._initialized = False
 
     # ------------------------------------------------------------------
@@ -164,12 +165,22 @@ class ShardStore:
     @property
     def events(self) -> int:
         """Completed (done-user) events in this shard — the admission
-        currency for per-shard load shedding."""
-        return sum(
-            int(state.summary["events"])
-            for state in self._users.values()
-            if state.done and state.summary is not None
-        )
+        currency for per-shard load shedding.
+
+        A running counter maintained as records fold in, so the
+        per-batch budget read is O(1) instead of re-summing every done
+        user's summary (O(users) per batch, O(users²) per run)."""
+        return self._done_events
+
+    @staticmethod
+    def _summary_events(summary: dict | None) -> int:
+        """Event count of a done-user summary (0 for damaged docs)."""
+        if isinstance(summary, dict):
+            try:
+                return int(summary.get("events", 0))
+            except (TypeError, ValueError):
+                return 0
+        return 0
 
     # ------------------------------------------------------------------
     # appends
@@ -240,13 +251,23 @@ class ShardStore:
                 acc_state=payload.get("acc"),
             )
         elif kind == "done":
+            # Eviction point: once a user is done, only the done flag
+            # and the frozen summary stay resident — the engine and
+            # accumulator states are durable in the WAL record just
+            # written (or being replayed) and are never consulted again
+            # (``resumable`` requires not-done).  This is what keeps a
+            # long-lived shard's memory proportional to its *summaries*,
+            # not its engines.
+            prev = self._users.get(user_id)
+            if prev is not None and prev.done:
+                self._done_events -= self._summary_events(prev.summary)
+            summary = payload.get("summary")
             self._users[user_id] = UserShardState(
                 user_id=user_id,
-                engine_state=payload.get("engine"),
-                acc_state=payload.get("acc"),
                 done=True,
-                summary=payload.get("summary"),
+                summary=summary,
             )
+            self._done_events += self._summary_events(summary)
         elif during_replay:
             logger.warning(
                 "shard %s: unknown WAL record type %r for user %s; skipping",
@@ -338,6 +359,7 @@ class ShardStore:
         self._users = {}
         self._generation = 0
         self._wal_records = 0
+        self._done_events = 0
         existed = self.path.is_dir() and any(self.path.iterdir())
         if not existed:
             self._initialized = False
@@ -461,10 +483,17 @@ class ShardStore:
             )
             return
         for user_id, state in users.items():
-            self._users[str(user_id)] = UserShardState(
-                user_id=str(user_id),
-                engine_state=state.get("engine"),
-                acc_state=state.get("acc"),
-                done=bool(state.get("done", False)),
-                summary=state.get("summary"),
-            )
+            if bool(state.get("done", False)):
+                # Same eviction as the live fold: done users keep only
+                # their summary in memory (and in future snapshots).
+                summary = state.get("summary")
+                self._users[str(user_id)] = UserShardState(
+                    user_id=str(user_id), done=True, summary=summary
+                )
+                self._done_events += self._summary_events(summary)
+            else:
+                self._users[str(user_id)] = UserShardState(
+                    user_id=str(user_id),
+                    engine_state=state.get("engine"),
+                    acc_state=state.get("acc"),
+                )

@@ -1,0 +1,65 @@
+"""Lazy fleet spec source: seeded cohorts that never materialize.
+
+:func:`iter_fleet_specs` yields the exact same
+:class:`~repro.stream.fleet.FleetUserSpec` sequence as
+:func:`repro.stream.experiment.fleet_specs` — same ids, same per-user
+child seeds — but one spec at a time, so a million-user cohort costs a
+few kilobytes of resident memory instead of a list of a million specs.
+The per-user traces are rebuilt inside the workers from the spec seed
+(:func:`repro.stream.fleet._spec_trace`), so the whole pipeline — spec
+source, admission, streaming, pricing — is O(active users) end to end.
+
+Determinism is the load-bearing property: the child seeds come from the
+words of one ``numpy.random.SeedSequence`` stream, and a stream prefix
+does not depend on how much of the stream is generated.  The generator
+therefore draws seed words in fixed-size chunks (bounded memory) and
+still produces, spec for spec, the same cohort the eager list would —
+the byte-equality the fleet property tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.stream.fleet import FleetUserSpec
+
+#: Seed words drawn per chunk.  Small enough that resident memory stays
+#: trivially bounded, large enough that the O(offset + chunk) cost of
+#: re-deriving the stream prefix never matters.
+_CHUNK = 4096
+
+
+def iter_fleet_specs(
+    *,
+    seed: int,
+    n_users: int,
+    n_days: int,
+    user_prefix: str = "stream-",
+    start_weekday: int = 0,
+) -> Iterator[FleetUserSpec]:
+    """Yield ``n_users`` seeded persona specs without building the list.
+
+    Spec ``i`` is identical to element ``i`` of
+    ``fleet_specs(seed=seed, n_users=n_users, n_days=n_days)`` — same
+    ``user_id`` (``stream-0000`` style), same child seed — for *any*
+    ``n_users``, because a ``SeedSequence`` state stream's prefix is
+    independent of its requested length.
+    """
+    if n_users < 0:
+        raise ValueError(f"n_users must be >= 0, got {n_users}")
+    sequence = np.random.SeedSequence(seed)
+    for offset in range(0, n_users, _CHUNK):
+        stop = min(offset + _CHUNK, n_users)
+        # generate_state(k) returns the first k words of one fixed
+        # stream, so slicing off the already-yielded prefix re-derives
+        # exactly the words the eager path would have used.
+        words = sequence.generate_state(stop)[offset:]
+        for i, word in enumerate(words, start=offset):
+            yield FleetUserSpec(
+                user_id=f"{user_prefix}{i:04d}",
+                n_days=n_days,
+                seed=int(word),
+                start_weekday=start_weekday,
+            )

@@ -68,10 +68,15 @@ class TraceGenerator:
         usages: list[AppUsage] = []
         activities: list[NetworkActivity] = []
 
+        spill_floor = 0.0
         for day in range(n_days):
             weekend = is_weekend(day, start_weekday)
-            day_sessions = self._generate_sessions(rng, day, weekend, n_days)
+            day_sessions = self._generate_sessions(
+                rng, day, weekend, n_days, spill_floor
+            )
             sessions.extend(day_sessions)
+            if day_sessions:
+                spill_floor = day_sessions[-1].end
             day_usages, day_fg = self._generate_foreground(rng, day_sessions)
             usages.extend(day_usages)
             activities.extend(day_fg)
@@ -98,6 +103,7 @@ class TraceGenerator:
         day: int,
         weekend: bool,
         n_days: int,
+        spill_floor: float = 0.0,
     ) -> list[ScreenSession]:
         profile = self.profile
         base = profile.intensity_for(weekend)
@@ -119,7 +125,12 @@ class TraceGenerator:
         sessions: list[ScreenSession] = []
         cursor = day * DAY
         for start in starts:
-            start = max(start, cursor + _MIN_SESSION_GAP)
+            # ``spill_floor`` is where the previous day's last session
+            # ended — it can reach into this day.  Floor at it exactly
+            # (no extra gap, touching sessions are valid) so only draws
+            # that would overlap are moved; every other trace is
+            # bit-identical to the pre-floor generator.
+            start = max(start, cursor + _MIN_SESSION_GAP, spill_floor)
             duration = float(
                 profile.session_median_s * np.exp(rng.normal(0.0, profile.session_sigma))
             )

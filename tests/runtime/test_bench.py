@@ -136,6 +136,58 @@ def test_no_report_written_when_path_is_none():
     assert report["total_profit"] > 0
 
 
+@pytest.fixture(scope="module")
+def scale_section():
+    # Tiny cohort: the structure and invariants are what's under test
+    # here; real scale numbers come from `python -m repro fleet-scale`.
+    return bench.bench_fleet_scale(n_users=4, n_days=8, reference_divisor=2)
+
+
+def test_fleet_scale_section_schema(scale_section):
+    section = scale_section
+    assert section["spec_source"] == "iterator"
+    assert section["n_users"] == 4
+    assert section["reference_users"] == 2
+    assert section["user_days"] == 4 * 8
+    assert section["summaries_spilled"] == 4
+    assert section["events"] > 0
+    assert section["events_per_s"] > 0
+    assert section["user_days_per_s"] > 0
+    assert section["peak_rss_bytes"] > 0
+    assert section["rss_flatness_ratio"] >= 1.0  # ru_maxrss is monotonic
+
+
+def test_fleet_scale_compare_clause(scale_section):
+    mine = {"fleet_scale": scale_section}
+    assert bench.compare_reports(mine, mine) == []
+    impossible = json.loads(json.dumps(mine))
+    impossible["fleet_scale"]["events_per_s"] = 1e12
+    failures = bench.compare_reports(mine, impossible)
+    assert any("fleet_scale" in f for f in failures)
+    # Baselines predating the section are record-only, never a failure.
+    assert bench.compare_reports(mine, {"schema": 1}) == []
+
+
+def test_fleet_scale_validates_cohort_floor():
+    with pytest.raises(ValueError, match="reference_divisor"):
+        bench.bench_fleet_scale(n_users=3, reference_divisor=10)
+
+
+def test_fleet_scale_cli_merges_into_existing_report(tmp_path, capsys):
+    out = tmp_path / "perf.json"
+    out.write_text(json.dumps({"schema": 1, "stream": {"events": 1}}))
+    code = bench.fleet_scale_main(
+        ["--quick", "--users", "4", "--out", str(out)]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["stream"] == {"events": 1}  # merged, not clobbered
+    assert report["fleet_scale"]["n_users"] == 4
+    stdout = capsys.readouterr().out
+    assert "user-days from an iterator source" in stdout
+    assert "merged into" in stdout
+
+
 def test_cli_check_mode(tmp_path, capsys):
     out = tmp_path / "perf.json"
     code = bench.main(["--quick", "--jobs", "2", "--check", "--out", str(out)])

@@ -211,6 +211,12 @@ def test_health_and_metrics(server, service_trace):
     latency = doc["overall"]["histograms"]["service.latency_s.ingest"]
     assert latency["count"] >= 1
     assert latency["sum_micro"] > 0
+    # Fleet-scale instruments are pre-registered by the gateway so they
+    # appear in /metrics even before any fleet run spills or batches.
+    assert "fleet.summaries_spilled" in counters
+    gauges = doc["overall"]["gauges"]
+    assert gauges["fleet.active_users"] >= 1
+    assert gauges["fleet.peak_rss_bytes"] > 0
 
 
 def test_concurrent_clients_equal_serial_library_run(server, service_traces):

@@ -144,6 +144,86 @@ class TestFleetService:
         assert result.events_per_s == 0.0
 
 
+class TestIteratorSource:
+    """Admission from a lazy iterator is byte-equal to the list drive."""
+
+    def test_iterator_equals_list(self, volunteers):
+        base = FleetService(CONFIG).run(_specs(volunteers))
+        lazy = FleetService(CONFIG).run(iter(_specs(volunteers)))
+        assert lazy.summaries == base.summaries
+        assert lazy.rollup == base.rollup
+
+    def test_iterator_equals_list_in_parallel(self, volunteers):
+        base = FleetService(CONFIG).run(_specs(volunteers), jobs=2)
+        lazy = FleetService(CONFIG).run(iter(_specs(volunteers)), jobs=2)
+        assert lazy.summaries == base.summaries
+        assert lazy.rollup == base.rollup
+
+    def test_iterator_sheds_the_same_tail(self, volunteers):
+        config = FleetConfig(
+            train_days=10,
+            batch_size=1,
+            event_budget=1,
+            netmaster=CONFIG.netmaster,
+        )
+        base = FleetService(config).run(_specs(volunteers))
+        lazy = FleetService(config).run(iter(_specs(volunteers)))
+        assert lazy.shed_users == base.shed_users == len(volunteers) - 1
+        assert lazy.summaries == base.summaries
+        assert lazy.rollup == base.rollup
+
+    def test_generator_source_is_consumed_once(self, volunteers):
+        specs = _specs(volunteers)
+        source = (spec for spec in specs)
+        result = FleetService(CONFIG).run(source)
+        assert result.users == len(specs)
+        assert list(source) == []  # fully drained
+
+
+class TestSummaryRetention:
+    def test_unretained_run_keeps_rollup_but_not_summaries(self, volunteers):
+        config = FleetConfig(
+            train_days=10, retain_summaries=False, netmaster=CONFIG.netmaster
+        )
+        base = FleetService(CONFIG).run(_specs(volunteers))
+        lean = FleetService(config).run(_specs(volunteers))
+        assert lean.rollup == base.rollup
+        assert lean.users == base.users
+        assert lean.events == base.events
+        with pytest.raises(RuntimeError, match="neither retained nor spilled"):
+            lean.summaries
+
+    def test_spill_round_trips_the_summaries(self, volunteers, tmp_path):
+        spill_path = tmp_path / "summaries.jsonl"
+        config = FleetConfig(
+            train_days=10,
+            retain_summaries=False,
+            summary_spill=spill_path,
+            netmaster=CONFIG.netmaster,
+        )
+        base = FleetService(CONFIG).run(_specs(volunteers))
+        spilled = FleetService(config).run(_specs(volunteers))
+        assert spilled.spill_path == spill_path
+        # .summaries lazily re-reads the spill file: same documents.
+        assert spilled.summaries == base.summaries
+        assert spilled.rollup.spilled == len(volunteers)
+
+    def test_checkpoint_round_trips_an_unretained_run(self, volunteers, tmp_path):
+        spill_path = tmp_path / "summaries.jsonl"
+        config = FleetConfig(
+            train_days=10,
+            retain_summaries=False,
+            summary_spill=spill_path,
+            netmaster=CONFIG.netmaster,
+        )
+        result = FleetService(config).run(_specs(volunteers))
+        path = tmp_path / "fleet.json"
+        FleetService.checkpoint(path, result)
+        loaded = FleetService.load_checkpoint(path)
+        assert loaded.rollup == result.rollup
+        assert loaded.summaries == result.summaries
+
+
 class TestSpecs:
     def test_seeded_spec_synthesizes_deterministically(self):
         spec = FleetUserSpec(user_id="u1", n_days=3, seed=99)

@@ -40,7 +40,13 @@ class TestRoundTrip:
         path.write_text("old document")
         FleetService.checkpoint(path, result)
         doc = json.loads(path.read_text())
-        assert doc["format"] == 1
+        assert doc["format"] == 2
+
+    def test_rollup_round_trips_bit_exactly(self, result, tmp_path):
+        path = tmp_path / "fleet.json"
+        FleetService.checkpoint(path, result)
+        loaded = FleetService.load_checkpoint(path)
+        assert loaded.rollup == result.rollup
 
 
 class TestLoadErrors:
@@ -64,7 +70,72 @@ class TestLoadErrors:
     def test_structurally_broken_document(self, tmp_path):
         path = tmp_path / "fleet.json"
         path.write_text(
-            json.dumps({"format": 1, "summaries": [{"user_id": "u"}]})
+            json.dumps({"format": 2, "summaries": [{"user_id": "u"}]})
         )
         with pytest.raises(CheckpointError, match="corrupt"):
             FleetService.load_checkpoint(path)
+
+    def test_old_format_raises_strict(self, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text(
+            json.dumps({"format": 1, "summaries": [], "shed_users": 0, "elapsed_s": 0.1})
+        )
+        with pytest.raises(CheckpointError, match="format"):
+            FleetService.load_checkpoint(path)
+
+
+class TestLenientLoad:
+    def test_current_format_loads_clean(self, result, tmp_path):
+        path = tmp_path / "fleet.json"
+        FleetService.checkpoint(path, result)
+        load = FleetService.load_checkpoint(path, strict=False)
+        assert load.ok and not load.salvaged
+        assert load.result.summaries == result.summaries
+        assert load.result.rollup == result.rollup
+
+    def test_format_1_upgrades_by_refolding(self, result, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": 1,
+                    "summaries": [s.as_dict() for s in result.summaries],
+                    "shed_users": result.shed_users,
+                    "elapsed_s": result.elapsed_s,
+                }
+            )
+        )
+        load = FleetService.load_checkpoint(path, strict=False)
+        assert load.salvaged
+        assert any("pre-rollup" in issue for issue in load.issues)
+        assert load.result.summaries == result.summaries
+        assert load.result.rollup == result.rollup
+        assert load.result.shed_users == result.shed_users
+
+    def test_format_1_drops_corrupt_summaries(self, result, tmp_path):
+        docs = [s.as_dict() for s in result.summaries]
+        docs.insert(1, {"user_id": "broken"})
+        path = tmp_path / "fleet.json"
+        path.write_text(
+            json.dumps(
+                {"format": 1, "summaries": docs, "shed_users": 0, "elapsed_s": 0.5}
+            )
+        )
+        load = FleetService.load_checkpoint(path, strict=False)
+        assert load.salvaged
+        assert any("dropped" in issue for issue in load.issues)
+        assert load.result.summaries == result.summaries
+
+    def test_unreadable_document_yields_no_result(self, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text("{ torn")
+        load = FleetService.load_checkpoint(path, strict=False)
+        assert load.result is None and not load.ok
+        assert any("unreadable" in issue for issue in load.issues)
+
+    def test_unknown_format_yields_no_result(self, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps({"format": 99}))
+        load = FleetService.load_checkpoint(path, strict=False)
+        assert load.result is None
+        assert any("format" in issue for issue in load.issues)

@@ -83,6 +83,61 @@ class TestFleetEquality:
             assert sa.wal_path.read_bytes() == sb.wal_path.read_bytes()
 
 
+class TestIteratorSource:
+    """Lazy spec sources leave identical WAL bytes and results."""
+
+    def test_iterator_equals_list_wal_for_wal(self, volunteers, tmp_path):
+        a = ShardedFleetService(CONFIG, shards=_shards(tmp_path / "a"))
+        base = a.run(_specs(volunteers))
+        b = ShardedFleetService(CONFIG, shards=_shards(tmp_path / "b"))
+        lazy = b.run(iter(_specs(volunteers)))
+        assert lazy.summaries == base.summaries
+        assert lazy.rollup == base.rollup
+        for sa, sb in zip(a.stores, b.stores):
+            assert sa.wal_path.read_bytes() == sb.wal_path.read_bytes()
+
+    def test_iterator_equals_list_in_parallel(self, volunteers, tmp_path):
+        a = ShardedFleetService(CONFIG, shards=_shards(tmp_path / "a"))
+        base = a.run(_specs(volunteers), jobs=2)
+        b = ShardedFleetService(CONFIG, shards=_shards(tmp_path / "b"))
+        lazy = b.run(iter(_specs(volunteers)), jobs=2)
+        assert lazy.summaries == base.summaries
+        for sa, sb in zip(a.stores, b.stores):
+            assert sa.wal_path.read_bytes() == sb.wal_path.read_bytes()
+
+    def test_iterator_sheds_the_same_tail(self, volunteers, tmp_path):
+        config = FleetConfig(
+            train_days=10,
+            batch_size=1,
+            event_budget=1,
+            netmaster=CONFIG.netmaster,
+        )
+        base = ShardedFleetService(config, shards=_shards(tmp_path / "a")).run(
+            _specs(volunteers)
+        )
+        lazy = ShardedFleetService(config, shards=_shards(tmp_path / "b")).run(
+            iter(_specs(volunteers))
+        )
+        assert lazy.shed_users == base.shed_users == len(volunteers) - 1
+        assert lazy.summaries == base.summaries
+
+    def test_unretained_spilled_run_matches_wal_bytes(self, volunteers, tmp_path):
+        config = FleetConfig(
+            train_days=10,
+            retain_summaries=False,
+            summary_spill=tmp_path / "summaries.jsonl",
+            netmaster=CONFIG.netmaster,
+        )
+        a = ShardedFleetService(CONFIG, shards=_shards(tmp_path / "a"))
+        base = a.run(_specs(volunteers))
+        b = ShardedFleetService(config, shards=_shards(tmp_path / "b"))
+        lean = b.run(iter(_specs(volunteers)))
+        assert lean.rollup.spilled == len(volunteers)
+        assert lean.summaries == base.summaries  # re-read from the spill
+        for sa, sb in zip(a.stores, b.stores):
+            assert sa.wal_path.read_bytes() == sb.wal_path.read_bytes()
+
+
 class TestDurability:
     def test_second_run_is_served_from_the_log(self, volunteers, tmp_path):
         shards = _shards(tmp_path)

@@ -74,6 +74,25 @@ class TestStructure:
         vol_ids = {t.user_id for t in generate_volunteers(1, seed=1)}
         assert not cohort_ids & vol_ids
 
+    def test_midnight_spill_does_not_overlap_next_day(self):
+        # Regression: a session starting just before midnight can spill
+        # into the next day; the next day's first Poisson draw used to
+        # land inside it and fail Trace validation ("screen sessions
+        # overlap").  Seed found by scanning the 12.5k-user fleet-scale
+        # cohort (user stream-0827).
+        from repro.evaluation.extensions import random_profile
+
+        rng = np.random.default_rng(1917762144)
+        profile = random_profile("stream-0827", rng)
+        trace = TraceGenerator(profile, rng).generate(8)  # validates
+        # The floor must have engaged: a cross-midnight touching pair.
+        touched = [
+            (prev, s)
+            for prev, s in zip(trace.screen_sessions, trace.screen_sessions[1:])
+            if s.start == prev.end and prev.end % DAY < prev.start % DAY
+        ]
+        assert touched
+
 
 class TestCalibration:
     """The paper's Section III statistics, on the full 21-day cohort."""

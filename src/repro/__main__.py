@@ -33,6 +33,7 @@ from typing import Callable
 from repro.evaluation import experiments as ex
 from repro.evaluation import reporting as rpt
 from repro.evaluation.robustness import robustness as ex_robustness
+from repro.monitor.experiment import monitor_experiment as ex_monitor
 from repro.stream.experiment import stream_experiment as ex_stream
 from repro.stream.shards.experiment import shards_experiment as ex_shards
 
@@ -55,6 +56,7 @@ _REGISTRY: dict[str, tuple[Callable, Callable]] = {
     "robustness": (ex_robustness, rpt.format_robustness),
     "stream": (ex_stream, rpt.format_stream),
     "shards": (ex_shards, rpt.format_shards),
+    "monitor": (ex_monitor, rpt.format_monitor),
 }
 
 #: Experiments whose drivers accept a ``seed`` keyword.
@@ -74,6 +76,7 @@ _SEEDABLE = {
     "robustness",
     "stream",
     "shards",
+    "monitor",
 }
 
 #: Experiments whose drivers accept a ``jobs`` keyword (process fan-out).
@@ -130,6 +133,10 @@ _QUICK: dict[str, dict[str, object]] = {
         "compact_every_records": 4,
         "checkpoint_every_days": 1,
     },
+    # 7 training days (sufficiency), onset right when the z-score
+    # detectors arm — the quick run still proves every contract the
+    # full run asserts (quiet no-op, matching detector, quarantine).
+    "monitor": {"n_users": 8, "n_days": 14, "train_days": 7},
 }
 
 #: Valid ``--log-level`` names (stdlib logging levels).

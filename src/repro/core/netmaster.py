@@ -139,6 +139,10 @@ class NetMaster:
         #: True when the fitted history cannot be trusted for prediction —
         #: every day then runs the duty-cycle-only fallback.
         self.insufficient_history = False
+        #: External quarantine override (set by :mod:`repro.monitor`
+        #: feedback): forces duty-cycle-only execution without touching
+        #: the breaker or the fitted model.
+        self.force_degraded = False
         self.breaker = CircuitBreaker(
             threshold=self.config.breaker_threshold,
             min_interactions=self.config.breaker_min_interactions,
@@ -203,7 +207,7 @@ class NetMaster:
     @property
     def degraded(self) -> bool:
         """Whether the next day will run duty-cycle-only."""
-        return self.insufficient_history or self.breaker.open
+        return self.insufficient_history or self.breaker.open or self.force_degraded
 
     def _require_trained(self) -> None:
         if self.habit is None or self.scheduler is None or self.adjustment is None:

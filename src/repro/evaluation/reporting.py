@@ -263,6 +263,44 @@ def format_shards(result) -> str:
     return "\n".join(lines)
 
 
+def format_monitor(result) -> str:
+    """Fleet monitoring: seeded anomalies vs the detect/act loop."""
+    lines = [
+        f"Fleet monitoring — {result.n_users} users × {result.n_days} days "
+        f"({result.anomalous_users} anomalous from day {result.onset_day}, "
+        f"{result.train_days} training)"
+    ]
+    kinds = ", ".join(
+        f"{kind} {count}" for kind, count in sorted(result.alerts_by_kind.items())
+    )
+    lines.append(
+        f"  alerts {result.alerts_total} ({kinds or 'none'}), "
+        f"sink errors {result.sink_errors}"
+    )
+    lines.append(
+        f"  quiet-monitor contract: {result.false_alert_users} clean users "
+        f"alerted, byte-equal {result.clean_byte_equal}"
+    )
+    lines.append(
+        f"  feedback: {result.quarantine_effective_users} of "
+        f"{result.anomalous_users} anomalous users quarantined "
+        f"({result.degraded_days_monitored} degraded days vs "
+        f"{result.degraded_days_clean} unmonitored)"
+    )
+    lines.append(_row("detection precision", result.precision))
+    lines.append(_row("detection recall", result.recall))
+    lines.append(_row("matching-detector recall", result.kind_recall))
+    lines.append(
+        f"  energy model MAE over {result.model_days} clean user-days (J):"
+    )
+    lines.append(_row("least-squares (usage features)", result.model_mae_j, fmt=".1f"))
+    lines.append(_row("trailing mean", result.trailing_mae_j, fmt=".1f"))
+    lines.append(_row("day-type mean", result.daytype_mae_j, fmt=".1f"))
+    if result.alerts_path:
+        lines.append(f"  alerts teed to {result.alerts_path}")
+    return "\n".join(lines)
+
+
 def format_approximation(result: ex.ApproximationResult) -> str:
     """Lemma IV.1: empirical approximation ratios."""
     lines = [f"Lemma IV.1 — approximation ratio over {result.trials} instances (eps={result.eps})"]
@@ -326,6 +364,13 @@ _HEADLINES = {
         ("causality gap", lambda r: r.online_offline_gap, None),
         ("stream events per second", lambda r: r.events_per_s, None),
         ("online interrupt ratio", lambda r: r.online_interrupt_ratio, None),
+    ),
+    "monitor": (
+        ("detection recall", lambda r: r.recall, None),
+        ("matching-detector recall", lambda r: r.kind_recall, None),
+        ("detection precision", lambda r: r.precision, None),
+        ("quarantined anomalous users", lambda r: r.quarantine_effective_users, None),
+        ("energy model MAE (J)", lambda r: r.model_mae_j, None),
     ),
 }
 

@@ -7,8 +7,12 @@ degradation machinery that keeps the energy savings (and the max-delay
 guarantee) intact under them.  :mod:`repro.faults.storage` extends the
 same discipline to the durability layer: seeded torn writes, truncated
 WALs, and lost or bit-flipped snapshots against a shard directory.
+:mod:`repro.faults.anomalies` supplies the labelled misbehaviour
+scenarios (runaway app, radio stuck in DCH) the monitor subsystem is
+graded against.
 """
 
+from repro.faults.anomalies import AnomalyInjector
 from repro.faults.degradation import CircuitBreaker
 from repro.faults.injector import FaultInjector, FaultPlan, TraceDegradation
 from repro.faults.resilience import FaultStats, apply_faults
@@ -20,6 +24,7 @@ from repro.faults.storage import (
 )
 
 __all__ = [
+    "AnomalyInjector",
     "CircuitBreaker",
     "FaultInjector",
     "FaultPlan",

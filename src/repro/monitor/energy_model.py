@@ -1,0 +1,182 @@
+"""Least-squares per-user daily-energy prediction from usage features.
+
+The learned baseline of arXiv 2012.10246 (smartphone energy models fit
+from usage patterns), grown online: one :class:`OnlineEnergyModel` per
+user accumulates the normal equations ``X^T X`` / ``X^T y`` over the
+day features ``[1, screen_on_s, events, radio_on_s]`` and solves a
+ridge-stabilized 4×4 system on demand.  The accumulators are plain
+float sums in day order, so the model is deterministic and its
+``state_dict`` round-trips through JSON bit-exactly — a restored model
+predicts byte-identically.
+
+Two reference predictors ride along for the ``python -m repro monitor``
+comparison: a global trailing mean and a day-type (weekday/weekend)
+mean, the latter standing in for the paper's habit-model view that
+energy routine splits by day type.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitor.detectors import DaySignal
+
+__all__ = [
+    "DayTypeMeanPredictor",
+    "FEATURES",
+    "OnlineEnergyModel",
+    "TrailingMeanPredictor",
+]
+
+#: Feature names, in column order.
+FEATURES = ("bias", "screen_on_s", "events", "radio_on_s")
+
+_STATE_FORMAT = 1
+
+
+class OnlineEnergyModel:
+    """Online least squares over the normal equations (4 features)."""
+
+    def __init__(self, *, min_days: int = 3, ridge: float = 1e-8) -> None:
+        if min_days < 1:
+            raise ValueError(f"min_days must be >= 1, got {min_days}")
+        self.min_days = int(min_days)
+        self.ridge = float(ridge)
+        k = len(FEATURES)
+        self._xtx = [[0.0] * k for _ in range(k)]
+        self._xty = [0.0] * k
+        self.n = 0
+
+    @staticmethod
+    def features_of(signal: "DaySignal") -> list[float]:
+        """The model's feature row for one day-close signal."""
+        return [1.0, signal.screen_on_s, float(signal.events), signal.radio_on_s]
+
+    def observe(self, features: list[float], energy_j: float) -> None:
+        """Fold one (features, energy) day into the accumulators."""
+        k = len(FEATURES)
+        if len(features) != k:
+            raise ValueError(f"expected {k} features, got {len(features)}")
+        for i in range(k):
+            xi = features[i]
+            row = self._xtx[i]
+            for j in range(k):
+                row[j] += xi * features[j]
+            self._xty[i] += xi * energy_j
+        self.n += 1
+
+    def coefficients(self) -> list[float] | None:
+        """Solve the ridge-stabilized system; ``None`` before ``min_days``.
+
+        Solved with a deterministic pure-Python Gaussian elimination
+        (partial pivoting) so predictions depend only on the
+        accumulator floats, which round-trip through JSON exactly.
+        """
+        if self.n < self.min_days:
+            return None
+        k = len(FEATURES)
+        # Ridge scaled to the design's magnitude keeps the system
+        # solvable while screen/radio features sit near-collinear.
+        scale = max(self._xtx[i][i] for i in range(k))
+        lam = self.ridge * scale + 1e-12
+        a = [
+            [self._xtx[i][j] + (lam if i == j else 0.0) for j in range(k)]
+            for i in range(k)
+        ]
+        b = list(self._xty)
+        for col in range(k):
+            pivot = max(range(col, k), key=lambda r: abs(a[r][col]))
+            if abs(a[pivot][col]) == 0.0:
+                return None
+            if pivot != col:
+                a[col], a[pivot] = a[pivot], a[col]
+                b[col], b[pivot] = b[pivot], b[col]
+            inv = 1.0 / a[col][col]
+            for r in range(col + 1, k):
+                f = a[r][col] * inv
+                if f == 0.0:
+                    continue
+                for c in range(col, k):
+                    a[r][c] -= f * a[col][c]
+                b[r] -= f * b[col]
+        beta = [0.0] * k
+        for r in range(k - 1, -1, -1):
+            acc = b[r]
+            for c in range(r + 1, k):
+                acc -= a[r][c] * beta[c]
+            beta[r] = acc / a[r][r]
+        return beta
+
+    def predict(self, features: list[float]) -> float | None:
+        """Predicted daily energy (J); ``None`` before ``min_days``."""
+        beta = self.coefficients()
+        if beta is None:
+            return None
+        return sum(b * f for b, f in zip(beta, features))
+
+    def state_dict(self) -> dict:
+        """JSON-safe state (floats survive bit-exactly)."""
+        return {
+            "format": _STATE_FORMAT,
+            "min_days": self.min_days,
+            "ridge": self.ridge,
+            "xtx": [list(row) for row in self._xtx],
+            "xty": list(self._xty),
+            "n": self.n,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineEnergyModel":
+        """Rebuild from :meth:`state_dict` output, byte-identical."""
+        fmt = state.get("format")
+        if fmt != _STATE_FORMAT:
+            raise ValueError(
+                f"unsupported energy model state format: {fmt!r} "
+                f"(this build reads format {_STATE_FORMAT})"
+            )
+        model = cls(min_days=int(state["min_days"]), ridge=float(state["ridge"]))
+        model._xtx = [[float(v) for v in row] for row in state["xtx"]]
+        model._xty = [float(v) for v in state["xty"]]
+        model.n = int(state["n"])
+        return model
+
+
+class TrailingMeanPredictor:
+    """Predict tomorrow's energy as the mean of all days seen so far."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.total = 0.0
+
+    def predict(self) -> float | None:
+        if self.n == 0:
+            return None
+        return self.total / self.n
+
+    def observe(self, energy_j: float) -> None:
+        self.n += 1
+        self.total += energy_j
+
+
+class DayTypeMeanPredictor:
+    """Per-day-type (weekday/weekend) trailing mean — the habit view."""
+
+    def __init__(self) -> None:
+        self.n = [0, 0]
+        self.total = [0.0, 0.0]
+
+    @staticmethod
+    def daytype(weekday: int) -> int:
+        return 1 if weekday >= 5 else 0
+
+    def predict(self, weekday: int) -> float | None:
+        t = self.daytype(weekday)
+        if self.n[t] == 0:
+            return None
+        return self.total[t] / self.n[t]
+
+    def observe(self, weekday: int, energy_j: float) -> None:
+        t = self.daytype(weekday)
+        self.n[t] += 1
+        self.total[t] += energy_j

@@ -1,0 +1,189 @@
+"""Alert publishing: a fan-out hub over pluggable, isolated sinks.
+
+:class:`MonitorHub` is the single publishing seam — the fleet, the
+sharded service and the HTTP gateway all hand their alerts to one hub,
+which fans each alert out to every attached sink.  Sinks are fully
+isolated: a raising sink is logged and counted
+(``monitor.sink_errors``) and the remaining sinks still receive the
+alert — a broken webhook can never break ingest.
+
+The file sinks follow the :class:`~repro.stream.rollup.SummarySpill`
+atomic-publish discipline (the :func:`repro._util.write_json_atomic`
+idiom adapted to append-only files): lines accumulate in a hidden
+sibling temp file and :meth:`close` flushes, fsyncs and renames it over
+the target path, so readers only ever observe a complete alert log.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import logging
+import os
+import tempfile
+from collections import deque
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.monitor.detectors import Alert
+from repro.telemetry import metrics
+
+__all__ = [
+    "CallbackSink",
+    "CsvAlertSink",
+    "JsonlAlertSink",
+    "MonitorHub",
+    "RingAlertSink",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Column order of the CSV sink (the Alert fields).
+_CSV_FIELDS = ("user_id", "day", "kind", "severity", "value", "threshold", "message")
+
+
+class _AtomicLineSink:
+    """Shared append-to-temp / publish-on-close machinery."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.count = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{self.path.name}.", suffix=".partial", dir=self.path.parent
+        )
+        self._tmp = Path(tmp_name)
+        self._fh = os.fdopen(fd, "w", encoding="utf-8", newline="")
+
+    def close(self) -> Path:
+        """Flush, fsync and atomically publish the alert log."""
+        if not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+            os.replace(self._tmp, self.path)
+        return self.path
+
+    def abort(self) -> None:
+        """Discard the partial log (run failed before completing)."""
+        if not self._fh.closed:
+            self._fh.close()
+        self._tmp.unlink(missing_ok=True)
+
+
+class JsonlAlertSink(_AtomicLineSink):
+    """Append-only JSONL alert log, atomically published on close."""
+
+    def emit(self, alert: Alert) -> None:
+        self._fh.write(json.dumps(alert.as_dict()) + "\n")
+        self.count += 1
+
+
+class CsvAlertSink(_AtomicLineSink):
+    """CSV alert log (header + one row per alert), atomic on close."""
+
+    def __init__(self, path: str | Path) -> None:
+        super().__init__(path)
+        self._writer = csv.writer(self._fh)
+        self._writer.writerow(_CSV_FIELDS)
+
+    def emit(self, alert: Alert) -> None:
+        doc = alert.as_dict()
+        self._writer.writerow([doc[field] for field in _CSV_FIELDS])
+        self.count += 1
+
+
+class RingAlertSink:
+    """Bounded in-memory buffer of the newest alerts (the read path
+    behind ``GET /v1/alerts``)."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._ring: deque[Alert] = deque(maxlen=self.capacity)
+        self.count = 0
+
+    def emit(self, alert: Alert) -> None:
+        self._ring.append(alert)
+        self.count += 1
+
+    def alerts(self) -> list[Alert]:
+        """The retained alerts, oldest first."""
+        return list(self._ring)
+
+
+class CallbackSink:
+    """Webhook-style sink: every alert invokes the callable."""
+
+    def __init__(self, fn: Callable[[Alert], None]) -> None:
+        self.fn = fn
+        self.count = 0
+
+    def emit(self, alert: Alert) -> None:
+        self.fn(alert)
+        self.count += 1
+
+
+class MonitorHub:
+    """Fan-out publisher with per-sink failure isolation.
+
+    Publish-side counts (total and per kind) live on the hub itself —
+    they are the service's ``/v1/alerts`` summary — while the
+    ``monitor.alerts*`` telemetry counters are incremented where the
+    alerts are *detected* (worker side, shipped back in admission
+    order), so parallel runs count identically to serial ones.  The hub
+    only owns the ``monitor.sink_errors`` counter: sink failures happen
+    wherever the hub lives.
+    """
+
+    def __init__(self, sinks: Iterable[object] = ()) -> None:
+        self.sinks = list(sinks)
+        self.published = 0
+        self.by_kind: dict[str, int] = {}
+        self.sink_errors = 0
+
+    def add_sink(self, sink: object) -> None:
+        """Attach one more sink (takes effect for future alerts)."""
+        self.sinks.append(sink)
+
+    def publish(self, alert: Alert) -> None:
+        """Fan one alert out to every sink; a raising sink is isolated."""
+        self.published += 1
+        self.by_kind[alert.kind] = self.by_kind.get(alert.kind, 0) + 1
+        for sink in self.sinks:
+            try:
+                sink.emit(alert)
+            except Exception:
+                self.sink_errors += 1
+                metrics().inc("monitor.sink_errors")
+                logger.warning(
+                    "alert sink %s failed on %s/%s day %d; alert dropped "
+                    "for this sink only",
+                    type(sink).__name__,
+                    alert.user_id,
+                    alert.kind,
+                    alert.day,
+                    exc_info=True,
+                )
+
+    def publish_many(self, alerts: Iterable[Alert]) -> None:
+        """Publish alerts in order."""
+        for alert in alerts:
+            self.publish(alert)
+
+    def close(self) -> None:
+        """Close every closeable sink, isolating failures like emit."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is None:
+                continue
+            try:
+                close()
+            except Exception:
+                self.sink_errors += 1
+                metrics().inc("monitor.sink_errors")
+                logger.warning(
+                    "alert sink %s failed to close", type(sink).__name__,
+                    exc_info=True,
+                )

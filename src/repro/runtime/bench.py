@@ -26,6 +26,10 @@ the perf trajectory:
   streamed through :class:`~repro.stream.fleet.FleetService`
   (incremental mining, causal execution, checkpoint round-trips),
   headline ``stream_events_per_s``;
+* **monitor** — the anomaly monitor attached to that same fleet: clean
+  (alert-free) stream throughput vs the plain path
+  (``overhead_frac``, budgeted at 10% under ``--compare``) and alert
+  throughput on a seeded anomalous cohort (``alerts_per_s``);
 * **shard recovery** — the durable sharded fleet: sustained WAL-logged
   throughput (``durable_events_per_s``) and crash-recovery replay time
   at growing WAL lengths (``recovery_points``);
@@ -393,6 +397,88 @@ def bench_stream(
     }
 
 
+def bench_monitor(
+    n_users: int = 16,
+    n_days: int = 14,
+    train_days: int = 10,
+    seed: int = 2014,
+    repeats: int = 3,
+) -> dict:
+    """Monitoring overhead on the stream path, and alert throughput.
+
+    Runs the same clean fleet as :func:`bench_stream` twice — plain and
+    with the anomaly monitor attached (zero alerts fire, so this prices
+    the detector/signal machinery itself) — taking the best of
+    ``repeats`` for each mode after a shared warm-up, since the
+    difference under test is well inside scheduler noise for single
+    runs.  ``overhead_frac`` is the gated headline: the monitored
+    events/s may not trail the plain path by more than 10% (full runs).
+    An anomalous cohort (stuck-DCH injection on every 4th user) then
+    measures the detect→publish cost when alerts actually flow
+    (``alerts_per_s``).
+    """
+    # Local import: the stream package pulls the policy stack in.
+    from repro.faults import AnomalyInjector
+    from repro.monitor import MonitorConfig, MonitorHub, RingAlertSink
+    from repro.stream.experiment import fleet_specs
+    from repro.stream.fleet import (
+        FleetConfig,
+        FleetService,
+        _spec_trace,
+        stream_one_user_monitored,
+    )
+
+    specs = fleet_specs(seed=seed, n_users=n_users, n_days=n_days)
+    plain_config = FleetConfig(train_days=train_days)
+    monitored_config = FleetConfig(train_days=train_days, monitor=MonitorConfig())
+
+    FleetService(plain_config).run(specs, jobs=1)  # warm caches once
+    plain_eps = 0.0
+    monitored_eps = 0.0
+    alerts_clean = 0
+    events = 0
+    for _ in range(max(1, repeats)):
+        result = FleetService(plain_config).run(specs, jobs=1)
+        plain_eps = max(plain_eps, result.events_per_s)
+        events = result.events
+        hub = MonitorHub([RingAlertSink()])
+        result = FleetService(monitored_config).run(specs, jobs=1, monitor=hub)
+        monitored_eps = max(monitored_eps, result.events_per_s)
+        alerts_clean = hub.published
+
+    injector = AnomalyInjector(seed=seed)
+    onset = train_days + 1
+    hub = MonitorHub([RingAlertSink()])
+    anomalous_events = 0
+    start = time.perf_counter()
+    for i, spec in enumerate(specs):
+        trace = _spec_trace(spec)
+        if i % 4 == 0:
+            trace = injector.stuck_dch(trace, start_day=onset)
+        summary, alerts = stream_one_user_monitored(
+            trace, config=monitored_config
+        )
+        hub.publish_many(alerts)
+        anomalous_events += summary.events
+    anomalous_s = time.perf_counter() - start
+
+    return {
+        "n_users": n_users,
+        "n_days": n_days,
+        "train_days": train_days,
+        "events": events,
+        "plain_events_per_s": plain_eps,
+        "monitored_events_per_s": monitored_eps,
+        "overhead_frac": 1.0 - monitored_eps / plain_eps if plain_eps else 0.0,
+        "clean_alerts": alerts_clean,
+        "anomalous_users": (n_users + 3) // 4,
+        "anomalous_events": anomalous_events,
+        "anomalous_elapsed_s": anomalous_s,
+        "alerts_published": hub.published,
+        "alerts_per_s": hub.published / anomalous_s if anomalous_s > 0 else 0.0,
+    }
+
+
 def bench_shard_recovery(
     n_users: int = 16,
     n_days: int = 14,
@@ -708,6 +794,7 @@ def run_bench(
             stream = bench_stream(
                 n_users=4, n_days=9, train_days=7, checkpoint_every_days=1
             )
+            monitor = bench_monitor(n_users=4, n_days=9, train_days=7, repeats=2)
             shard_recovery = bench_shard_recovery(
                 n_users=4, n_days=9, train_days=7, checkpoint_every_days=1
             )
@@ -721,6 +808,7 @@ def run_bench(
             fptas = bench_fptas_batch()
             replay = bench_replay_kernel()
             stream = bench_stream()
+            monitor = bench_monitor()
             shard_recovery = bench_shard_recovery()
             service_load = bench_service_load()
     finally:
@@ -739,6 +827,7 @@ def run_bench(
         "fptas_batch": fptas,
         "replay_kernel": replay,
         "stream": stream,
+        "monitor": monitor,
         "shard_recovery": shard_recovery,
         "service_load": service_load,
     }
@@ -805,6 +894,25 @@ def compare_reports(fresh: dict, baseline: dict, *, factor: float = 2.0) -> list
             failures.append(
                 f"service_load.service_events_per_s regressed >{factor:g}x: "
                 f"{fresh_seps:.0f}/s vs committed {base_seps:.0f}/s"
+            )
+    base_monitor = baseline.get("monitor")
+    if base_monitor is not None and "monitor" in fresh:
+        fresh_meps = fresh["monitor"]["monitored_events_per_s"]
+        base_meps = base_monitor["monitored_events_per_s"]
+        if fresh_meps < base_meps / factor:
+            failures.append(
+                f"monitor.monitored_events_per_s regressed >{factor:g}x: "
+                f"{fresh_meps:.0f}/s vs committed {base_meps:.0f}/s"
+            )
+        # Absolute bound, not baseline-relative: attaching the monitor
+        # may cost at most 10% of stream throughput (quick runs are
+        # noisy at their tiny size, so they get slack).
+        bound = 0.25 if fresh.get("quick") else 0.10
+        fresh_overhead = fresh["monitor"]["overhead_frac"]
+        if fresh_overhead > bound:
+            failures.append(
+                f"monitor.overhead_frac exceeds the {bound:.0%} stream-path "
+                f"budget: {fresh_overhead:.3f}"
             )
     base_shards = baseline.get("shard_recovery")
     if base_shards is not None and "shard_recovery" in fresh:
@@ -1043,6 +1151,15 @@ def main(argv: list[str] | None = None) -> int:
         f"{stream['events']} events in {stream['elapsed_s']:.3f}s "
         f"({stream['stream_events_per_s']:,.0f} events/s, "
         f"{stream['checkpoints']} checkpoints)"
+    )
+    monitor = report["monitor"]
+    print(
+        f"monitor: plain {monitor['plain_events_per_s']:,.0f} vs monitored "
+        f"{monitor['monitored_events_per_s']:,.0f} events/s "
+        f"(overhead {monitor['overhead_frac']:+.3f}, "
+        f"{monitor['clean_alerts']} clean alerts); anomalous cohort "
+        f"{monitor['alerts_published']} alerts "
+        f"({monitor['alerts_per_s']:,.1f} alerts/s)"
     )
     shards = report["shard_recovery"]
     print(

@@ -83,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
         "fleet-wide (HTTP 429)",
     )
     parser.add_argument(
+        "--monitor", action="store_true",
+        help="attach the per-user anomaly monitor (default thresholds); "
+        "alerts surface on GET /v1/alerts and in /metrics counters",
+    )
+    parser.add_argument(
         "--max-body-bytes", type=int, default=8 << 20, metavar="N",
         help="reject request bodies larger than N bytes with HTTP 413",
     )
@@ -122,11 +127,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _config(args: argparse.Namespace) -> FleetConfig:
+    monitor = None
+    if args.monitor:
+        from repro.monitor import MonitorConfig
+
+        monitor = MonitorConfig()
     return FleetConfig(
         train_days=args.train_days,
         retention_days=args.retention,
         checkpoint_every_days=args.checkpoint_every,
         event_budget=args.event_budget,
+        monitor=monitor,
         # Determinism over graceful degradation: the service's decisions
         # must be byte-equal to the library drive regardless of wall
         # clock, so the latency circuit breaker stays out of the loop.

@@ -35,6 +35,7 @@ from pathlib import Path
 from repro._util import peak_rss_bytes, write_json_atomic
 from repro.baselines.naive import NaivePolicy
 from repro.evaluation.metrics import measure_outcome
+from repro.monitor import MonitorHub, RingAlertSink, UserMonitor, signal_of
 from repro.service.schemas import SchemaError, decision_doc, saving_of
 from repro.stream.fleet import FleetConfig, SummaryAccumulator
 from repro.stream.ingest import event_time, stream_trace
@@ -70,7 +71,7 @@ class _UserSession:
     """One tenant's serving state (engine + compacted aggregate + window)."""
 
     __slots__ = ("engine", "acc", "naive_energy_j", "naive_radio_on_s",
-                 "decisions", "evicted_days")
+                 "decisions", "evicted_days", "monitor")
 
     def __init__(self, engine: OnlineNetMaster) -> None:
         self.engine = engine
@@ -79,6 +80,9 @@ class _UserSession:
         self.naive_radio_on_s = 0.0
         self.decisions: list[dict] = []
         self.evicted_days = 0
+        #: Per-user anomaly monitor; ``None`` unless the fleet config
+        #: carries a :class:`~repro.monitor.detectors.MonitorConfig`.
+        self.monitor: UserMonitor | None = None
 
 
 class FleetGateway:
@@ -94,10 +98,17 @@ class FleetGateway:
         # Counters surface on creation; gauges only once written.
         registry = metrics()
         registry.counter("fleet.summaries_spilled")
+        registry.counter("monitor.alerts")
+        registry.counter("monitor.quarantined_users")
+        registry.counter("monitor.sink_errors")
         registry.set_gauge("fleet.active_users", 0)
         rss = peak_rss_bytes()
         if rss is not None:
             registry.set_gauge("fleet.peak_rss_bytes", rss)
+        #: Alert fan-out: the ring is what ``GET /v1/alerts`` reads; more
+        #: sinks can be attached by the embedding process via ``hub``.
+        self.alert_ring = RingAlertSink(capacity=1024)
+        self.hub = MonitorHub([self.alert_ring])
 
     # ------------------------------------------------------------------
     # sessions
@@ -117,6 +128,8 @@ class FleetGateway:
                 decay=config.decay,
             )
             session = self._users[user_id] = _UserSession(engine)
+            if config.monitor is not None:
+                session.monitor = UserMonitor(user_id, config.monitor)
             registry = metrics()
             registry.inc("service.users_created")
             # Sessions are never dropped, so the live count is also the
@@ -216,6 +229,8 @@ class FleetGateway:
         power = self.config.netmaster.power
         retention = self.config.retention_days
         acc = session.acc
+        monitor = session.monitor
+        drift_total = session.engine.habits.drift_alerts
         for day in completed:
             priced = measure_outcome(day.outcome(), power, day.trace)
             naive = measure_outcome(
@@ -231,6 +246,15 @@ class FleetGateway:
             session.naive_energy_j += naive.energy_j
             session.naive_radio_on_s += naive.radio_on_s
             session.decisions.append(decision_doc(day, priced, naive))
+            if monitor is not None:
+                # The naive pricing is already on hand here, so the
+                # signal assembly costs no extra policy run.
+                alerts = monitor.feed(
+                    session.engine,
+                    [signal_of(day, priced, naive, drift_alerts_total=drift_total)],
+                )
+                if alerts:
+                    self.hub.publish_many(alerts)
             metrics().inc("service.days_closed")
             if retention is not None:
                 while len(session.decisions) > retention:
@@ -283,6 +307,28 @@ class FleetGateway:
             "deferred": acc.deferred,
         }
 
+    def alerts_doc(self) -> dict:
+        """The monitoring read: published alerts plus hub/hold counters.
+
+        Served even when monitoring is off (``monitoring: false``, empty
+        window) so the endpoint's shape is stable for scrapers.  The
+        ``alerts`` list is the ring window — the most recent 1024
+        fleet-wide — while ``published`` counts everything ever fanned
+        out.
+        """
+        return {
+            "monitoring": self.config.monitor is not None,
+            "published": self.hub.published,
+            "by_kind": dict(self.hub.by_kind),
+            "sink_errors": self.hub.sink_errors,
+            "quarantined_users": sum(
+                1
+                for s in self._users.values()
+                if s.monitor is not None and s.monitor.active
+            ),
+            "alerts": [a.as_dict() for a in self.alert_ring.alerts()],
+        }
+
     def stats(self) -> dict:
         """Fleet-wide counters for the health endpoint (cheap, read-only)."""
         return {
@@ -301,21 +347,29 @@ class FleetGateway:
     # checkpoint / restore
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
-        """The whole gateway as one JSON-safe document (bit-exact)."""
+        """The whole gateway as one JSON-safe document (bit-exact).
+
+        The per-user ``monitor`` key appears only when a monitor is
+        attached, so an unmonitored gateway's checkpoint bytes are
+        unchanged by this feature existing.
+        """
+        users = {}
+        for user_id, session in self._users.items():
+            doc = {
+                "engine": session.engine.state_dict(),
+                "acc": session.acc.state_dict(),
+                "naive_energy_j": session.naive_energy_j,
+                "naive_radio_on_s": session.naive_radio_on_s,
+                "decisions": session.decisions,
+                "evicted_days": session.evicted_days,
+            }
+            if session.monitor is not None:
+                doc["monitor"] = session.monitor.state_dict()
+            users[user_id] = doc
         return {
             "format": _SERVICE_CHECKPOINT_FORMAT,
             "events_total": self.events_total,
-            "users": {
-                user_id: {
-                    "engine": session.engine.state_dict(),
-                    "acc": session.acc.state_dict(),
-                    "naive_energy_j": session.naive_energy_j,
-                    "naive_radio_on_s": session.naive_radio_on_s,
-                    "decisions": session.decisions,
-                    "evicted_days": session.evicted_days,
-                }
-                for user_id, session in self._users.items()
-            },
+            "users": users,
         }
 
     def load_state(self, state: object) -> None:
@@ -340,6 +394,13 @@ class FleetGateway:
                 session.naive_radio_on_s = float(doc["naive_radio_on_s"])
                 session.decisions = [dict(d) for d in doc["decisions"]]
                 session.evicted_days = int(doc["evicted_days"])
+                monitor_state = doc.get("monitor")
+                if monitor_state is not None:
+                    session.monitor = UserMonitor.load_state(
+                        monitor_state,
+                        user_id=str(user_id),
+                        config=self.config.monitor,
+                    )
                 users[str(user_id)] = session
             events_total = int(state["events_total"])
         except CheckpointError:

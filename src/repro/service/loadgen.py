@@ -205,10 +205,11 @@ async def run_load(options: LoadOptions | None = None) -> dict:
     elapsed = time.perf_counter() - start
 
     probe = _Client(options.host, options.port)
-    health = metrics_doc = {}
+    health = metrics_doc = alerts_doc = {}
     try:
         _, health = await probe.request("GET", "/health")
         _, metrics_doc = await probe.request("GET", "/metrics")
+        _, alerts_doc = await probe.request("GET", "/v1/alerts")
     finally:
         await probe.close()
 
@@ -229,6 +230,13 @@ async def run_load(options: LoadOptions | None = None) -> dict:
         "latency_p95_s": percentile(lat, 0.95),
         "latency_p99_s": percentile(lat, 0.99),
         "health": health,
+        "alerts": {
+            "monitoring": alerts_doc.get("monitoring", False),
+            "published": alerts_doc.get("published", 0),
+            "by_kind": alerts_doc.get("by_kind", {}),
+            "quarantined_users": alerts_doc.get("quarantined_users", 0),
+            "sink_errors": alerts_doc.get("sink_errors", 0),
+        },
         "metrics_counters": len(
             metrics_doc.get("overall", {}).get("counters", {})
         ),

@@ -14,6 +14,7 @@ The surface::
     GET  /v1/users/{uid}/decisions  retained per-day decision records
     GET  /v1/users/{uid}/savings    compacted savings aggregate
     GET  /v1/users                  every admitted user id
+    GET  /v1/alerts                 monitor alert window + hold counters
     POST /v1/checkpoint             atomic whole-service checkpoint
     POST /v1/restore                load a checkpoint back in
 
@@ -100,6 +101,12 @@ async def users(app: "ServiceApp", request: HttpRequest):
     return 200, {"users": await app.call(lambda gw: gw.user_ids())}
 
 
+async def alerts(app: "ServiceApp", request: HttpRequest):
+    # Through the worker queue like the other gateway reads: the alert
+    # ring mutates on ingest, so serialization keeps the window stable.
+    return 200, await app.call(lambda gw: gw.alerts_doc())
+
+
 def _checkpoint_target(app: "ServiceApp", request: HttpRequest) -> str:
     path = parse_checkpoint(request.json_optional())
     if path is None:
@@ -172,6 +179,7 @@ def build_router() -> Router:
         ("decisions", "GET", rf"/v1/users/{uid}/decisions", decisions),
         ("savings", "GET", rf"/v1/users/{uid}/savings", savings),
         ("users", "GET", r"/v1/users", users),
+        ("alerts", "GET", r"/v1/alerts", alerts),
         ("checkpoint", "POST", r"/v1/checkpoint", checkpoint),
         ("restore", "POST", r"/v1/restore", restore),
         ("health", "GET", r"/health", health),

@@ -88,13 +88,21 @@ def stream_experiment(
     batch_size: int = 16,
     checkpoint_every_days: int | None = 2,
     event_budget: int | None = None,
+    retain_summaries: bool = True,
 ) -> StreamResult:
-    """Streaming fleet: causal online NetMaster vs the offline harness."""
+    """Streaming fleet: causal online NetMaster vs the offline harness.
+
+    Every fleet-side statistic is read off the O(1)
+    :class:`~repro.stream.rollup.FleetRollup` counters, so the
+    experiment also runs with ``retain_summaries=False`` (constant-RSS
+    fleets that keep no per-user summary list).
+    """
     config = FleetConfig(
         train_days=train_days,
         batch_size=batch_size,
         checkpoint_every_days=checkpoint_every_days,
         event_budget=event_budget,
+        retain_summaries=retain_summaries,
     )
     specs = fleet_specs(seed=seed, n_users=n_users, n_days=n_days)
     trc = tracer()
@@ -137,9 +145,11 @@ def stream_experiment(
     offline_interactions = sum(
         m.user_interactions for metrics in nm_grid for m in metrics
     )
-    online_energy = sum(s.energy_j for s in fleet.summaries)
-    online_interrupts = sum(s.interrupts for s in fleet.summaries)
-    online_interactions = sum(s.user_interactions for s in fleet.summaries)
+    # O(1) rollup reads, not O(N) re-sums over fleet.summaries — which
+    # would also raise when the run retained nothing (no list, no spill).
+    online_energy = fleet.rollup.energy_j
+    online_interrupts = fleet.rollup.interrupts
+    online_interactions = fleet.rollup.user_interactions
 
     def saving(energy: float) -> float:
         return 1.0 - energy / naive_energy if naive_energy > 0 else 0.0
@@ -158,9 +168,9 @@ def stream_experiment(
         events=fleet.events,
         elapsed_s=fleet.elapsed_s,
         events_per_s=fleet.events_per_s,
-        checkpoints=sum(s.checkpoints for s in fleet.summaries),
-        drift_alerts=sum(s.drift_alerts for s in fleet.summaries),
-        degraded_days=sum(s.degraded_days for s in fleet.summaries),
+        checkpoints=fleet.rollup.checkpoints,
+        drift_alerts=fleet.rollup.drift_alerts,
+        degraded_days=fleet.rollup.degraded_days,
         naive_energy_j=naive_energy,
         online_energy_j=online_energy,
         offline_energy_j=offline_energy,

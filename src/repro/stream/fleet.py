@@ -30,7 +30,7 @@ from dataclasses import asdict, dataclass, field
 from functools import partial
 from itertools import islice
 from pathlib import Path
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro._util import peak_rss_bytes, write_json_atomic
 from repro.core.batch import measure_outcomes_columnar
@@ -42,6 +42,10 @@ from repro.stream.online_netmaster import CheckpointError, OnlineNetMaster
 from repro.stream.rollup import FleetRollup, SummarySpill, read_spilled
 from repro.telemetry import metrics, tracer
 from repro.traces.events import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitor.detectors import Alert, MonitorConfig
+    from repro.monitor.sinks import MonitorHub
 
 #: Schema version of the fleet checkpoint document.  Format 2 carries
 #: the rollup aggregates (format 1 stored only the raw summary list);
@@ -83,6 +87,14 @@ class FleetConfig:
     #: the run completes; ``FleetResult.summaries`` re-reads it lazily
     #: when summaries are not retained in memory.
     summary_spill: str | Path | None = None
+    #: Attach per-user anomaly monitoring (:mod:`repro.monitor`) at the
+    #: day-close seam.  ``None`` (the default) streams with zero
+    #: monitor code on the hot path; a config builds one
+    #: :class:`~repro.monitor.feedback.UserMonitor` per user, with
+    #: alerts published through the hub passed to
+    #: :meth:`FleetService.run`.  A quiet monitor leaves decisions and
+    #: WAL bytes byte-identical to an unmonitored run.
+    monitor: "MonitorConfig | None" = None
     netmaster: NetMasterConfig = field(default_factory=NetMasterConfig)
 
     def __post_init__(self) -> None:
@@ -181,7 +193,7 @@ class SummaryAccumulator:
     deferred: int = 0
     checkpoints: int = 0
 
-    def consume(self, completed_days, power) -> int:
+    def consume(self, completed_days, power) -> list:
         """Price completed days and fold in the scalars.
 
         Multi-day lists go through the columnar lane kernel in one
@@ -189,6 +201,11 @@ class SummaryAccumulator:
         single days take the scalar path.  Both produce bit-identical
         per-day metrics and the fold runs in day order either way, so
         the totals do not depend on the batching.
+
+        Returns the priced per-day metric rows (truthiness-compatible
+        with the old day count) so day-close consumers — the monitor's
+        detectors, the WAL writer — can reuse the pricing pass instead
+        of repeating it.
         """
         completed_days = list(completed_days)
         if len(completed_days) > 1:
@@ -205,7 +222,7 @@ class SummaryAccumulator:
             self.interrupts += m.interrupts
             self.user_interactions += m.user_interactions
             self.deferred += m.deferred
-        return len(completed_days)
+        return priced
 
     def state_dict(self) -> dict:
         """JSON-safe state (floats survive bit-exactly)."""
@@ -361,6 +378,55 @@ def stream_one_user(trace: Trace, *, config: FleetConfig) -> UserStreamSummary:
     return acc.summary(engine, trace.n_days)
 
 
+def stream_one_user_monitored(
+    trace: Trace, *, config: FleetConfig
+) -> "tuple[UserStreamSummary, list[Alert]]":
+    """:func:`stream_one_user` with the anomaly monitor attached.
+
+    Kept as a separate loop so the unmonitored hot path stays
+    monitor-free.  Completed days are priced at every drain (the
+    columnar batching guarantee makes the totals bit-identical to the
+    buffered pricing of the plain loop), their signals feed the
+    per-user :class:`~repro.monitor.feedback.UserMonitor`, and the
+    feedback windows are applied *before* the checkpoint-cadence
+    round-trip so a restored engine carries the hold.  When no alert
+    fires the summary — and every engine checkpoint along the way — is
+    byte-identical to the unmonitored drive.
+    """
+    from repro.monitor.detectors import MonitorConfig
+    from repro.monitor.feedback import UserMonitor
+
+    monitor = UserMonitor(trace.user_id, config.monitor or MonitorConfig())
+    engine = OnlineNetMaster(
+        trace.user_id,
+        config=config.netmaster,
+        start_weekday=trace.start_weekday,
+        train_days=config.train_days,
+        update_model=config.update_model,
+        window_days=config.window_days,
+        decay=config.decay,
+    )
+    power = config.netmaster.power
+    acc = SummaryAccumulator()
+    every = config.checkpoint_every_days
+    alerts: list = []
+
+    for record in stream_trace(trace):
+        engine.observe(record)
+        done = engine.drain()
+        if done:
+            priced = acc.consume(done, power)
+            alerts.extend(monitor.feed_days(engine, done, priced))
+            if every and engine.days_executed % every == 0:
+                engine = OnlineNetMaster.from_json(engine.to_json())
+                acc.checkpoints += 1
+    final = engine.finish(trace.n_days)
+    if final:
+        priced = acc.consume(final, power)
+        alerts.extend(monitor.feed_days(engine, final, priced))
+    return acc.summary(engine, trace.n_days), alerts
+
+
 # ----------------------------------------------------------------------
 # module-level workers (picklable for the process pool)
 # ----------------------------------------------------------------------
@@ -397,6 +463,21 @@ def _stream_spec_shipped(
     with telemetry.isolated(with_tracing=with_tracing) as (registry, trc):
         result = _stream_spec(payload)
         return result, registry.snapshot(), trc.export_spans()
+
+
+def _stream_spec_monitored(payload: tuple[FleetUserSpec, FleetConfig]):
+    spec, config = payload
+    return stream_one_user_monitored(_spec_trace(spec), config=config)
+
+
+def _stream_spec_monitored_shipped(
+    payload: tuple[FleetUserSpec, FleetConfig], *, with_tracing: bool = True
+):
+    from repro import telemetry
+
+    with telemetry.isolated(with_tracing=with_tracing) as (registry, trc):
+        summary, alerts = _stream_spec_monitored(payload)
+        return summary, alerts, registry.snapshot(), trc.export_spans()
 
 
 def _shed_remaining(batch: list, rest: Iterable) -> int:
@@ -583,7 +664,13 @@ class FleetService:
         )
         return FleetCheckpointLoad(result=result, issues=tuple(issues))
 
-    def run(self, specs: Iterable[FleetUserSpec], *, jobs: int = 1) -> FleetResult:
+    def run(
+        self,
+        specs: Iterable[FleetUserSpec],
+        *,
+        jobs: int = 1,
+        monitor: "MonitorHub | None" = None,
+    ) -> FleetResult:
         """Stream every admitted user; aggregates fold in spec order.
 
         ``specs`` may be any iterable — a list, or a lazy generator such
@@ -596,8 +683,20 @@ class FleetService:
         order (deterministic registries).  Decisions, aggregates and
         shed counts are byte-identical between list and iterator
         sources.
+
+        Passing a :class:`~repro.monitor.sinks.MonitorHub` (or setting
+        ``config.monitor``) attaches per-user anomaly monitoring:
+        workers detect and apply feedback in-stream, and the parent
+        publishes every user's alerts to the hub in admission order —
+        identical serial or parallel.
         """
         config = self.config
+        if monitor is not None and config.monitor is None:
+            from dataclasses import replace
+
+            from repro.monitor.detectors import MonitorConfig
+
+            config = replace(config, monitor=MonitorConfig())
         registry = metrics()
         start = time.perf_counter()
         rollup = FleetRollup()
@@ -624,7 +723,14 @@ class FleetService:
                     registry.inc("stream.shed_users", rollup.shed_users)
                     break
                 registry.inc("stream.batches")
-                results = self._run_batch(batch, jobs)
+                if config.monitor is not None:
+                    pairs = self._run_batch_monitored(batch, jobs, config)
+                    results = [summary for summary, _ in pairs]
+                    if monitor is not None:
+                        for _, alerts in pairs:
+                            monitor.publish_many(alerts)
+                else:
+                    results = self._run_batch(batch, jobs)
                 for summary in results:
                     rollup.fold(summary)
                     if spill is not None:
@@ -665,4 +771,25 @@ class FleetService:
             registry.merge_snapshot(snap)
             trc.ingest(spans)
             out.append(summary)
+        return out
+
+    def _run_batch_monitored(
+        self, batch: list[FleetUserSpec], jobs: int, config: FleetConfig
+    ) -> "list[tuple[UserStreamSummary, list[Alert]]]":
+        """One admission batch with monitoring; returns (summary, alerts)
+        per user, in admission order, identical serial or parallel."""
+        payloads = [(spec, config) for spec in batch]
+        if jobs == 1 or len(payloads) <= 1:
+            return [_stream_spec_monitored(p) for p in payloads]
+        registry = metrics()
+        trc = tracer()
+        runner = shared_runner(jobs)
+        if not (registry.enabled or trc.enabled):
+            return runner.map(_stream_spec_monitored, payloads)
+        fn = partial(_stream_spec_monitored_shipped, with_tracing=trc.enabled)
+        out: "list[tuple[UserStreamSummary, list[Alert]]]" = []
+        for summary, alerts, snap, spans in runner.map(fn, payloads):
+            registry.merge_snapshot(snap)
+            trc.ingest(spans)
+            out.append((summary, alerts))
         return out

@@ -137,6 +137,15 @@ class OnlineNetMaster:
         self.days_executed = 0
         self.days_degraded = 0
         self.interrupts = 0
+        #: Monitor feedback (:mod:`repro.monitor.feedback`): days with
+        #: index < ``quarantined_until`` execute duty-cycle-only; days
+        #: with index < ``adoption_frozen_until`` keep the last adopted
+        #: habit model instead of re-adopting the freshly mined one.
+        #: Both stay 0 unless an alert fired, and are only serialized
+        #: when nonzero so unalerted checkpoints are byte-identical to
+        #: unmonitored ones.
+        self.quarantined_until = 0
+        self.adoption_frozen_until = 0
         # Per-day event buffers (rebased to the day's midnight), only
         # kept for days that will actually execute (>= train_days).
         self._sessions: dict[int, list[ScreenSession]] = {}
@@ -217,11 +226,18 @@ class OnlineNetMaster:
         if day >= self.train_days:
             # The model is mined from days 0..day-1 only — the habit
             # accumulator folds `day` in *after* the decisions are made.
-            self.netmaster.adopt_model(self.habits.to_model())
+            if not (day < self.adoption_frozen_until and self.netmaster.habit):
+                self.netmaster.adopt_model(self.habits.to_model())
             if not self.update_model:
                 self.habits.frozen = True
             trace = self._day_trace(day)
-            execution = self.netmaster.execute_day(trace)
+            if day < self.quarantined_until:
+                self.netmaster.force_degraded = True
+                metrics().inc("stream.quarantined_days")
+            try:
+                execution = self.netmaster.execute_day(trace)
+            finally:
+                self.netmaster.force_degraded = False
             self.days_executed += 1
             self.interrupts += execution.interrupts
             if execution.degraded:
@@ -252,8 +268,13 @@ class OnlineNetMaster:
 
         Undrained completed days are not part of the state — drain (and
         price) them before checkpointing.
+
+        Monitor feedback windows (``quarantined_until``,
+        ``adoption_frozen_until``) are emitted only when nonzero, so a
+        monitored-but-unalerted engine checkpoints to exactly the same
+        bytes as an unmonitored one.
         """
-        return {
+        state = {
             "format": _STATE_FORMAT,
             "user_id": self.user_id,
             "start_weekday": self.start_weekday,
@@ -284,6 +305,11 @@ class OnlineNetMaster:
                 )
             },
         }
+        if self.quarantined_until:
+            state["quarantined_until"] = self.quarantined_until
+        if self.adoption_frozen_until:
+            state["adoption_frozen_until"] = self.adoption_frozen_until
+        return state
 
     @classmethod
     def from_state(cls, state: dict) -> "OnlineNetMaster":
@@ -370,6 +396,16 @@ class OnlineNetMaster:
             except (KeyError, TypeError, ValueError) as exc:
                 problem(
                     f"counter {key!r} unreadable ({type(exc).__name__}: {exc}); "
+                    "salvaged as its reset value"
+                )
+        # Monitor feedback windows are absent in unalerted checkpoints
+        # (emitted only when nonzero), so missing means zero, not damage.
+        for attr in ("quarantined_until", "adoption_frozen_until"):
+            try:
+                setattr(engine, attr, int(state.get(attr, 0)))
+            except (TypeError, ValueError) as exc:
+                problem(
+                    f"counter {attr!r} unreadable ({type(exc).__name__}: {exc}); "
                     "salvaged as its reset value"
                 )
         buffers = state.get("buffers")

@@ -116,6 +116,8 @@ def stream_user_durable(
     config: FleetConfig,
     sink,
     resume: UserShardState | None = None,
+    monitor=None,
+    alert_log: list | None = None,
 ) -> UserStreamSummary:
     """Drive one user's stream, logging every day close to ``sink``.
 
@@ -128,6 +130,14 @@ def stream_user_durable(
     prior day-close state, streaming restarts from the record after the
     last durable day (``engine.events`` counts observed records, so the
     resume offset is exact).
+
+    ``monitor`` optionally attaches a
+    :class:`~repro.monitor.feedback.UserMonitor`: each drained batch is
+    fed *before* the cadence round-trip and the WAL append, so the
+    logged engine state carries any quarantine window and a crash-resume
+    keeps the hold.  Alerts are appended to ``alert_log``.  Monitor
+    state itself is rebuilt fresh on resume (detector history restarts);
+    a quiet monitor leaves the WAL bytes untouched.
     """
     if resume is not None and resume.resumable:
         engine = OnlineNetMaster.from_state(resume.engine_state)
@@ -151,12 +161,24 @@ def stream_user_durable(
 
     for record in stream:
         engine.observe(record)
-        if acc.consume(engine.drain(), power):
+        done = engine.drain()
+        if done:
+            priced = acc.consume(done, power)
+            if monitor is not None:
+                alerts = monitor.feed_days(engine, done, priced)
+                if alert_log is not None:
+                    alert_log.extend(alerts)
             if every and engine.days_executed % every == 0:
                 engine = OnlineNetMaster.from_json(engine.to_json())
                 acc.checkpoints += 1
             sink.log_day(trace.user_id, engine.state_dict(), acc.state_dict())
-    acc.consume(engine.finish(trace.n_days), power)
+    final = engine.finish(trace.n_days)
+    if final:
+        priced = acc.consume(final, power)
+        if monitor is not None:
+            alerts = monitor.feed_days(engine, final, priced)
+            if alert_log is not None:
+                alert_log.extend(alerts)
     summary = acc.summary(engine, trace.n_days)
     sink.log_done(
         trace.user_id, engine.state_dict(), acc.state_dict(), summary.as_dict()
@@ -169,9 +191,17 @@ def stream_user_durable(
 # ----------------------------------------------------------------------
 
 
+def _make_monitor(spec: FleetUserSpec, config: FleetConfig):
+    if config.monitor is None:
+        return None
+    from repro.monitor.feedback import UserMonitor
+
+    return UserMonitor(spec.user_id, config.monitor)
+
+
 def _stream_spec_durable(
     payload: tuple[FleetUserSpec, FleetConfig, dict | None],
-) -> tuple[UserStreamSummary, list[dict]]:
+) -> tuple[UserStreamSummary, list[dict], list]:
     spec, config, resume_doc = payload
     resume = None
     if resume_doc is not None:
@@ -181,10 +211,16 @@ def _stream_spec_durable(
             acc_state=resume_doc.get("acc"),
         )
     sink = _RecordingSink()
+    alerts: list = []
     summary = stream_user_durable(
-        _spec_trace(spec), config=config, sink=sink, resume=resume
+        _spec_trace(spec),
+        config=config,
+        sink=sink,
+        resume=resume,
+        monitor=_make_monitor(spec, config),
+        alert_log=alerts,
     )
-    return summary, sink.records
+    return summary, sink.records, alerts
 
 
 def _stream_spec_durable_shipped(
@@ -195,8 +231,8 @@ def _stream_spec_durable_shipped(
     from repro import telemetry
 
     with telemetry.isolated(with_tracing=with_tracing) as (registry, trc):
-        summary, records = _stream_spec_durable(payload)
-        return summary, records, registry.snapshot(), trc.export_spans()
+        summary, records, alerts = _stream_spec_durable(payload)
+        return summary, records, alerts, registry.snapshot(), trc.export_spans()
 
 
 @dataclass(frozen=True)
@@ -314,7 +350,11 @@ class ShardedFleetService:
         return self.recoveries
 
     def run(
-        self, specs: Iterable[FleetUserSpec], *, jobs: int = 1
+        self,
+        specs: Iterable[FleetUserSpec],
+        *,
+        jobs: int = 1,
+        monitor=None,
     ) -> ShardedFleetResult:
         """Stream every admitted user durably; aggregates in spec order.
 
@@ -326,8 +366,19 @@ class ShardedFleetService:
         the log without recomputation — their events still count
         against the budget, so the decisions match an uninterrupted
         single run.
+
+        Passing a :class:`~repro.monitor.sinks.MonitorHub` (or setting
+        ``config.monitor``) attaches anomaly monitoring exactly as in
+        :meth:`repro.stream.fleet.FleetService.run`; alerts publish to
+        the hub in admission order, identical serial or parallel.
         """
         config = self.config
+        if monitor is not None and config.monitor is None:
+            from dataclasses import replace
+
+            from repro.monitor.detectors import MonitorConfig
+
+            config = replace(config, monitor=MonitorConfig())
         registry = metrics()
         start = time.perf_counter()
         rollup = FleetRollup()
@@ -379,10 +430,12 @@ class ShardedFleetService:
                         }
                         resumed += 1
                     todo.append((i, spec, resume_doc))
-                for i, summary in self._run_batch(todo, jobs):
+                alert_slots: list[list] = [[] for _ in batch]
+                for i, summary, alerts in self._run_batch(todo, jobs, config):
                     slots[i] = summary
+                    alert_slots[i] = alerts
                 streamed = 0
-                for summary in slots:
+                for i, summary in enumerate(slots):
                     if summary is None:
                         continue
                     streamed += 1
@@ -391,6 +444,8 @@ class ShardedFleetService:
                         spill.append(summary)
                     if retained is not None:
                         retained.append(summary)
+                    if monitor is not None and alert_slots[i]:
+                        monitor.publish_many(alert_slots[i])
                 registry.inc("stream.users", streamed)
                 high_water = _note_batch_rss(registry, len(batch), high_water)
         except BaseException:
@@ -443,8 +498,11 @@ class ShardedFleetService:
     # batch execution
     # ------------------------------------------------------------------
     def _run_batch(
-        self, todo: list[tuple[int, FleetUserSpec, dict | None]], jobs: int
-    ) -> list[tuple[int, UserStreamSummary]]:
+        self,
+        todo: list[tuple[int, FleetUserSpec, dict | None]],
+        jobs: int,
+        config: FleetConfig,
+    ) -> list[tuple[int, UserStreamSummary, list]]:
         if not todo:
             return []
         if jobs == 1 or len(todo) <= 1:
@@ -452,32 +510,44 @@ class ShardedFleetService:
             for i, spec, resume_doc in todo:
                 store = self.store_for(spec.user_id)
                 resume = store.get(spec.user_id) if resume_doc is not None else None
+                alerts: list = []
                 summary = stream_user_durable(
-                    _spec_trace(spec), config=self.config, sink=store, resume=resume
+                    _spec_trace(spec),
+                    config=config,
+                    sink=store,
+                    resume=resume,
+                    monitor=_make_monitor(spec, config),
+                    alert_log=alerts,
                 )
-                out.append((i, summary))
+                out.append((i, summary, alerts))
             return out
-        return self._run_batch_parallel(todo, jobs)
+        return self._run_batch_parallel(todo, jobs, config)
 
     def _run_batch_parallel(
-        self, todo: list[tuple[int, FleetUserSpec, dict | None]], jobs: int
-    ) -> list[tuple[int, UserStreamSummary]]:
+        self,
+        todo: list[tuple[int, FleetUserSpec, dict | None]],
+        jobs: int,
+        config: FleetConfig,
+    ) -> list[tuple[int, UserStreamSummary, list]]:
         from repro.runtime.parallel import shared_runner
 
         registry = metrics()
         trc = tracer()
         runner = shared_runner(jobs)
-        payloads = [(spec, self.config, resume_doc) for _, spec, resume_doc in todo]
+        payloads = [(spec, config, resume_doc) for _, spec, resume_doc in todo]
         if not (registry.enabled or trc.enabled):
             results = runner.map(_stream_spec_durable, payloads)
-            shipped = [(summary, records, None, None) for summary, records in results]
+            shipped = [
+                (summary, records, alerts, None, None)
+                for summary, records, alerts in results
+            ]
         else:
             fn = partial(_stream_spec_durable_shipped, with_tracing=trc.enabled)
             shipped = runner.map(fn, payloads)
-        out: list[tuple[int, UserStreamSummary]] = []
+        out: list[tuple[int, UserStreamSummary, list]] = []
         # Appends happen in admission order, so the WALs are
         # byte-identical to what a serial run would have written.
-        for (i, spec, _), (summary, records, snap, spans) in zip(todo, shipped):
+        for (i, spec, _), (summary, records, alerts, snap, spans) in zip(todo, shipped):
             if snap is not None:
                 registry.merge_snapshot(snap)
             if spans is not None:
@@ -485,5 +555,5 @@ class ShardedFleetService:
             store = self.store_for(spec.user_id)
             for record in records:
                 store.append(record)
-            out.append((i, summary))
+            out.append((i, summary, alerts))
         return out

@@ -122,6 +122,25 @@ def _histogram_table(histograms: dict[str, dict], indent: str = "  ") -> list[st
     return lines
 
 
+def _monitor_table(counters: dict[str, int], indent: str = "  ") -> list[str]:
+    """The ``monitor.*`` counter family, alphabetical and complete.
+
+    Alert counts are tiny next to event counters, so the generic
+    top-by-value table would crowd them out exactly when the fleet is
+    healthy; a service operator reading a snapshot should still see the
+    alert/quarantine/sink-error state at a glance.
+    """
+    rows = sorted(
+        (name, value)
+        for name, value in counters.items()
+        if name.startswith("monitor.")
+    )
+    if not rows:
+        return []
+    width = max(len(name) for name, _ in rows)
+    return [f"{indent}{name:<{width}}  {value:>12,d}" for name, value in rows]
+
+
 def _load_spans(path: Path) -> list[dict]:
     spans: list[dict] = []
     if not path.exists():
@@ -182,6 +201,10 @@ def format_snapshot_report(path: str | Path) -> str:
     lines = [f"Metrics snapshot — {source}"]
     lines.append("  top counters:")
     lines.extend(_counter_table(overall.get("counters", {}), indent="    "))
+    monitor_rows = _monitor_table(overall.get("counters", {}), indent="    ")
+    if monitor_rows:
+        lines.append("  monitoring:")
+        lines.extend(monitor_rows)
     lines.extend(_histogram_table(overall.get("histograms", {}), indent="  "))
     if payload.get("dropped_spans"):
         lines.append(f"  (dropped {payload['dropped_spans']} spans past the cap)")

@@ -1,0 +1,128 @@
+"""The subsystem's cardinal invariant: a quiet monitor is a no-op.
+
+Attaching monitoring to a clean cohort must leave summaries, decisions,
+checkpoints and WAL bytes byte-identical to an unmonitored run — serial
+and parallel, fleet and sharded."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.netmaster import NetMasterConfig
+from repro.monitor import MonitorConfig, MonitorHub, RingAlertSink
+from repro.stream import (
+    FleetConfig,
+    FleetService,
+    FleetUserSpec,
+    ShardConfig,
+    ShardedFleetService,
+    fleet_specs,
+    stream_one_user,
+)
+from repro.stream.fleet import stream_one_user_monitored
+
+CONFIG = FleetConfig(
+    train_days=10, netmaster=NetMasterConfig(enable_circuit_breaker=False)
+)
+MONITORED = replace(CONFIG, monitor=MonitorConfig())
+
+
+def _specs(volunteers):
+    return [
+        FleetUserSpec(user_id=t.user_id, n_days=t.n_days, trace=t) for t in volunteers
+    ]
+
+
+def _shards(tmp_path, **kwargs):
+    kwargs.setdefault("n_shards", 2)
+    return ShardConfig(root=tmp_path / "shards", **kwargs)
+
+
+class TestSingleUser:
+    def test_monitored_stream_matches_plain_on_clean_trace(self, volunteer):
+        plain = stream_one_user(volunteer, config=CONFIG)
+        summary, alerts = stream_one_user_monitored(volunteer, config=MONITORED)
+        assert alerts == []
+        assert summary == plain
+
+    def test_quiet_monitor_survives_checkpoint_cadence(self, volunteer):
+        # The engine codec round-trips every day; if the quiet monitor
+        # leaked any state into the checkpoint this would diverge.
+        cadence = dict(train_days=10, checkpoint_every_days=1,
+                       netmaster=CONFIG.netmaster)
+        plain = stream_one_user(volunteer, config=FleetConfig(**cadence))
+        summary, alerts = stream_one_user_monitored(
+            volunteer,
+            config=FleetConfig(monitor=MonitorConfig(), **cadence),
+        )
+        assert alerts == []
+        assert summary == plain
+        assert summary.checkpoints == plain.checkpoints > 0
+
+
+class TestFleetService:
+    def test_clean_cohort_is_byte_equal_serial_and_parallel(self, volunteers):
+        base = FleetService(CONFIG).run(_specs(volunteers))
+        hub = MonitorHub([RingAlertSink()])
+        serial = FleetService(MONITORED).run(_specs(volunteers), monitor=hub)
+        parallel = FleetService(MONITORED).run(_specs(volunteers), jobs=2)
+        assert hub.published == 0
+        assert serial.summaries == base.summaries
+        assert parallel.summaries == base.summaries
+        assert serial.rollup == base.rollup
+
+    def test_hub_without_config_attaches_default_monitoring(self, volunteers):
+        # Passing just a hub must imply config.monitor = MonitorConfig().
+        base = FleetService(CONFIG).run(_specs(volunteers))
+        hub = MonitorHub([RingAlertSink()])
+        run = FleetService(CONFIG).run(_specs(volunteers), monitor=hub)
+        assert run.summaries == base.summaries
+
+
+class TestShardedService:
+    def test_clean_cohort_wal_bytes_equal_serial(self, volunteers, tmp_path):
+        a = ShardedFleetService(CONFIG, shards=_shards(tmp_path / "a"))
+        base = a.run(_specs(volunteers))
+        b = ShardedFleetService(MONITORED, shards=_shards(tmp_path / "b"))
+        monitored = b.run(_specs(volunteers))
+        assert monitored.summaries == base.summaries
+        for sa, sb in zip(a.stores, b.stores):
+            assert sa.wal_path.read_bytes() == sb.wal_path.read_bytes()
+
+    def test_clean_cohort_wal_bytes_equal_parallel(self, volunteers, tmp_path):
+        a = ShardedFleetService(CONFIG, shards=_shards(tmp_path / "a"))
+        base = a.run(_specs(volunteers), jobs=2)
+        hub = MonitorHub([RingAlertSink()])
+        b = ShardedFleetService(MONITORED, shards=_shards(tmp_path / "b"))
+        monitored = b.run(_specs(volunteers), jobs=2, monitor=hub)
+        assert hub.published == 0
+        assert monitored.summaries == base.summaries
+        for sa, sb in zip(a.stores, b.stores):
+            assert sa.wal_path.read_bytes() == sb.wal_path.read_bytes()
+
+
+class TestProperty:
+    """Property form over generated cohorts: whenever the monitor stays
+    quiet, the monitored fleet is indistinguishable from the plain one
+    (and parallel monitored always equals serial monitored)."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_quiet_monitor_is_noop_and_parallel_matches(self, seed):
+        specs = fleet_specs(seed=seed, n_users=3, n_days=9)
+        config = FleetConfig(
+            train_days=7, netmaster=NetMasterConfig(enable_circuit_breaker=False)
+        )
+        monitored_config = replace(config, monitor=MonitorConfig())
+        base = FleetService(config).run(specs)
+        hub = MonitorHub([RingAlertSink()])
+        serial = FleetService(monitored_config).run(specs, monitor=hub)
+        parallel = FleetService(monitored_config).run(specs, jobs=2)
+        assert parallel.summaries == serial.summaries
+        if hub.published == 0:
+            assert serial.summaries == base.summaries
+            assert serial.rollup == base.rollup

@@ -1,0 +1,145 @@
+"""Alert sinks: atomic publishing, bounded buffers, hub isolation."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.monitor.detectors import Alert, SEVERITY_WARNING
+from repro.monitor.sinks import (
+    CallbackSink,
+    CsvAlertSink,
+    JsonlAlertSink,
+    MonitorHub,
+    RingAlertSink,
+)
+from repro.telemetry import metrics
+
+
+def alert(day, kind="runaway_energy", user="u0"):
+    return Alert(
+        user_id=user,
+        day=day,
+        kind=kind,
+        severity=SEVERITY_WARNING,
+        value=7.0,
+        threshold=6.0,
+        message=f"day {day}",
+    )
+
+
+class _Boom:
+    """A sink whose emit and close both fail (the broken webhook)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def emit(self, a):
+        raise RuntimeError("webhook down")
+
+    def close(self):
+        raise RuntimeError("webhook still down")
+
+
+class TestJsonlSink:
+    def test_publishes_atomically_on_close(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        sink = JsonlAlertSink(path)
+        alerts = [alert(d) for d in range(3)]
+        for a in alerts:
+            sink.emit(a)
+        # Nothing is visible at the target until close renames it in.
+        assert not path.exists()
+        assert sink.close() == path
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert [Alert.from_dict(json.loads(line)) for line in lines] == alerts
+        assert sink.count == 3
+
+    def test_abort_discards_the_partial_log(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        sink = JsonlAlertSink(path)
+        sink.emit(alert(0))
+        sink.abort()
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []  # no .partial litter either
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "down" / "alerts.jsonl"
+        sink = JsonlAlertSink(path)
+        sink.emit(alert(0))
+        sink.close()
+        assert path.exists()
+
+
+class TestCsvSink:
+    def test_header_and_rows(self, tmp_path):
+        path = tmp_path / "alerts.csv"
+        sink = CsvAlertSink(path)
+        sink.emit(alert(4, kind="dch_stuck"))
+        sink.close()
+        with open(path, newline="", encoding="utf-8") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 1
+        assert rows[0]["kind"] == "dch_stuck"
+        assert rows[0]["day"] == "4"
+        assert float(rows[0]["value"]) == 7.0
+
+
+class TestRingSink:
+    def test_keeps_only_the_newest(self):
+        ring = RingAlertSink(capacity=2)
+        for day in range(5):
+            ring.emit(alert(day))
+        assert [a.day for a in ring.alerts()] == [3, 4]
+        assert ring.count == 5  # total ever seen survives eviction
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingAlertSink(capacity=0)
+
+
+class TestCallbackSink:
+    def test_invokes_the_callable_per_alert(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink.emit(alert(0))
+        sink.emit(alert(1))
+        assert [a.day for a in seen] == [0, 1]
+        assert sink.count == 2
+
+
+class TestHubIsolation:
+    def test_raising_sink_does_not_starve_the_others(self):
+        ring = RingAlertSink()
+        boom = _Boom()
+        tail = RingAlertSink()
+        hub = MonitorHub([ring, boom, tail])
+        before = metrics().snapshot()["counters"].get("monitor.sink_errors", 0)
+        hub.publish_many([alert(0), alert(1, kind="dch_stuck")])
+        # Both healthy sinks got both alerts, in order.
+        assert [a.day for a in ring.alerts()] == [0, 1]
+        assert [a.day for a in tail.alerts()] == [0, 1]
+        assert hub.published == 2
+        assert hub.by_kind == {"runaway_energy": 1, "dch_stuck": 1}
+        assert hub.sink_errors == 2
+        after = metrics().snapshot()["counters"].get("monitor.sink_errors", 0)
+        assert after - before == 2
+
+    def test_close_isolates_failures_too(self, tmp_path):
+        jsonl = JsonlAlertSink(tmp_path / "alerts.jsonl")
+        hub = MonitorHub([_Boom(), jsonl])
+        hub.publish(alert(0))
+        hub.close()
+        # The healthy sink still published despite the raising close.
+        assert (tmp_path / "alerts.jsonl").exists()
+        assert hub.sink_errors == 2  # one emit failure + one close failure
+
+    def test_add_sink_applies_to_future_alerts_only(self):
+        hub = MonitorHub()
+        hub.publish(alert(0))
+        late = RingAlertSink()
+        hub.add_sink(late)
+        hub.publish(alert(1))
+        assert [a.day for a in late.alerts()] == [1]

@@ -1,0 +1,103 @@
+"""``GET /v1/alerts`` and the gateway's monitor wiring."""
+
+from __future__ import annotations
+
+import json
+
+from repro.monitor import MonitorConfig
+from repro.service.gateway import FleetGateway, reference_decisions
+from repro.stream.ingest import stream_trace
+
+from tests.service.conftest import service_config
+from tests.service.test_http_surface import drive_http
+
+
+def _drive(gw: FleetGateway, trace) -> None:
+    gw.ingest(
+        trace.user_id,
+        list(stream_trace(trace)),
+        start_weekday=trace.start_weekday,
+    )
+    gw.finish(trace.user_id, trace.n_days)
+
+
+class TestAlertsEndpoint:
+    def test_stable_shape_with_monitoring_off(self, server):
+        status, doc = server.request("GET", "/v1/alerts")
+        assert status == 200
+        assert doc == {
+            "monitoring": False,
+            "published": 0,
+            "by_kind": {},
+            "sink_errors": 0,
+            "quarantined_users": 0,
+            "alerts": [],
+        }
+
+    def test_monitored_server_reports_and_stays_quiet(
+        self, make_server, service_trace
+    ):
+        server = make_server(service_config(monitor=MonitorConfig()))
+        drive_http(server, service_trace, batch_size=700)
+        status, doc = server.request("GET", "/v1/alerts")
+        assert status == 200
+        assert doc["monitoring"] is True
+        # The generated volunteer is clean: the monitor must stay quiet.
+        assert doc["published"] == 0
+        assert doc["alerts"] == []
+        assert doc["quarantined_users"] == 0
+        # And quiet means no-op: decisions match the unmonitored drive.
+        status, decisions = server.request(
+            "GET", f"/v1/users/{service_trace.user_id}/decisions"
+        )
+        ref = reference_decisions(service_trace, config=service_config())
+        assert json.dumps(decisions) == json.dumps(ref["decisions"])
+
+    def test_alerts_route_rejects_other_methods(self, server):
+        status, doc = server.request("POST", "/v1/alerts", {})
+        assert status == 405
+
+
+class TestGatewayMonitorState:
+    def test_monitor_state_survives_checkpoint_roundtrip(
+        self, tmp_path, service_trace
+    ):
+        config = service_config(monitor=MonitorConfig())
+        gw = FleetGateway(config)
+        _drive(gw, service_trace)
+        path = tmp_path / "service.ckpt"
+        gw.checkpoint(path)
+
+        restored = FleetGateway(config)
+        restored.restore(path)
+        original = gw.session(service_trace.user_id).monitor
+        back = restored.session(service_trace.user_id).monitor
+        assert original is not None and back is not None
+        assert json.dumps(back.state_dict(), sort_keys=True) == json.dumps(
+            original.state_dict(), sort_keys=True
+        )
+        assert restored.alerts_doc()["monitoring"] is True
+
+    def test_unmonitored_checkpoint_carries_no_monitor_key(
+        self, tmp_path, service_trace
+    ):
+        # The byte-compat guarantee: this feature existing must not
+        # change the checkpoint document of an unmonitored gateway.
+        gw = FleetGateway(service_config())
+        _drive(gw, service_trace)
+        state = gw.state_dict()
+        assert all("monitor" not in doc for doc in state["users"].values())
+
+    def test_quiet_monitor_leaves_checkpoint_engine_state_equal(
+        self, tmp_path, service_trace
+    ):
+        plain = FleetGateway(service_config())
+        _drive(plain, service_trace)
+        monitored = FleetGateway(service_config(monitor=MonitorConfig()))
+        _drive(monitored, service_trace)
+        plain_doc = plain.state_dict()["users"][service_trace.user_id]
+        mon_doc = monitored.state_dict()["users"][service_trace.user_id]
+        mon_doc.pop("monitor")  # attached, hence serialized — but quiet
+        assert json.dumps(mon_doc, sort_keys=True) == json.dumps(
+            plain_doc, sort_keys=True
+        )

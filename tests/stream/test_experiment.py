@@ -41,6 +41,26 @@ class TestStreamExperiment:
         assert 0.0 <= result.online_interrupt_ratio <= 1.0
         assert 0.0 <= result.offline_interrupt_ratio <= 1.0
 
+    def test_runs_without_retained_summaries(self, result):
+        # Every statistic reads off the O(1) FleetRollup counters, so a
+        # constant-RSS fleet (no per-user summary list) must report the
+        # identical numbers.
+        lean = stream_experiment(
+            n_users=3, n_days=9, train_days=7, checkpoint_every_days=1,
+            retain_summaries=False,
+        )
+        assert lean.users_streamed == result.users_streamed
+        assert lean.user_days_streamed == result.user_days_streamed
+        assert lean.days_executed == result.days_executed
+        assert lean.events == result.events
+        assert lean.checkpoints == result.checkpoints
+        assert lean.online_energy_j == result.online_energy_j
+        assert lean.naive_energy_j == result.naive_energy_j
+        assert lean.online_saving == result.online_saving
+        assert lean.online_interrupt_ratio == result.online_interrupt_ratio
+        assert lean.degraded_days == result.degraded_days
+        assert lean.drift_alerts == result.drift_alerts
+
     def test_specs_are_deterministic(self):
         a = fleet_specs(seed=1, n_users=4, n_days=5)
         b = fleet_specs(seed=1, n_users=4, n_days=5)

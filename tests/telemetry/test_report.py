@@ -16,6 +16,7 @@ from repro.telemetry.report import (
     SPANS_FILE,
     TRACE_FILE,
     format_report,
+    format_snapshot_report,
     write_telemetry,
 )
 
@@ -91,6 +92,50 @@ class TestFormatReport:
     def test_missing_dir_raises_with_hint(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="--telemetry-out"):
             format_report(tmp_path / "nope")
+
+
+class TestMonitorSection:
+    def _snapshot(self, tmp_path, counters):
+        path = tmp_path / "metrics.json"
+        path.write_text(
+            json.dumps(
+                {"schema": 1, "overall": {"counters": counters, "histograms": {}}}
+            ),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_monitor_counters_get_their_own_table(self, tmp_path):
+        # Alert counts are dwarfed by event counters: the top-by-value
+        # table would hide them, so the snapshot report must carry a
+        # dedicated monitoring section with the full monitor.* family.
+        counters = {f"stream.events.{i}": 1_000_000 + i for i in range(20)}
+        counters.update(
+            {
+                "monitor.alerts": 3,
+                "monitor.alerts.runaway_energy": 2,
+                "monitor.alerts.dch_stuck": 1,
+                "monitor.quarantined_users": 1,
+                "monitor.sink_errors": 0,
+            }
+        )
+        text = format_snapshot_report(self._snapshot(tmp_path, counters))
+        assert "monitoring:" in text
+        monitoring_tail = text.split("monitoring:", 1)[1]
+        for name in (
+            "monitor.alerts",
+            "monitor.alerts.dch_stuck",
+            "monitor.alerts.runaway_energy",
+            "monitor.quarantined_users",
+            "monitor.sink_errors",
+        ):
+            assert name in monitoring_tail
+
+    def test_section_absent_without_monitor_counters(self, tmp_path):
+        text = format_snapshot_report(
+            self._snapshot(tmp_path, {"stream.events": 5})
+        )
+        assert "monitoring:" not in text
 
 
 @dataclass

@@ -65,7 +65,7 @@ class TestCli:
         expected = {
             "fig1a", "fig1b", "fig2", "fig3", "fig4", "fig5",
             "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig10c",
-            "ux", "approx", "robustness", "stream", "shards",
+            "ux", "approx", "robustness", "stream", "shards", "monitor",
         }
         assert set(_REGISTRY) == expected
 
